@@ -1,0 +1,40 @@
+"""Shared fixtures for the paper-reproduction benchmark suite.
+
+Each benchmark runs one experiment from :mod:`repro.bench.experiments`,
+prints the paper-style table, writes it under ``benchmarks/results/`` for
+EXPERIMENTS.md, and asserts the *shape* the paper reports (who wins, by
+roughly what factor, where crossovers fall). Absolute numbers are simulated
+time on scaled-down datasets and are not expected to match the paper.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.bench.report import Table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def emit(request):
+    """Print a table and persist it under benchmarks/results/."""
+
+    def _emit(table: Table) -> Table:
+        rendered = table.render()
+        print("\n" + rendered)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        name = request.node.name.replace("/", "_")
+        path = RESULTS_DIR / f"{name}.txt"
+        with open(path, "a", encoding="utf-8") as f:
+            f.write(rendered + "\n\n")
+        return table
+
+    # Start each test's result file fresh.
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{request.node.name.replace('/', '_')}.txt"
+    if path.exists():
+        path.unlink()
+    return _emit

@@ -1,0 +1,127 @@
+"""Ablations of GraphDance's design constants (DESIGN.md §5–6).
+
+The paper fixes several design parameters without sweeping them; these
+ablations justify them on the simulated cluster:
+
+* **flush threshold** — the paper uses 8 KB thread-level buffers. Tiny
+  buffers degenerate toward per-message sends (syscall-bound); huge
+  buffers delay messages (latency-bound). 8 KB should be on the flat
+  near-optimal plateau.
+* **batch size** — workers process traversers in scheduling batches;
+  the default must not be a cliff in either direction.
+* **hybrid switching** (paper §VI) — routing each query to async or BSP by
+  estimated volume should track the better engine on both ends of the
+  Fig 9 crossover.
+"""
+
+from repro.bench.harness import (
+    BENCH_CLUSTER,
+    build_engine,
+    khop_plan,
+    khop_starts,
+    powerlaw_partitioned,
+    run_khop_avg,
+)
+from repro.bench.report import Table
+from repro.runtime.cluster import ClusterConfig
+from repro.runtime.engine import EngineConfig
+from repro.runtime.hybrid import HybridEngine
+
+
+def run_flush_threshold_sweep(thresholds=(256, 2048, 8192, 65536, 1 << 20),
+                              k=3, starts=2):
+    """Swept in TLC-only mode: with node-level combining on, flushes are
+    cheap shared-memory handoffs and the threshold barely matters; the
+    8 KB choice protects the syscall-per-flush path."""
+    table = Table(
+        "Ablation — tier-1 flush threshold (paper: 8 KB), TLC-only I/O",
+        ["threshold (B)", "latency (ms)", "packets", "flushes"],
+    )
+    start_list = khop_starts("lj", starts)
+    for threshold in thresholds:
+        engine = build_engine(
+            "graphdance", "lj", BENCH_CLUSTER,
+            config=EngineConfig(name=f"flush{threshold}", io_mode="tlc",
+                                flush_threshold_bytes=threshold),
+        )
+        latency = run_khop_avg(engine, "lj", k, start_list)
+        table.add(threshold, round(latency, 3), engine.metrics.packets_sent,
+                  engine.metrics.flushes)
+    return table
+
+
+def run_batch_size_sweep(batches=(4, 16, 64, 256), k=3, starts=2):
+    table = Table(
+        "Ablation — worker scheduling batch size",
+        ["batch", "latency (ms)"],
+    )
+    start_list = khop_starts("lj", starts)
+    for batch in batches:
+        engine = build_engine(
+            "graphdance", "lj", BENCH_CLUSTER,
+            config=EngineConfig(name=f"batch{batch}", batch_size=batch),
+        )
+        table.add(batch, round(run_khop_avg(engine, "lj", k, start_list), 3))
+    return table
+
+
+def run_hybrid_comparison(starts=1):
+    table = Table(
+        "Ablation — hybrid sync/async switching (paper §VI)",
+        ["query", "async (ms)", "bsp (ms)", "hybrid (ms)", "hybrid chose"],
+    )
+    graph = powerlaw_partitioned("fs", BENCH_CLUSTER.num_partitions)
+    start_list = khop_starts("fs", starts)
+    for k in (2, 4):
+        plan = khop_plan("fs", graph.num_partitions, k)
+        params = {"start": start_list[0]}
+        async_engine = HybridEngine(graph, BENCH_CLUSTER, switch_threshold=1e15)
+        bsp_engine = HybridEngine(graph, BENCH_CLUSTER, switch_threshold=0.0)
+        hybrid = HybridEngine(graph, BENCH_CLUSTER)
+        a = async_engine.run(plan, dict(params)).latency_ms
+        b = bsp_engine.run(plan, dict(params)).latency_ms
+        h = hybrid.run(plan, dict(params)).latency_ms
+        table.add(f"fs {k}-hop", round(a, 3), round(b, 3), round(h, 3),
+                  hybrid.decisions[-1].engine)
+    return table
+
+
+def test_flush_threshold_plateau(benchmark, emit):
+    table = benchmark.pedantic(run_flush_threshold_sweep, rounds=1, iterations=1)
+    emit(table)
+    lat = dict(zip(table.column("threshold (B)"), table.column("latency (ms)")))
+    # The paper's 8 KB sits on the plateau: within 25% of the sweep's best.
+    assert lat[8192] <= 1.25 * min(lat.values()), lat
+    # Tiny buffers are strictly worse than 8 KB (syscall-bound).
+    assert lat[256] > lat[8192], lat
+    # Tiny buffers also flood the NIC: most packets by far. (Counts are not
+    # strictly monotone above that — larger buffers create burstier worker
+    # idle periods, each of which force-flushes — but the degenerate
+    # configuration is clearly identifiable.)
+    packets = dict(zip(table.column("threshold (B)"), table.column("packets")))
+    assert packets[256] > 2 * max(v for t, v in packets.items() if t != 256)
+
+
+def test_batch_size_not_a_cliff(benchmark, emit):
+    table = benchmark.pedantic(run_batch_size_sweep, rounds=1, iterations=1)
+    emit(table)
+    lat = table.column("latency (ms)")
+    # No configuration is catastrophically bad (within 3× of best).
+    assert max(lat) <= 3 * min(lat), lat
+
+
+def test_hybrid_tracks_the_better_engine(benchmark, emit):
+    table = benchmark.pedantic(run_hybrid_comparison, rounds=1, iterations=1)
+    emit(table)
+    rows = {row[0]: row for row in table.rows}
+    small = rows["fs 2-hop"]
+    large = rows["fs 4-hop"]
+    # The small query routes async; the Fig 9 crossover query routes BSP.
+    assert small[4] == "async"
+    assert large[4] == "bsp"
+    # Hybrid matches its chosen engine's latency on both (±1%).
+    assert small[3] <= small[1] * 1.01
+    assert large[3] <= large[2] * 1.01
+    # And on each query it picked the better of the two.
+    assert small[3] <= min(small[1], small[2]) * 1.01
+    assert large[3] <= min(large[1], large[2]) * 1.01

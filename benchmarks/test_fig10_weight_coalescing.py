@@ -1,0 +1,29 @@
+"""Fig 10 + §IV-A — progress-tracking ablation.
+
+Shapes:
+* weight coalescing saves a large fraction of latency on the deeper
+  queries (paper: up to 77.6%), and the saving grows with query size;
+* on the smallest query the benefit is modest (paper: can even slightly
+  lose);
+* naive centralized tracking is several times slower (paper: up to 4.46×).
+"""
+
+from repro.bench.experiments import fig10_weight_coalescing
+
+
+def test_fig10_weight_coalescing(benchmark, emit):
+    table = benchmark.pedantic(fig10_weight_coalescing, rounds=1, iterations=1)
+    emit(table)
+    by_k = {row[0]: row for row in table.rows}
+
+    # WC always helps or is neutral; the saving grows with query depth.
+    savings = [by_k[k][4] for k in sorted(by_k)]
+    assert savings[-1] > 50, savings       # deep queries: large saving
+    assert savings[-1] > savings[0], savings
+    # Naive centralized tracking is ≥ 2× slower than WC at every depth and
+    # reaches the multi-x regime the paper reports (4.46×) when deep.
+    for k, row in by_k.items():
+        wc, naive = row[1], row[3]
+        assert naive > 2 * wc, (k, row)
+    deepest = by_k[max(by_k)]
+    assert deepest[3] > 4 * deepest[1], deepest

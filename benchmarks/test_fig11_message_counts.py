@@ -1,0 +1,23 @@
+"""Fig 11 — progress-tracking message counts with and without coalescing.
+
+Shapes:
+* without WC, progress messages are comparable in number to all other
+  messages combined;
+* WC reduces progress messages by >90% (paper: 91.2%–99.3%).
+"""
+
+from repro.bench.experiments import fig11_message_counts
+
+
+def test_fig11_message_counts(benchmark, emit):
+    table = benchmark.pedantic(fig11_message_counts, rounds=1, iterations=1)
+    emit(table)
+    rows = {row[0]: row for row in table.rows}
+    on = rows["WC on"]
+    off = rows["WC off"]
+    # Without WC the tracker sees nearly one message per finished
+    # traverser — the same order as all other traffic.
+    assert off[1] > 0.2 * off[2], off
+    # WC removes the vast majority of progress messages.
+    reduction = on[3]
+    assert reduction > 90, reduction

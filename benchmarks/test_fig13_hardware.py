@@ -1,0 +1,35 @@
+"""Fig 13 — query latency under legacy hardware configurations.
+
+Shapes:
+* deep (4-hop) queries suffer substantially from reduced bandwidth or
+  core count (paper: up to 2.74× with modern hardware ≡ legacy is ≥ ~2×
+  slower in the worst configuration);
+* shallow (2-hop) latency-bound queries are barely affected by bandwidth;
+* both resources matter: the combined-legacy profile is at least as slow
+  as either single degradation on the deep query.
+"""
+
+from repro.bench.experiments import fig13_hardware
+
+
+def test_fig13_hardware(benchmark, emit):
+    table = benchmark.pedantic(fig13_hardware, rounds=1, iterations=1)
+    emit(table)
+    rows = {row[0]: row for row in table.rows}
+    modern = rows["modern"]
+    assert modern[2] == 1.0 and modern[3] == 1.0
+
+    deep = {name: row[3] for name, row in rows.items()}
+    shallow = {name: row[2] for name, row in rows.items()}
+
+    # The worst legacy configuration costs ≥ 1.8× on the deep query.
+    assert max(deep.values()) > 1.8, deep
+    # Bandwidth reduction alone hurts the deep query.
+    assert deep["1GbE"] > 1.2, deep
+    # Core reduction alone hurts the deep query.
+    assert deep["8-core"] > 1.4, deep
+    # The combined degradation is at least as bad as either alone.
+    assert deep["10GbE+8-core"] >= max(deep["10GbE"], deep["8-core"]) * 0.95
+    # The shallow query is much less sensitive to bandwidth than the deep
+    # one (latency-bound, paper's observation).
+    assert shallow["1GbE"] < deep["1GbE"], (shallow, deep)

@@ -1,0 +1,40 @@
+"""Fig 7 — mixed LDBC SNB interactive workload at TCR 3 / 0.3 / 0.03.
+
+Shapes:
+* GraphDance completes every TCR; the BSP (TigerGraph-like) engine fails
+  to keep up at TCR 0.03 (the paper: "TigerGraph fails to complete the
+  test at a TCR of 0.03").
+* GraphDance's IC latency is far below BSP's at every completed TCR
+  (paper: 88.7% / 91.6% lower at TCR 3 / 0.3).
+"""
+
+import math
+
+from repro.bench.experiments import fig7_mixed_workload
+
+
+def test_fig7_mixed_workload(benchmark, emit):
+    table = benchmark.pedantic(fig7_mixed_workload, rounds=1, iterations=1)
+    emit(table)
+    rows = {(r[0], r[1]): r for r in table.rows}
+
+    gd = [r for r in table.rows if r[0].startswith("graphdance")]
+    bsp = [r for r in table.rows if "bsp" in r[0]]
+    assert gd and bsp
+
+    # GraphDance completes at every TCR, including the most aggressive.
+    assert all(r[2] == "yes" for r in gd)
+    # The BSP engine cannot keep up at TCR 0.03.
+    bsp_003 = [r for r in bsp if r[1] == 0.03]
+    assert bsp_003 and bsp_003[0][2] != "yes"
+
+    # Where both complete, GraphDance's IC latency is much lower.
+    for tcr in (3.0, 0.3):
+        gd_row = next(r for r in gd if r[1] == tcr)
+        bsp_row = next(r for r in bsp if r[1] == tcr)
+        if bsp_row[2] == "yes" and not math.isnan(bsp_row[3]):
+            reduction = 1 - gd_row[3] / bsp_row[3]
+            assert reduction > 0.5, (
+                f"TCR {tcr}: expected >50% IC latency reduction, got "
+                f"{100 * reduction:.1f}%"
+            )

@@ -1,0 +1,75 @@
+"""Fig 8 + §V-A3 — individual IC query latency, throughput, and the
+single-node comparison.
+
+Shapes:
+* GraphDance beats the BSP (TigerGraph-like) baseline on every IC query on
+  both datasets, with a large average latency reduction (paper: 88.9% on
+  SF300, 90.3% on SF1000);
+* the partitioned model beats the non-partitioned model on average
+  (paper: 46.5% lower latency) and on throughput (paper: 3.29×);
+* GraphDance's closed-loop throughput exceeds BSP's by a large factor
+  (paper: 43.3×);
+* single-node GraphScope-like wins on latency when the graph fits in RAM
+  (paper: 58.1% lower on SF300) but hits the swap cliff on SF1000, while
+  the distributed engine wins on throughput.
+"""
+
+from repro.bench.experiments import (
+    fig8_graphscope_comparison,
+    fig8_ic_latency,
+    fig8_ic_throughput,
+)
+
+
+def _geomean_reduction(gd, other):
+    import math
+
+    ratios = [g / o for g, o in zip(gd, other)]
+    return 1 - math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+
+
+def test_fig8_ic_latency(benchmark, emit):
+    table = benchmark.pedantic(fig8_ic_latency, rounds=1, iterations=1)
+    emit(table)
+    for ds in ("sf300", "sf1000"):
+        rows = [r for r in table.rows if r[0] == ds]
+        assert len(rows) == 14
+        gd = [r[2] for r in rows]
+        bsp = [r[3] for r in rows]
+        nonpart = [r[4] for r in rows]
+        # GraphDance wins every IC query against BSP.
+        assert all(g < b for g, b in zip(gd, bsp)), ds
+        # Large average reduction vs BSP (paper ≈ 89–90%).
+        assert _geomean_reduction(gd, bsp) > 0.55, ds
+        # The partitioned model beats the shared-state model on average
+        # (paper: 46.5% average latency reduction).
+        assert _geomean_reduction(gd, nonpart) > 0.25, ds
+
+
+def test_fig8_ic_throughput(benchmark, emit):
+    table = benchmark.pedantic(fig8_ic_throughput, rounds=1, iterations=1)
+    emit(table)
+    for row in table.rows:
+        _query, gd, bsp, nonpart = row
+        # Async PSTM throughput far exceeds BSP under concurrency (paper:
+        # 43.3× on average; superstep barriers serialize the cluster).
+        assert gd > 4 * bsp, row
+        # Partitioned state beats latched shared state under concurrency
+        # (paper: 3.29× on average).
+        assert gd > 2 * nonpart, row
+
+
+def test_fig8_graphscope_single_node(benchmark, emit):
+    table = benchmark.pedantic(fig8_graphscope_comparison, rounds=1, iterations=1)
+    emit(table)
+    sf300 = [r for r in table.rows if r[0] == "sf300"]
+    sf1000 = [r for r in table.rows if r[0] == "sf1000"]
+    # SF300 fits in single-node RAM: GraphScope-like wins on latency there.
+    assert all(r[4] == "yes" for r in sf300)
+    assert sum(r[3] < r[2] for r in sf300) >= len(sf300) - 1
+    # SF1000 exceeds RAM: swapping makes the single node far slower on the
+    # majority of queries (paper: 9 of 14 ICs fail the time limit; the
+    # smallest point lookups survive even while swapping).
+    assert all(r[4] != "yes" for r in sf1000)
+    slow = sum(r[3] > 3 * r[2] for r in sf1000)
+    assert slow >= (len(sf1000) + 1) // 2, table.rows

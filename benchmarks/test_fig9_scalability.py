@@ -1,0 +1,63 @@
+"""Fig 9 — vertical and horizontal scalability of the k-hop query.
+
+Shapes:
+* GraphDance speeds up near-linearly with workers and nodes on the deep
+  (4-hop) query;
+* the dataflow engines (Banyan/GAIA-like) flatten or regress as workers
+  grow (per-worker operator instantiation);
+* Banyan-like can edge out GraphDance at the lowest worker counts on
+  4-hop queries (lower per-traverser overhead);
+* on the very largest query (FS-like 4-hop) the BSP model wins by
+  amortizing barriers over a huge traverser population.
+"""
+
+from repro.bench.experiments import (
+    fig9_bsp_long_query,
+    fig9_horizontal,
+    fig9_vertical,
+)
+
+
+def test_fig9_vertical(benchmark, emit):
+    table = benchmark.pedantic(fig9_vertical, rounds=1, iterations=1)
+    emit(table)
+    rows = {(r[0], r[1]): r[2:] for r in table.rows}
+
+    # GraphDance 4-hop: strong speedup from 1 → 16 workers (≥ 6×).
+    gd4 = rows[(4, "graphdance")]
+    assert gd4[0] / gd4[-1] > 6, gd4
+    # Banyan-like wins (or ties) at a single worker on the 4-hop query...
+    assert rows[(4, "banyan")][0] <= rows[(4, "graphdance")][0] * 1.05
+    # ...but GraphDance scales better: it wins at the highest worker count.
+    assert rows[(4, "graphdance")][-1] < rows[(4, "banyan")][-1]
+    assert rows[(4, "graphdance")][-1] < rows[(4, "gaia")][-1]
+    # Dataflow engines flatten on the small query: their 16-worker latency
+    # is not meaningfully better than their 4-worker latency.
+    assert rows[(2, "banyan")][-1] > rows[(2, "banyan")][1] * 0.8
+    # GAIA's centralized aggregation scales no better than Banyan.
+    assert rows[(4, "gaia")][-1] >= rows[(4, "banyan")][-1] * 0.8
+
+
+def test_fig9_horizontal(benchmark, emit):
+    table = benchmark.pedantic(fig9_horizontal, rounds=1, iterations=1)
+    emit(table)
+    rows = {(r[0], r[1]): r[2:] for r in table.rows}
+    # GraphDance 4-hop: clear speedup across the node sweep (≥ 2×) and
+    # monotone improvement while the dataset still has parallelism.
+    gd4 = rows[(4, "graphdance")]
+    assert gd4[0] / gd4[-1] > 2, gd4
+    assert gd4[0] > gd4[1] > gd4[2], gd4
+    # GraphDance at max nodes beats the dataflow engines at max nodes.
+    assert rows[(4, "graphdance")][-1] < rows[(4, "banyan")][-1]
+    assert rows[(4, "graphdance")][-1] < rows[(4, "gaia")][-1]
+
+
+def test_fig9_bsp_wins_longest_query(benchmark, emit):
+    table = benchmark.pedantic(
+        fig9_bsp_long_query, rounds=1, iterations=1, kwargs={"starts": 1}
+    )
+    emit(table)
+    lat = dict(zip(table.column("engine"), table.column("latency (ms)")))
+    # Paper §V-B: "For longer queries, e.g., Friendster 4-hops, the BSP
+    # model performs best."
+    assert lat["bsp"] < lat["graphdance"]

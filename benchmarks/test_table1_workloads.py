@@ -1,0 +1,29 @@
+"""Table I — workload-class characteristics.
+
+Shape: transactional ≪ interactive complex ≪ offline analytics in both
+data accessed and latency; complex queries have the deepest plans.
+"""
+
+from repro.bench.experiments import table1_workload_characteristics
+
+
+def test_table1_workload_characteristics(benchmark, emit):
+    table = benchmark.pedantic(
+        table1_workload_characteristics, rounds=1, iterations=1
+    )
+    emit(table)
+    accessed = dict(zip(table.column("class"), table.column("accessed %")))
+    latency = dict(zip(table.column("class"), table.column("latency (ms)")))
+    ops = dict(zip(table.column("class"), table.column("plan ops")))
+
+    # Paper Table I: < 0.01% / 0.1–10% / ~100% accessed data ordering.
+    assert accessed["transactional"] < accessed["interactive complex"]
+    assert accessed["interactive complex"] < accessed["offline analytics"]
+    # Transactional reads touch well under 1% of the graph.
+    assert accessed["transactional"] < 0.5
+    # Latency ordering follows the same ranking.
+    assert latency["transactional"] < latency["interactive complex"]
+    assert latency["interactive complex"] < latency["offline analytics"]
+    # Complex queries have the most compute stages (3–10 in the paper).
+    assert ops["interactive complex"] >= 3
+    assert ops["interactive complex"] > ops["offline analytics"]

@@ -1,0 +1,27 @@
+"""Table II — dataset summaries.
+
+Shape: the generated stand-ins preserve the paper's relative dataset sizes
+(SF1000 ≈ 3× SF300; the FS-like graph is the largest by edges).
+"""
+
+from repro.bench.experiments import table2_datasets
+
+
+def test_table2_datasets(benchmark, emit):
+    table = benchmark.pedantic(table2_datasets, rounds=1, iterations=1)
+    emit(table)
+    rows = {row[0]: row for row in table.rows}
+    sf300 = rows["snb-sf300-sim"]
+    sf1000 = rows["snb-sf1000-sim"]
+    lj = rows["livejournal-like"]
+    fs = rows["friendster-like"]
+
+    # SF1000 : SF300 ≈ 3× in vertices and edges (paper: 3.02× / 3.08×).
+    assert 2.5 <= sf1000[1] / sf300[1] <= 3.7
+    assert 2.5 <= sf1000[2] / sf300[2] <= 3.7
+    # Friendster-like is the largest edge set, as in the paper.
+    assert fs[2] > lj[2]
+    assert fs[2] > sf300[2]
+    # Degree skew sanity: LJ-like average degree ≈ 8.7, FS-like denser.
+    assert 6 <= lj[2] / lj[1] <= 12
+    assert fs[2] / fs[1] > lj[2] / lj[1]

@@ -1,0 +1,21 @@
+"""Legacy setup shim.
+
+The execution environment has no network access and no ``wheel`` package,
+so PEP 517 editable installs (which shell out to ``bdist_wheel``) fail.
+This shim lets ``pip install -e . --no-use-pep517`` take the classic
+``setup.py develop`` path, which needs nothing beyond setuptools.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "GraphDance/PSTM reproduction: asynchronous distributed graph query "
+        "processing via partitioned stateful traversal machines (ICDE 2025)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

@@ -1,0 +1,75 @@
+"""GraphDance / PSTM reproduction.
+
+A complete implementation of "Scaling Asynchronous Graph Query Processing
+via Partitioned Stateful Traversal Machines" (ICDE 2025): the PSTM execution
+model (partition-aware stateful Gremlin traversal machines with weight-based
+termination detection), the GraphDance asynchronous distributed engine, the
+BSP / non-partitioned / dataflow / single-node baselines the paper evaluates
+against, an LDBC SNB substrate, and a discrete-event cluster simulation that
+makes all of the paper's experiments runnable on one machine.
+
+Quickstart::
+
+    from repro import GraphBuilder, Traversal, X, LocalExecutor
+
+    b = GraphBuilder("person")
+    b.vertex(0, "person", weight=5)
+    b.vertex(1, "person", weight=9)
+    b.edge(0, 1, "knows")
+    graph = b.build_partitioned(4)
+
+    query = (Traversal("friends")
+             .v_param("start")
+             .khop("knows", k=2)
+             .as_("v").select("v"))
+    rows = LocalExecutor(graph).run(query.compile(graph), {"start": 0})
+
+See README.md for the full tour and DESIGN.md for the system inventory.
+"""
+
+from repro.errors import ReproError
+from repro.graph import GraphBuilder, PartitionedGraph, PropertyGraph
+from repro.query import PhysicalPlan, Traversal, X
+from repro.runtime import (
+    AsyncPSTMEngine,
+    BSPEngine,
+    ClusterConfig,
+    EngineConfig,
+    LocalExecutor,
+    PAPER_CLUSTER,
+    QueryResult,
+    SMALL_CLUSTER,
+    make_banyan,
+    make_bsp,
+    make_gaia,
+    make_graphdance,
+    make_graphscope,
+    make_non_partitioned,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AsyncPSTMEngine",
+    "BSPEngine",
+    "ClusterConfig",
+    "EngineConfig",
+    "GraphBuilder",
+    "LocalExecutor",
+    "PAPER_CLUSTER",
+    "PartitionedGraph",
+    "PhysicalPlan",
+    "PropertyGraph",
+    "QueryResult",
+    "ReproError",
+    "SMALL_CLUSTER",
+    "Traversal",
+    "X",
+    "__version__",
+    "make_banyan",
+    "make_bsp",
+    "make_gaia",
+    "make_graphdance",
+    "make_graphscope",
+    "make_non_partitioned",
+]

@@ -1,0 +1,22 @@
+"""Offline graph analytics (paper §II-A, Table I's third workload class).
+
+Iterative whole-graph algorithms over the same partitioned storage the
+query engines use: PageRank, weakly connected components, and local
+clustering/triangle counting. These run superstep-style (one pass over
+every partition per iteration) — the dense-access, bandwidth-bound regime
+Table I contrasts with interactive complex queries.
+"""
+
+from repro.analytics.algorithms import (
+    AnalyticsResult,
+    connected_components,
+    pagerank,
+    triangle_count,
+)
+
+__all__ = [
+    "AnalyticsResult",
+    "connected_components",
+    "pagerank",
+    "triangle_count",
+]

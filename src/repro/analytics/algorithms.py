@@ -1,0 +1,142 @@
+"""Iterative whole-graph analytics over partitioned storage.
+
+Each algorithm walks every partition's local vertices per iteration —
+the "offline analytics" row of the paper's Table I (dense access, ~100% of
+the graph, minutes-level on real deployments). Implementations are exact
+and deterministic; they double as ground-truth oracles in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.graph.partition import PartitionedGraph
+from repro.graph.property_graph import IN, OUT
+
+
+@dataclass
+class AnalyticsResult:
+    """Values per vertex plus convergence metadata."""
+
+    values: Dict[int, float]
+    iterations: int
+    converged: bool
+    #: total vertex updates performed (the Table I "accessed data" measure)
+    updates: int = 0
+
+    def top(self, k: int) -> list:
+        """The k highest-valued vertices as (vertex, value) pairs."""
+        return sorted(self.values.items(), key=lambda kv: (-kv[1], kv[0]))[:k]
+
+
+def _all_vertices(graph: PartitionedGraph):
+    for store in graph.stores:
+        yield from store.local_vertices()
+
+
+def pagerank(
+    graph: PartitionedGraph,
+    damping: float = 0.85,
+    max_iterations: int = 50,
+    tolerance: float = 1e-6,
+    edge_label: Optional[str] = None,
+) -> AnalyticsResult:
+    """Classic power-iteration PageRank (paper ref [13]).
+
+    Dangling-vertex mass is redistributed uniformly each iteration, so the
+    ranks always sum to 1.
+    """
+    if not 0 < damping < 1:
+        raise ConfigurationError(f"damping must be in (0, 1): {damping}")
+    vertices = list(_all_vertices(graph))
+    n = len(vertices)
+    if n == 0:
+        return AnalyticsResult({}, 0, True)
+    rank = {v: 1.0 / n for v in vertices}
+    out_degree = {
+        v: graph.store_of(v).degree(v, OUT, edge_label) for v in vertices
+    }
+    updates = 0
+    for iteration in range(1, max_iterations + 1):
+        dangling = sum(rank[v] for v in vertices if out_degree[v] == 0)
+        incoming = {v: 0.0 for v in vertices}
+        for v in vertices:
+            if out_degree[v] == 0:
+                continue
+            share = rank[v] / out_degree[v]
+            for u in graph.store_of(v).neighbors(v, OUT, edge_label):
+                incoming[u] += share
+        base = (1.0 - damping) / n + damping * dangling / n
+        delta = 0.0
+        new_rank = {}
+        for v in vertices:
+            value = base + damping * incoming[v]
+            delta += abs(value - rank[v])
+            new_rank[v] = value
+            updates += 1
+        rank = new_rank
+        if delta < tolerance:
+            return AnalyticsResult(rank, iteration, True, updates)
+    return AnalyticsResult(rank, max_iterations, False, updates)
+
+
+def connected_components(
+    graph: PartitionedGraph,
+    edge_label: Optional[str] = None,
+    max_iterations: int = 1000,
+) -> AnalyticsResult:
+    """Weakly connected components by iterative label propagation.
+
+    Each vertex repeatedly adopts the minimum component id among itself and
+    its neighbors (both directions) until a fixpoint — the standard
+    BSP/Pregel formulation.
+    """
+    labels = {v: float(v) for v in _all_vertices(graph)}
+    updates = 0
+    for iteration in range(1, max_iterations + 1):
+        changed = 0
+        for v in list(labels):
+            store = graph.store_of(v)
+            best = labels[v]
+            for u in store.neighbors(v, OUT, edge_label):
+                if labels[u] < best:
+                    best = labels[u]
+            for u in store.neighbors(v, IN, edge_label):
+                if labels[u] < best:
+                    best = labels[u]
+            if best < labels[v]:
+                labels[v] = best
+                changed += 1
+                updates += 1
+        if changed == 0:
+            return AnalyticsResult(labels, iteration, True, updates)
+    return AnalyticsResult(labels, max_iterations, False, updates)
+
+
+def triangle_count(
+    graph: PartitionedGraph,
+    edge_label: Optional[str] = None,
+) -> int:
+    """Count undirected triangles (each counted once).
+
+    Edges are symmetrized, then each triangle {a < b < c} is found at its
+    smallest vertex via neighbor-set intersection.
+    """
+    neighbors: Dict[int, set] = {}
+    for v in _all_vertices(graph):
+        store = graph.store_of(v)
+        ns = set(store.neighbors(v, OUT, edge_label))
+        ns.update(store.neighbors(v, IN, edge_label))
+        ns.discard(v)
+        neighbors[v] = ns
+    total = 0
+    for a, ns in neighbors.items():
+        higher = [b for b in ns if b > a]
+        for i, b in enumerate(higher):
+            nb = neighbors[b]
+            for c in higher[i + 1:]:
+                if c in nb:
+                    total += 1
+    return total

@@ -1,0 +1,32 @@
+"""Benchmark harness: experiments reproducing every paper table/figure."""
+
+from repro.bench import experiments
+from repro.bench.harness import (
+    BENCH_CLUSTER,
+    build_engine,
+    khop_plan,
+    khop_starts,
+    khop_traversal,
+    powerlaw_partitioned,
+    powerlaw_raw,
+    run_khop_avg,
+    snb_dataset,
+    snb_graph,
+)
+from repro.bench.report import Table, render_all
+
+__all__ = [
+    "BENCH_CLUSTER",
+    "Table",
+    "build_engine",
+    "experiments",
+    "khop_plan",
+    "khop_starts",
+    "khop_traversal",
+    "powerlaw_partitioned",
+    "powerlaw_raw",
+    "render_all",
+    "run_khop_avg",
+    "snb_dataset",
+    "snb_graph",
+]

@@ -1,0 +1,99 @@
+"""Paper-style text tables for benchmark output (EXPERIMENTS.md source)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence
+
+
+@dataclass
+class Table:
+    """A rendered experiment: title, column headers, and value rows."""
+
+    title: str
+    headers: List[str]
+    rows: List[List[Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, *values: Any) -> None:
+        """Append one row (arity-checked against the headers)."""
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} values, table has {len(self.headers)} columns"
+            )
+        self.rows.append(list(values))
+
+    def note(self, text: str) -> None:
+        """Attach a footnote rendered under the table."""
+        self.notes.append(text)
+
+    def column(self, header: str) -> List[Any]:
+        """All values of the named column, in row order."""
+        idx = self.headers.index(header)
+        return [row[idx] for row in self.rows]
+
+    def render(self) -> str:
+        """Render the table as aligned ASCII text."""
+        cells = [[_fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(self.headers[i]), *(len(r[i]) for r in cells)) if cells
+            else len(self.headers[i])
+            for i in range(len(self.headers))
+        ]
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [f"== {self.title} =="]
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append(sep)
+        for row in cells:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"  * {note}")
+        return "\n".join(lines)
+
+    def render_bars(self, value_column: str, width: int = 40) -> str:
+        """Render one numeric column as a horizontal ASCII bar chart.
+
+        Rows are labelled by their remaining columns — the quick-look view
+        the CLI prints alongside the table (the paper's figures are bar
+        charts).
+        """
+        idx = self.headers.index(value_column)
+        values = []
+        for row in self.rows:
+            try:
+                values.append(float(row[idx]))
+            except (TypeError, ValueError):
+                values.append(float("nan"))
+        finite = [v for v in values if v == v]
+        top = max(finite) if finite else 1.0
+        labels = [
+            " ".join(_fmt(v) for i, v in enumerate(row) if i != idx)
+            for row in self.rows
+        ]
+        label_w = max((len(l) for l in labels), default=0)
+        lines = [f"== {self.title} — {value_column} =="]
+        for label, value in zip(labels, values):
+            if value != value:  # NaN
+                bar, shown = "", "n/a"
+            else:
+                bar = "#" * max(1, round(width * value / top)) if top > 0 else ""
+                shown = _fmt(value)
+            lines.append(f"  {label.ljust(label_w)} | {bar} {shown}")
+        return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def render_all(tables: Sequence[Table]) -> str:
+    """Render several tables separated by blank lines."""
+    return "\n\n".join(t.render() for t in tables)

@@ -1,0 +1,189 @@
+"""Command-line interface: run paper experiments and demos.
+
+Usage::
+
+    python -m repro list                 # available experiments
+    python -m repro run fig10            # one experiment, table to stdout
+    python -m repro run table2 fig12     # several experiments
+    python -m repro demo                 # the Fig 1 quickstart query
+    python -m repro explain khop3        # show a compiled plan
+
+Experiment names map to the functions in :mod:`repro.bench.experiments`;
+heavyweight experiments accept their default (benchmark-suite) parameters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+from repro.bench import experiments as exp
+from repro.bench.report import Table
+
+#: name → (function, description). Functions take no arguments and return
+#: a Table (bound with the benchmark-suite defaults).
+EXPERIMENTS: Dict[str, tuple] = {
+    "table1": (exp.table1_workload_characteristics,
+               "Table I: workload-class characteristics"),
+    "table2": (exp.table2_datasets, "Table II: dataset summaries"),
+    "fig7": (exp.fig7_mixed_workload,
+             "Fig 7: mixed LDBC workload, TCR sweep (slow)"),
+    "fig8-latency": (exp.fig8_ic_latency, "Fig 8: per-IC latency (slow)"),
+    "fig8-throughput": (exp.fig8_ic_throughput,
+                        "Fig 8: IC throughput under concurrency (slow)"),
+    "fig8-graphscope": (exp.fig8_graphscope_comparison,
+                        "§V-A3: single-node comparison"),
+    "fig9-vertical": (exp.fig9_vertical, "Fig 9: vertical scalability (slow)"),
+    "fig9-horizontal": (exp.fig9_horizontal,
+                        "Fig 9: horizontal scalability (slow)"),
+    "fig9-longest": (exp.fig9_bsp_long_query,
+                     "Fig 9: BSP wins the longest query (slow)"),
+    "fig10": (exp.fig10_weight_coalescing, "Fig 10: weight coalescing"),
+    "fig11": (exp.fig11_message_counts, "Fig 11: progress message counts"),
+    "fig12": (exp.fig12_io_scheduler, "Fig 12: two-tier I/O scheduler"),
+    "fig13": (exp.fig13_hardware, "Fig 13: hardware sensitivity"),
+}
+
+
+def _register_ablations() -> None:
+    """Ablation experiments live next to their benchmarks; import lazily so
+    `python -m repro list` stays fast."""
+    from benchmarks import test_ablation_design as design
+    from benchmarks import test_ablation_straggler as straggler
+
+    EXPERIMENTS.update({
+        "ablation-flush": (design.run_flush_threshold_sweep,
+                           "ablation: tier-1 flush threshold sweep"),
+        "ablation-batch": (design.run_batch_size_sweep,
+                           "ablation: worker batch size sweep"),
+        "ablation-hybrid": (design.run_hybrid_comparison,
+                            "ablation: hybrid sync/async switching (slow)"),
+        "ablation-idle": (straggler.run_bsp_idle_fraction,
+                          "ablation: BSP barrier-idle fraction (slow)"),
+        "ablation-straggler": (straggler.run_straggler_experiment,
+                               "ablation: hardware straggler injection"),
+    })
+
+
+try:  # the benchmarks package is present in source checkouts
+    _register_ablations()
+except ImportError:  # pragma: no cover - installed without benchmarks/
+    pass
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    """List the available experiments."""
+    width = max(len(name) for name in EXPERIMENTS)
+    for name, (_fn, description) in EXPERIMENTS.items():
+        print(f"  {name:<{width}}  {description}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Run the named experiments and print their tables."""
+    unknown = [n for n in args.experiments if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print("use `python -m repro list`", file=sys.stderr)
+        return 2
+    for name in args.experiments:
+        fn, _description = EXPERIMENTS[name]
+        table: Table = fn()
+        print(table.render())
+        if getattr(args, "bars", False):
+            column = _first_numeric_column(table)
+            if column is not None:
+                print()
+                print(table.render_bars(column))
+        print()
+    return 0
+
+
+def _first_numeric_column(table: Table) -> str:
+    """The first column whose values are all numeric (for --bars)."""
+    for i, header in enumerate(table.headers):
+        values = [row[i] for row in table.rows]
+        if values and all(isinstance(v, (int, float)) for v in values):
+            if any(isinstance(v, float) for v in values):
+                return header
+    return None
+
+
+def cmd_demo(_args: argparse.Namespace) -> int:
+    """Run the Fig 1 quickstart query on a generated graph."""
+    from repro.bench.harness import khop_traversal
+    from repro.datasets.synthetic import LIVEJOURNAL_LIKE, powerlaw_graph
+    from repro.runtime.cluster import ClusterConfig
+    from repro.runtime.variants import make_graphdance
+
+    print("generating LiveJournal-like graph...")
+    graph = powerlaw_graph(LIVEJOURNAL_LIKE, seed=13)
+    cluster = ClusterConfig(nodes=4, workers_per_node=4)
+    engine = make_graphdance(cluster.partition(graph), cluster)
+    plan = khop_traversal(3).compile(engine.graph)
+    result = engine.run(plan, {"start": 4242})
+    print(f"3-hop top-10 influencers of vertex 4242 "
+          f"({result.latency_ms:.3f} ms simulated):")
+    for vertex, weight in result.rows:
+        print(f"  vertex {vertex:6d}  weight {weight}")
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Print the compiled physical plan of a query."""
+    from repro.bench.harness import khop_traversal
+    from repro.datasets.synthetic import PowerLawConfig, powerlaw_graph
+    from repro.graph.partition import PartitionedGraph
+
+    name = args.query
+    if not name.startswith("khop"):
+        print("explain currently supports khop<k> queries (e.g. khop3)",
+              file=sys.stderr)
+        return 2
+    try:
+        k = int(name[len("khop"):])
+    except ValueError:
+        print(f"bad k in {name!r}", file=sys.stderr)
+        return 2
+    graph = powerlaw_graph(PowerLawConfig("demo", 100, 4.0), seed=1)
+    pg = PartitionedGraph.from_graph(graph, 4)
+    plan = khop_traversal(k).compile(pg)
+    print(plan.describe())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command-line parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GraphDance/PSTM reproduction: run paper experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments").set_defaults(
+        fn=cmd_list
+    )
+    run = sub.add_parser("run", help="run experiments and print tables")
+    run.add_argument("experiments", nargs="+", metavar="NAME")
+    run.add_argument("--bars", action="store_true",
+                     help="also print an ASCII bar chart of the first "
+                          "numeric column")
+    run.set_defaults(fn=cmd_run)
+    sub.add_parser("demo", help="run the Fig 1 quickstart query").set_defaults(
+        fn=cmd_demo
+    )
+    explain = sub.add_parser("explain", help="print a compiled plan")
+    explain.add_argument("query", metavar="QUERY", help="e.g. khop3")
+    explain.set_defaults(fn=cmd_explain)
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,127 @@
+"""Stage (subquery) lifecycle shared by all engines (paper §III-C, Fig 6).
+
+A plan is a pipeline of *stages*, each terminated by an aggregation barrier
+and progress-tracked independently. When a stage's weight ledger completes,
+the engine:
+
+1. gathers the barrier's partition-local partials from the memos
+   (:func:`gather_partials` — one gather message per non-empty partition),
+2. merges them with the barrier's ``combine``,
+3. either finalizes the query (last stage) or ``reseed``s the next stage
+   with a fresh root weight.
+
+:class:`StageCursor` tracks which stage a query session is in and exposes
+the seed traversers for the next stage; it contains no I/O so every engine
+(async, BSP, variants) reuses it unchanged.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.core.memo import MemoStore
+from repro.core.steps import AggregateOp
+from repro.core.traverser import Traverser
+from repro.core.weight import ROOT_WEIGHT, split_weight
+from repro.errors import ExecutionError
+from repro.query.plan import PhysicalPlan
+
+
+@dataclass
+class GatheredPartial:
+    """One partition's contribution to a stage barrier."""
+
+    pid: int
+    value: Any
+    size_bytes: int
+
+
+def gather_partials(
+    plan: PhysicalPlan,
+    stage_index: int,
+    query_id: int,
+    memo_stores: Sequence[MemoStore],
+) -> List[GatheredPartial]:
+    """Collect the barrier's partials from every partition's memo.
+
+    Partitions that never absorbed a traverser contribute nothing (and cost
+    no gather message).
+    """
+    barrier = plan.barrier_of(stage_index)
+    gathered: List[GatheredPartial] = []
+    for store in memo_stores:
+        memo = store.peek(query_id)
+        if memo is None:
+            continue
+        value = barrier.partial(memo)
+        if value is None:
+            continue
+        gathered.append(
+            GatheredPartial(store.pid, value, barrier.estimated_partial_size(value))
+        )
+    return gathered
+
+
+class StageCursor:
+    """Per-query stage progression state."""
+
+    def __init__(self, plan: PhysicalPlan, query_id: int) -> None:
+        self.plan = plan
+        self.query_id = query_id
+        self.current = 0
+        self.results: Optional[List[Any]] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.results is not None
+
+    def barrier(self) -> AggregateOp:
+        """The aggregation barrier of the current stage."""
+        return self.plan.barrier_of(self.current)
+
+    def complete_stage(
+        self,
+        partials: List[GatheredPartial],
+        rng: random.Random,
+    ) -> List[Traverser]:
+        """Combine partials; finalize or produce next-stage seed traversers.
+
+        Returns the seeds for the next stage ([] when the query is done, in
+        which case :attr:`results` holds the final rows).
+        """
+        if self.finished:
+            raise ExecutionError(f"query {self.query_id} already finished")
+        barrier = self.barrier()
+        combined = barrier.combine([p.value for p in partials])
+        if self.plan.is_final_stage(self.current):
+            self.results = barrier.finalize(combined)
+            return []
+        seeds = barrier.reseed(combined)
+        self.current += 1
+        entry_idx = self.plan.stage(self.current).entry_idx
+        if not seeds:
+            # An empty reseed means the next stage terminates immediately
+            # with no input; represent it as zero traversers — the caller
+            # must then complete the stage with no partials.
+            return []
+        weights = split_weight(ROOT_WEIGHT, len(seeds), rng)
+        traversers = []
+        for (vertex, payload), weight in zip(seeds, weights):
+            width = self.plan.payload_width
+            if len(payload) < width:
+                payload = payload + (None,) * (width - len(payload))
+            elif len(payload) > width:
+                payload = payload[:width]
+            traversers.append(
+                Traverser(
+                    query_id=self.query_id,
+                    vertex=vertex,
+                    op_idx=entry_idx,
+                    payload=payload,
+                    weight=weight,
+                    stage=self.current,
+                )
+            )
+        return traversers

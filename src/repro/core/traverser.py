@@ -1,0 +1,130 @@
+"""Traversers: the unit of work of the PSTM (paper §III-B).
+
+A PSTM traverser is the 4-tuple ``(v, ψ, π, w)``:
+
+* ``v`` — the current vertex (:attr:`Traverser.vertex`);
+* ``ψ`` — the current step, here an index into the physical plan's operator
+  list (:attr:`Traverser.op_idx`);
+* ``π`` — local variables, here a fixed-width tuple of *payload slots*
+  assigned by the compiler (:attr:`Traverser.payload`);
+* ``w`` — the progression weight, a 64-bit group element
+  (:attr:`Traverser.weight`, see :mod:`repro.core.weight`).
+
+Traversers also carry the id of the query that owns them, the plan *stage*
+they belong to (each aggregation subquery is a stage with its own weight
+ledger), and a loop counter used by repeat-style steps.
+
+Implementation note: engines create millions of traversers per benchmark
+run, so this is a hand-rolled ``__slots__`` class rather than a dataclass —
+construction cost dominates the simulation's hot path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+
+class Traverser:
+    """An immutable-by-convention traverser; steps derive new ones."""
+
+    __slots__ = ("query_id", "vertex", "op_idx", "payload", "weight", "stage", "loops")
+
+    def __init__(
+        self,
+        query_id: int,
+        vertex: int,
+        op_idx: int,
+        payload: Tuple[Any, ...],
+        weight: int,
+        stage: int = 0,
+        loops: int = 0,
+    ) -> None:
+        self.query_id = query_id
+        self.vertex = vertex
+        self.op_idx = op_idx
+        self.payload = payload
+        self.weight = weight
+        self.stage = stage
+        self.loops = loops
+
+    def evolve(self, **changes: Any) -> "Traverser":
+        """A copy with the given fields replaced."""
+        return Traverser(
+            changes.get("query_id", self.query_id),
+            changes.get("vertex", self.vertex),
+            changes.get("op_idx", self.op_idx),
+            changes.get("payload", self.payload),
+            changes.get("weight", self.weight),
+            changes.get("stage", self.stage),
+            changes.get("loops", self.loops),
+        )
+
+    def with_slot(self, slot: int, value: Any) -> Tuple[Any, ...]:
+        """The payload tuple with one slot replaced (helper for steps)."""
+        payload = self.payload
+        return payload[:slot] + (value,) + payload[slot + 1 :]
+
+    def estimated_size_bytes(self) -> int:
+        """Wire-size estimate used by the simulated network.
+
+        Covers the fixed header (query id, vertex, op index, weight, stage,
+        loops ≈ 40 bytes) plus a per-slot estimate of the payload.
+        """
+        size = 40
+        for value in self.payload:
+            size += _slot_size(value)
+        return size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Traverser(q={self.query_id}, v={self.vertex}, op={self.op_idx}, "
+            f"stage={self.stage}, w={self.weight})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Traverser):
+            return NotImplemented
+        return (
+            self.query_id == other.query_id
+            and self.vertex == other.vertex
+            and self.op_idx == other.op_idx
+            and self.payload == other.payload
+            and self.weight == other.weight
+            and self.stage == other.stage
+            and self.loops == other.loops
+        )
+
+
+def _slot_size(value: Any) -> int:
+    if value is None:
+        return 1
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return 8
+    if isinstance(value, float):
+        return 8
+    if isinstance(value, str):
+        return len(value)
+    if isinstance(value, tuple):
+        return sum(_slot_size(v) for v in value)
+    return 16
+
+
+def make_root(
+    query_id: int,
+    vertex: int,
+    op_idx: int,
+    payload_width: int,
+    weight: int,
+    stage: int = 0,
+) -> Traverser:
+    """Construct a stage-root traverser with an all-``None`` payload."""
+    return Traverser(
+        query_id=query_id,
+        vertex=vertex,
+        op_idx=op_idx,
+        payload=(None,) * payload_width,
+        weight=weight,
+        stage=stage,
+    )

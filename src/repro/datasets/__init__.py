@@ -1,0 +1,21 @@
+"""Synthetic dataset generators."""
+
+from repro.datasets.synthetic import (
+    FRIENDSTER_LIKE,
+    LIVEJOURNAL_LIKE,
+    PowerLawConfig,
+    degree_histogram,
+    powerlaw_graph,
+    rmat_graph,
+    uniform_random_graph,
+)
+
+__all__ = [
+    "FRIENDSTER_LIKE",
+    "LIVEJOURNAL_LIKE",
+    "PowerLawConfig",
+    "degree_histogram",
+    "powerlaw_graph",
+    "rmat_graph",
+    "uniform_random_graph",
+]

@@ -1,0 +1,93 @@
+"""Exception hierarchy for the repro package.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class. Subclasses are grouped by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphError(ReproError):
+    """Errors in graph construction or access."""
+
+
+class VertexNotFoundError(GraphError):
+    """A vertex id was not present in the graph."""
+
+    def __init__(self, vertex_id: object) -> None:
+        super().__init__(f"vertex not found: {vertex_id!r}")
+        self.vertex_id = vertex_id
+
+
+class EdgeNotFoundError(GraphError):
+    """An edge id was not present in the graph."""
+
+    def __init__(self, edge_id: object) -> None:
+        super().__init__(f"edge not found: {edge_id!r}")
+        self.edge_id = edge_id
+
+
+class PropertyNotFoundError(GraphError):
+    """A requested property key is absent on a vertex or edge."""
+
+
+class PartitionError(GraphError):
+    """Errors in graph partitioning or cross-partition routing."""
+
+
+class QueryError(ReproError):
+    """Errors in query construction, compilation, or planning."""
+
+
+class CompilationError(QueryError):
+    """The logical traversal could not be compiled to a physical plan."""
+
+
+class PlanningError(QueryError):
+    """The cost-based planner could not produce a plan."""
+
+
+class ExecutionError(ReproError):
+    """Errors raised while executing a query."""
+
+
+class QueryTimeoutError(ExecutionError):
+    """A query exceeded its (simulated) time limit."""
+
+    def __init__(self, query_id: object, limit_ms: float) -> None:
+        super().__init__(f"query {query_id!r} exceeded time limit of {limit_ms} ms")
+        self.query_id = query_id
+        self.limit_ms = limit_ms
+
+
+class TerminationError(ExecutionError):
+    """Progress tracking reached an inconsistent state."""
+
+
+class MemoError(ExecutionError):
+    """Invalid memo access (e.g. cross-query or cross-partition access)."""
+
+
+class TransactionError(ReproError):
+    """Errors in transactional processing."""
+
+
+class TransactionAborted(TransactionError):
+    """The transaction was aborted (deadlock, conflict, or explicit abort)."""
+
+    def __init__(self, txn_id: object, reason: str) -> None:
+        super().__init__(f"transaction {txn_id!r} aborted: {reason}")
+        self.txn_id = txn_id
+        self.reason = reason
+
+
+class SimulationError(ReproError):
+    """Errors in the discrete-event simulation runtime."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid cluster, hardware, or engine configuration."""

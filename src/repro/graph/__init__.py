@@ -1,0 +1,23 @@
+"""Graph substrate: property graphs, CSR indexes, TEL, partitioning."""
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.csr import CSRIndex
+from repro.graph.partition import HashPartitioner, PartitionedGraph, PartitionStore
+from repro.graph.property_graph import BOTH, IN, OUT, Edge, PropertyGraph
+from repro.graph.tel import EdgeLog, EdgeVersion, TELStore
+
+__all__ = [
+    "BOTH",
+    "CSRIndex",
+    "Edge",
+    "EdgeLog",
+    "EdgeVersion",
+    "GraphBuilder",
+    "HashPartitioner",
+    "IN",
+    "OUT",
+    "PartitionStore",
+    "PartitionedGraph",
+    "PropertyGraph",
+    "TELStore",
+]

@@ -1,0 +1,95 @@
+"""Compressed sparse row (CSR) adjacency index.
+
+Per-partition workers scan adjacency lists millions of times per query; the
+generic dict-of-lists layout of :class:`repro.graph.property_graph.PropertyGraph`
+is convenient for construction but slow and memory-hungry for scans. Each
+partition therefore builds one :class:`CSRIndex` per (direction, edge label)
+over its local vertices.
+
+Vertex ids inside a CSR index are *local dense indexes*; the owning partition
+store keeps the global↔local mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+class CSRIndex:
+    """Immutable CSR adjacency over densely numbered source vertices.
+
+    Stores, for each local source index ``i``, a slice of
+    ``(target_global_id, edge_id)`` pairs in two parallel flat arrays.
+    """
+
+    __slots__ = ("_offsets", "_targets", "_edge_ids")
+
+    def __init__(
+        self,
+        offsets: Sequence[int],
+        targets: Sequence[int],
+        edge_ids: Sequence[int],
+    ) -> None:
+        if len(targets) != len(edge_ids):
+            raise ValueError("targets and edge_ids must be parallel arrays")
+        if not offsets or offsets[0] != 0 or offsets[-1] != len(targets):
+            raise ValueError("malformed CSR offsets")
+        self._offsets = list(offsets)
+        self._targets = list(targets)
+        self._edge_ids = list(edge_ids)
+
+    @classmethod
+    def from_adjacency(
+        cls, num_sources: int, adjacency: Dict[int, List[Tuple[int, int]]]
+    ) -> "CSRIndex":
+        """Build from ``{local_src: [(target_gid, eid), ...]}``.
+
+        Sources absent from ``adjacency`` get empty slices.
+        """
+        offsets = [0] * (num_sources + 1)
+        for src, pairs in adjacency.items():
+            if not 0 <= src < num_sources:
+                raise ValueError(f"local source index out of range: {src}")
+            offsets[src + 1] = len(pairs)
+        for i in range(num_sources):
+            offsets[i + 1] += offsets[i]
+        targets = [0] * offsets[-1]
+        edge_ids = [0] * offsets[-1]
+        for src, pairs in adjacency.items():
+            base = offsets[src]
+            for k, (tgt, eid) in enumerate(pairs):
+                targets[base + k] = tgt
+                edge_ids[base + k] = eid
+        return cls(offsets, targets, edge_ids)
+
+    @property
+    def num_sources(self) -> int:
+        return len(self._offsets) - 1
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._targets)
+
+    def degree(self, local_src: int) -> int:
+        """Number of edges of a local source index."""
+        return self._offsets[local_src + 1] - self._offsets[local_src]
+
+    def neighbors(self, local_src: int) -> List[int]:
+        """Target global vertex ids of ``local_src``'s edges."""
+        lo = self._offsets[local_src]
+        hi = self._offsets[local_src + 1]
+        return self._targets[lo:hi]
+
+    def edges(self, local_src: int) -> List[Tuple[int, int]]:
+        """``(target_gid, edge_id)`` pairs of ``local_src``'s edges."""
+        lo = self._offsets[local_src]
+        hi = self._offsets[local_src + 1]
+        return list(zip(self._targets[lo:hi], self._edge_ids[lo:hi]))
+
+    def iter_all(self) -> Iterable[Tuple[int, int, int]]:
+        """Yield ``(local_src, target_gid, edge_id)`` for every edge."""
+        for src in range(self.num_sources):
+            lo = self._offsets[src]
+            hi = self._offsets[src + 1]
+            for k in range(lo, hi):
+                yield src, self._targets[k], self._edge_ids[k]

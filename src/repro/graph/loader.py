@@ -1,0 +1,109 @@
+"""Load and save property graphs as edge lists or JSONL snapshots.
+
+Two formats are supported:
+
+* **edge list** — one ``src dst`` (or ``src<TAB>dst``) pair per line, ``#``
+  comments allowed; the SNAP distribution format of the paper's LiveJournal
+  and Friendster datasets. All vertices get the same label and no properties.
+* **JSONL snapshot** — one JSON object per line, ``{"t": "v", ...}`` for
+  vertices and ``{"t": "e", ...}`` for edges, preserving labels and
+  properties. Round-trips a full property graph.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator, Tuple, Union
+
+from repro.errors import GraphError
+from repro.graph.builder import GraphBuilder
+from repro.graph.property_graph import PropertyGraph
+
+PathLike = Union[str, Path]
+
+
+def parse_edge_list(lines: Iterable[str]) -> Iterator[Tuple[int, int]]:
+    """Yield ``(src, dst)`` pairs from SNAP-style edge-list lines."""
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) < 2:
+            raise GraphError(f"malformed edge list line {lineno}: {raw!r}")
+        try:
+            yield int(parts[0]), int(parts[1])
+        except ValueError as exc:
+            raise GraphError(f"non-integer vertex id at line {lineno}: {raw!r}") from exc
+
+
+def load_edge_list(
+    path: PathLike,
+    vertex_label: str = "vertex",
+    edge_label: str = "edge",
+) -> PropertyGraph:
+    """Load a SNAP-style edge list file into a property graph."""
+    builder = GraphBuilder(default_vertex_label=vertex_label)
+    with open(path, "r", encoding="utf-8") as f:
+        builder.edges(parse_edge_list(f), label=edge_label)
+    return builder.build()
+
+
+def save_edge_list(graph: PropertyGraph, path: PathLike) -> None:
+    """Write the graph's edges as a SNAP-style edge list (labels dropped)."""
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(f"# vertices: {graph.vertex_count} edges: {graph.edge_count}\n")
+        for edge in graph.edges():
+            f.write(f"{edge.src}\t{edge.dst}\n")
+
+
+def save_jsonl(graph: PropertyGraph, path: PathLike) -> None:
+    """Write a full JSONL snapshot preserving labels and properties."""
+    with open(path, "w", encoding="utf-8") as f:
+        for vid in graph.vertices():
+            record = {
+                "t": "v",
+                "id": vid,
+                "label": graph.vertex_label(vid),
+                "props": graph.vertex_properties(vid),
+            }
+            f.write(json.dumps(record, separators=(",", ":")) + "\n")
+        for edge in graph.edges():
+            record = {
+                "t": "e",
+                "id": edge.eid,
+                "src": edge.src,
+                "dst": edge.dst,
+                "label": edge.label,
+                "props": edge.properties,
+            }
+            f.write(json.dumps(record, separators=(",", ":")) + "\n")
+
+
+def load_jsonl(path: PathLike) -> PropertyGraph:
+    """Load a JSONL snapshot written by :func:`save_jsonl`."""
+    graph = PropertyGraph()
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise GraphError(f"bad JSONL at line {lineno}") from exc
+            kind = record.get("t")
+            if kind == "v":
+                graph.add_vertex(record["id"], record["label"], **record["props"])
+            elif kind == "e":
+                graph.add_edge(
+                    record["src"],
+                    record["dst"],
+                    record["label"],
+                    eid=record["id"],
+                    **record["props"],
+                )
+            else:
+                raise GraphError(f"unknown record type {kind!r} at line {lineno}")
+    return graph

@@ -1,0 +1,373 @@
+"""Graph partitioning: the hash function ``H`` and per-partition stores.
+
+The paper (§II-C) divides the vertex set across partitions with a hash
+function ``H: V → PartId``; each partition is owned by exactly one
+single-threaded worker (shared-nothing, §IV). A partition stores:
+
+* its local vertices with labels and properties,
+* CSR adjacency per (direction, edge label) — *all* edges incident to a
+  local vertex in that direction, so a worker can expand from any vertex it
+  owns without remote lookups,
+* optional (label, property) → vertices lookup indexes used by the
+  ``IndexLookup`` step.
+
+Cut edges appear in the out-CSR of the source's partition and the in-CSR of
+the destination's partition; traversers, not edges, cross partitions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Tuple
+
+from repro.errors import PartitionError, VertexNotFoundError
+from repro.graph.csr import CSRIndex
+from repro.graph.property_graph import BOTH, IN, OUT, Edge, PropertyGraph
+
+
+def mix64(x: int) -> int:
+    """SplitMix64 finalizer — a deterministic 64-bit integer hash.
+
+    Python's builtin ``hash`` of small ints is the identity, which makes
+    partition assignment depend on raw id patterns; mixing decorrelates it.
+    """
+    x = (x + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return x ^ (x >> 31)
+
+
+class HashPartitioner:
+    """The partition function ``H: V → {0, ..., n_parts - 1}``.
+
+    Assignments are memoized: routing consults ``H`` several times per
+    traverser, and a dict hit is ~5× cheaper than re-mixing.
+    """
+
+    def __init__(self, num_partitions: int) -> None:
+        if num_partitions < 1:
+            raise PartitionError(f"need at least 1 partition, got {num_partitions}")
+        self._n = num_partitions
+        self._cache: Dict[int, int] = {}
+
+    @property
+    def num_partitions(self) -> int:
+        return self._n
+
+    def __call__(self, vid: int) -> int:
+        pid = self._cache.get(vid)
+        if pid is None:
+            pid = mix64(vid) % self._n
+            self._cache[vid] = pid
+        return pid
+
+    def key_partition(self, key: Hashable) -> int:
+        """Partition for an arbitrary hashable key (used by partitionable
+        steps whose routing key is not a vertex, e.g. join keys)."""
+        if isinstance(key, int):
+            return mix64(key) % self._n
+        return mix64(hash(key) & 0xFFFFFFFFFFFFFFFF) % self._n
+
+
+class PartitionStore:
+    """Read-optimized storage for one graph partition."""
+
+    def __init__(
+        self,
+        pid: int,
+        local_vertices: List[int],
+        vertex_labels: Dict[int, str],
+        vertex_props: Dict[int, Dict[str, Any]],
+    ) -> None:
+        self.pid = pid
+        self._local_vertices = local_vertices
+        self._local_index = {vid: i for i, vid in enumerate(local_vertices)}
+        self._vertex_labels = vertex_labels
+        self._vertex_props = vertex_props
+        # (direction, edge_label) -> CSRIndex over local source indexes
+        self._csr: Dict[Tuple[str, str], CSRIndex] = {}
+        # edge id -> Edge (only edges whose source OR dest is local)
+        self._edge_records: Dict[int, Edge] = {}
+        # (vertex_label, prop_key) -> {value: [vids]}
+        self._prop_index: Dict[Tuple[str, str], Dict[Any, List[int]]] = {}
+        # vertex_label -> [local vids]
+        self._label_index: Dict[str, List[int]] = {}
+        for vid in local_vertices:
+            self._label_index.setdefault(vertex_labels[vid], []).append(vid)
+
+    # -- construction ---------------------------------------------------
+
+    def set_csr(self, direction: str, label: str, csr: CSRIndex) -> None:
+        """Attach the CSR index for one (direction, label)."""
+        self._csr[(direction, label)] = csr
+
+    def add_edge_record(self, edge: Edge) -> None:
+        """Register an edge record touching this partition."""
+        self._edge_records[edge.eid] = edge
+
+    def build_property_index(self, vertex_label: str, key: str) -> None:
+        """Build a (label, key) → vertices exact-match index."""
+        index: Dict[Any, List[int]] = {}
+        for vid in self._label_index.get(vertex_label, ()):
+            value = self._vertex_props[vid].get(key)
+            if value is not None:
+                index.setdefault(value, []).append(vid)
+        self._prop_index[(vertex_label, key)] = index
+
+    # -- ownership ------------------------------------------------------
+
+    @property
+    def vertex_count(self) -> int:
+        return len(self._local_vertices)
+
+    def owns(self, vid: int) -> bool:
+        """True when this partition owns the vertex."""
+        return vid in self._local_index
+
+    def local_vertices(self, label: Optional[str] = None) -> List[int]:
+        """Owned vertex ids (optionally one label)."""
+        if label is None:
+            return self._local_vertices
+        return self._label_index.get(label, [])
+
+    def edge_labels(self) -> Iterable[str]:
+        """Edge labels with adjacency in this partition."""
+        return {label for (_d, label) in self._csr}
+
+    # -- vertex data ----------------------------------------------------
+
+    def vertex_label(self, vid: int) -> str:
+        """The label of an owned vertex."""
+        self._require_local(vid)
+        return self._vertex_labels[vid]
+
+    def vertex_properties(self, vid: int) -> Dict[str, Any]:
+        """The property dict of an owned vertex."""
+        self._require_local(vid)
+        return self._vertex_props[vid]
+
+    def get_vertex_property(self, vid: int, key: str, default: Any = None) -> Any:
+        """One property of an owned vertex (or ``default``)."""
+        self._require_local(vid)
+        return self._vertex_props[vid].get(key, default)
+
+    # -- adjacency ------------------------------------------------------
+
+    def neighbors(
+        self, vid: int, direction: str, label: Optional[str] = None
+    ) -> List[int]:
+        """Neighbor global ids of a *local* vertex."""
+        if direction == BOTH:
+            return self.neighbors(vid, OUT, label) + self.neighbors(vid, IN, label)
+        local = self._local_of(vid)
+        if label is not None:
+            csr = self._csr.get((direction, label))
+            return csr.neighbors(local) if csr is not None else []
+        result: List[int] = []
+        for (d, _l), csr in self._csr.items():
+            if d == direction:
+                result.extend(csr.neighbors(local))
+        return result
+
+    def edges(
+        self, vid: int, direction: str, label: Optional[str] = None
+    ) -> List[Tuple[int, int]]:
+        """``(neighbor_gid, eid)`` pairs of a local vertex's edges."""
+        if direction == BOTH:
+            return self.edges(vid, OUT, label) + self.edges(vid, IN, label)
+        local = self._local_of(vid)
+        if label is not None:
+            csr = self._csr.get((direction, label))
+            return csr.edges(local) if csr is not None else []
+        result: List[Tuple[int, int]] = []
+        for (d, _l), csr in self._csr.items():
+            if d == direction:
+                result.extend(csr.edges(local))
+        return result
+
+    def degree(self, vid: int, direction: str, label: Optional[str] = None) -> int:
+        """Degree of an owned vertex in one direction."""
+        if direction == BOTH:
+            return self.degree(vid, OUT, label) + self.degree(vid, IN, label)
+        local = self._local_of(vid)
+        if label is not None:
+            csr = self._csr.get((direction, label))
+            return csr.degree(local) if csr is not None else 0
+        return sum(
+            csr.degree(local) for (d, _l), csr in self._csr.items() if d == direction
+        )
+
+    def edge_record(self, eid: int) -> Optional[Edge]:
+        """The Edge record by id, if this partition holds it."""
+        return self._edge_records.get(eid)
+
+    # -- index lookup ---------------------------------------------------
+
+    def index_lookup(self, vertex_label: str, key: str, value: Any) -> List[int]:
+        """Exact-match lookup; requires :meth:`build_property_index` first."""
+        index = self._prop_index.get((vertex_label, key))
+        if index is None:
+            raise PartitionError(
+                f"no index on ({vertex_label!r}, {key!r}) in partition {self.pid}"
+            )
+        return index.get(value, [])
+
+    def has_property_index(self, vertex_label: str, key: str) -> bool:
+        """True when the (label, key) index was built."""
+        return (vertex_label, key) in self._prop_index
+
+    # -- internal -------------------------------------------------------
+
+    def _local_of(self, vid: int) -> int:
+        try:
+            return self._local_index[vid]
+        except KeyError:
+            raise PartitionError(
+                f"vertex {vid} is not owned by partition {self.pid}"
+            ) from None
+
+    def _require_local(self, vid: int) -> None:
+        if vid not in self._local_index:
+            if vid not in self._vertex_labels:
+                raise VertexNotFoundError(vid)
+            raise PartitionError(f"vertex {vid} is not owned by partition {self.pid}")
+
+
+class PartitionedGraph:
+    """A property graph sharded into :class:`PartitionStore` shards.
+
+    This is the ``(V, E, λ, H)`` part of the paper's partitioned stateful
+    graph model; the memoranda ``M`` live in the runtime
+    (:mod:`repro.core.memo`) because their lifetime is query-scoped.
+    """
+
+    def __init__(
+        self,
+        partitioner: HashPartitioner,
+        stores: List[PartitionStore],
+        vertex_count: int,
+        edge_count: int,
+        label_counts: Dict[str, int],
+    ) -> None:
+        self.partitioner = partitioner
+        self.stores = stores
+        self.vertex_count = vertex_count
+        self.edge_count = edge_count
+        self.label_counts = label_counts
+        self._indexed: List[Tuple[str, str]] = []
+
+    @property
+    def num_partitions(self) -> int:
+        return self.partitioner.num_partitions
+
+    def partition_of(self, vid: int) -> int:
+        """The owning partition id of a vertex (``H(v)``)."""
+        return self.partitioner(vid)
+
+    def store_of(self, vid: int) -> PartitionStore:
+        """The owning partition store of a vertex."""
+        return self.stores[self.partition_of(vid)]
+
+    def create_index(self, vertex_label: str, key: str) -> None:
+        """Build the (label, key) index in every partition."""
+        for store in self.stores:
+            store.build_property_index(vertex_label, key)
+        self._indexed.append((vertex_label, key))
+
+    def indexed_keys(self) -> List[Tuple[str, str]]:
+        """All (label, key) pairs with built indexes."""
+        return list(self._indexed)
+
+    def has_index(self, vertex_label: str, key: str) -> bool:
+        """True when the (label, key) index was built."""
+        return (vertex_label, key) in self._indexed
+
+    # convenience accessors that route through the owning partition
+
+    def vertex_label(self, vid: int) -> str:
+        """A vertex's label, routed through its owner."""
+        return self.store_of(vid).vertex_label(vid)
+
+    def get_vertex_property(self, vid: int, key: str, default: Any = None) -> Any:
+        """A vertex property, routed through its owner."""
+        return self.store_of(vid).get_vertex_property(vid, key, default)
+
+    def neighbors(
+        self, vid: int, direction: str = OUT, label: Optional[str] = None
+    ) -> List[int]:
+        """A vertex's neighbors, routed through its owner."""
+        return self.store_of(vid).neighbors(vid, direction, label)
+
+    def partition_sizes(self) -> List[int]:
+        """Owned-vertex count per partition."""
+        return [store.vertex_count for store in self.stores]
+
+    @classmethod
+    def from_graph(
+        cls,
+        graph: PropertyGraph,
+        num_partitions: int,
+        partitioner: Optional[Callable[[int], int]] = None,
+    ) -> "PartitionedGraph":
+        """Shard ``graph`` into ``num_partitions`` partitions.
+
+        Every edge is materialized twice when it crosses partitions: in the
+        source partition's out-CSR and the destination partition's in-CSR.
+        """
+        hp = HashPartitioner(num_partitions)
+        if partitioner is not None:
+            hp.__call__ = partitioner  # pragma: no cover - escape hatch
+        assignment: Dict[int, int] = {}
+        local_lists: List[List[int]] = [[] for _ in range(num_partitions)]
+        for vid in graph.vertices():
+            pid = hp(vid)
+            assignment[vid] = pid
+            local_lists[pid].append(vid)
+
+        stores: List[PartitionStore] = []
+        for pid in range(num_partitions):
+            # Share label/props dicts: stores only read the entries they own.
+            store = PartitionStore(
+                pid,
+                local_lists[pid],
+                graph._vertex_labels,  # noqa: SLF001 - intentional internal share
+                graph._vertex_props,  # noqa: SLF001
+            )
+            stores.append(store)
+
+        # Group edges per (partition, direction, label) adjacency.
+        out_adj: List[Dict[str, Dict[int, List[Tuple[int, int]]]]] = [
+            {} for _ in range(num_partitions)
+        ]
+        in_adj: List[Dict[str, Dict[int, List[Tuple[int, int]]]]] = [
+            {} for _ in range(num_partitions)
+        ]
+        local_index = [
+            {vid: i for i, vid in enumerate(vids)} for vids in local_lists
+        ]
+        for edge in graph.edges():
+            sp = assignment[edge.src]
+            dp = assignment[edge.dst]
+            out_adj[sp].setdefault(edge.label, {}).setdefault(
+                local_index[sp][edge.src], []
+            ).append((edge.dst, edge.eid))
+            in_adj[dp].setdefault(edge.label, {}).setdefault(
+                local_index[dp][edge.dst], []
+            ).append((edge.src, edge.eid))
+            stores[sp].add_edge_record(edge)
+            if dp != sp:
+                stores[dp].add_edge_record(edge)
+
+        for pid in range(num_partitions):
+            n = len(local_lists[pid])
+            for label, adj in out_adj[pid].items():
+                stores[pid].set_csr(OUT, label, CSRIndex.from_adjacency(n, adj))
+            for label, adj in in_adj[pid].items():
+                stores[pid].set_csr(IN, label, CSRIndex.from_adjacency(n, adj))
+
+        return cls(
+            hp,
+            stores,
+            graph.vertex_count,
+            graph.edge_count,
+            graph.label_counts(),
+        )

@@ -1,0 +1,294 @@
+"""The property graph model (paper §II-B).
+
+A property graph is a triplet ``(V, E, λ)``: vertices, directed edges, and a
+property function assigning key-value pairs to both. Every vertex and edge
+additionally carries a *label* (its type, e.g. ``person`` or ``knows``),
+matching the labelled property graphs used by LDBC SNB and Gremlin.
+
+:class:`PropertyGraph` is the construction-time, single-address-space
+representation. Distributed engines do not execute against it directly; they
+use :class:`repro.graph.partition.PartitionedGraph`, which shards it by a
+vertex hash function and builds per-partition CSR indexes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import EdgeNotFoundError, GraphError, VertexNotFoundError
+
+#: Direction constants for adjacency queries.
+OUT = "out"
+IN = "in"
+BOTH = "both"
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed, labelled edge with an id and properties.
+
+    The paper encodes endpoints as the special property keys ``_src`` and
+    ``_dest``; here they are first-class fields for clarity, and the property
+    view in :meth:`all_properties` exposes them under those special keys.
+    """
+
+    eid: int
+    src: int
+    dst: int
+    label: str
+    properties: Dict[str, Any] = field(default_factory=dict)
+
+    def all_properties(self) -> Dict[str, Any]:
+        """Properties including the paper's ``_src`` / ``_dest`` keys."""
+        props = dict(self.properties)
+        props["_src"] = self.src
+        props["_dest"] = self.dst
+        return props
+
+    def other(self, vid: int) -> int:
+        """The endpoint opposite to ``vid``."""
+        if vid == self.src:
+            return self.dst
+        if vid == self.dst:
+            return self.src
+        raise GraphError(f"vertex {vid} is not an endpoint of edge {self.eid}")
+
+
+class PropertyGraph:
+    """Mutable in-memory labelled property graph.
+
+    Vertices are integer ids with a label and a property dict. Edges are
+    directed, labelled, and carry properties. Adjacency is indexed by
+    direction and edge label for O(1) + O(degree) neighbor scans.
+    """
+
+    def __init__(self) -> None:
+        self._vertex_labels: Dict[int, str] = {}
+        self._vertex_props: Dict[int, Dict[str, Any]] = {}
+        self._edges: Dict[int, Edge] = {}
+        # adjacency[vid][label] -> list of edge ids, per direction
+        self._out: Dict[int, Dict[str, List[int]]] = {}
+        self._in: Dict[int, Dict[str, List[int]]] = {}
+        self._next_eid = 0
+        self._labels_to_vertices: Dict[str, List[int]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def add_vertex(self, vid: int, label: str = "vertex", **properties: Any) -> int:
+        """Add a vertex. Re-adding an existing id is an error."""
+        if vid in self._vertex_labels:
+            raise GraphError(f"vertex {vid} already exists")
+        self._vertex_labels[vid] = label
+        self._vertex_props[vid] = dict(properties)
+        self._out[vid] = {}
+        self._in[vid] = {}
+        self._labels_to_vertices.setdefault(label, []).append(vid)
+        return vid
+
+    def add_edge(
+        self,
+        src: int,
+        dst: int,
+        label: str = "edge",
+        eid: Optional[int] = None,
+        **properties: Any,
+    ) -> Edge:
+        """Add a directed edge from ``src`` to ``dst``.
+
+        Both endpoints must already exist. Edge ids are auto-assigned unless
+        given explicitly.
+        """
+        if src not in self._vertex_labels:
+            raise VertexNotFoundError(src)
+        if dst not in self._vertex_labels:
+            raise VertexNotFoundError(dst)
+        if eid is None:
+            eid = self._next_eid
+            self._next_eid += 1
+        else:
+            if eid in self._edges:
+                raise GraphError(f"edge {eid} already exists")
+            self._next_eid = max(self._next_eid, eid + 1)
+        edge = Edge(eid=eid, src=src, dst=dst, label=label, properties=dict(properties))
+        self._edges[eid] = edge
+        self._out[src].setdefault(label, []).append(eid)
+        self._in[dst].setdefault(label, []).append(eid)
+        return edge
+
+    def set_vertex_property(self, vid: int, key: str, value: Any) -> None:
+        """Set one vertex property."""
+        self._require_vertex(vid)
+        self._vertex_props[vid][key] = value
+
+    def set_edge_property(self, eid: int, key: str, value: Any) -> None:
+        """Set one edge property."""
+        edge = self.edge(eid)
+        edge.properties[key] = value
+
+    # ------------------------------------------------------------------
+    # vertex access
+    # ------------------------------------------------------------------
+
+    def has_vertex(self, vid: int) -> bool:
+        """True when the vertex id exists."""
+        return vid in self._vertex_labels
+
+    def vertex_label(self, vid: int) -> str:
+        """The label of a vertex."""
+        self._require_vertex(vid)
+        return self._vertex_labels[vid]
+
+    def vertex_properties(self, vid: int) -> Dict[str, Any]:
+        """The property dict of a vertex."""
+        self._require_vertex(vid)
+        return self._vertex_props[vid]
+
+    def get_vertex_property(self, vid: int, key: str, default: Any = None) -> Any:
+        """One vertex property (or ``default``)."""
+        self._require_vertex(vid)
+        return self._vertex_props[vid].get(key, default)
+
+    def vertices(self, label: Optional[str] = None) -> Iterator[int]:
+        """Iterate vertex ids, optionally restricted to one label."""
+        if label is None:
+            return iter(self._vertex_labels)
+        return iter(self._labels_to_vertices.get(label, ()))
+
+    def vertex_labels(self) -> Iterable[str]:
+        """All vertex labels present in the graph."""
+        return self._labels_to_vertices.keys()
+
+    # ------------------------------------------------------------------
+    # edge access
+    # ------------------------------------------------------------------
+
+    def has_edge(self, eid: int) -> bool:
+        """True when the edge id exists."""
+        return eid in self._edges
+
+    def edge(self, eid: int) -> Edge:
+        """The Edge by id (raises EdgeNotFoundError)."""
+        try:
+            return self._edges[eid]
+        except KeyError:
+            raise EdgeNotFoundError(eid) from None
+
+    def edges(self, label: Optional[str] = None) -> Iterator[Edge]:
+        """Iterate edges, optionally one label."""
+        if label is None:
+            return iter(self._edges.values())
+        return (e for e in self._edges.values() if e.label == label)
+
+    # ------------------------------------------------------------------
+    # adjacency
+    # ------------------------------------------------------------------
+
+    def out_edges(self, vid: int, label: Optional[str] = None) -> List[Edge]:
+        """Outgoing edges of a vertex (optionally one label)."""
+        self._require_vertex(vid)
+        return [self._edges[eid] for eid in self._adj_eids(self._out[vid], label)]
+
+    def in_edges(self, vid: int, label: Optional[str] = None) -> List[Edge]:
+        """Incoming edges of a vertex (optionally one label)."""
+        self._require_vertex(vid)
+        return [self._edges[eid] for eid in self._adj_eids(self._in[vid], label)]
+
+    def out_neighbors(self, vid: int, label: Optional[str] = None) -> List[int]:
+        """Targets of a vertex's outgoing edges."""
+        return [e.dst for e in self.out_edges(vid, label)]
+
+    def in_neighbors(self, vid: int, label: Optional[str] = None) -> List[int]:
+        """Sources of a vertex's incoming edges."""
+        return [e.src for e in self.in_edges(vid, label)]
+
+    def neighbors(
+        self, vid: int, direction: str = OUT, label: Optional[str] = None
+    ) -> List[int]:
+        """Neighbors in the given direction (``out``, ``in`` or ``both``)."""
+        if direction == OUT:
+            return self.out_neighbors(vid, label)
+        if direction == IN:
+            return self.in_neighbors(vid, label)
+        if direction == BOTH:
+            return self.out_neighbors(vid, label) + self.in_neighbors(vid, label)
+        raise GraphError(f"unknown direction: {direction!r}")
+
+    def degree(self, vid: int, direction: str = OUT, label: Optional[str] = None) -> int:
+        """Edge count at a vertex in one direction."""
+        self._require_vertex(vid)
+        if direction == OUT:
+            return sum(1 for _ in self._adj_eids(self._out[vid], label))
+        if direction == IN:
+            return sum(1 for _ in self._adj_eids(self._in[vid], label))
+        if direction == BOTH:
+            return self.degree(vid, OUT, label) + self.degree(vid, IN, label)
+        raise GraphError(f"unknown direction: {direction!r}")
+
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+
+    @property
+    def vertex_count(self) -> int:
+        return len(self._vertex_labels)
+
+    @property
+    def edge_count(self) -> int:
+        return len(self._edges)
+
+    def label_counts(self) -> Dict[str, int]:
+        """Vertex count per label."""
+        return {label: len(vids) for label, vids in self._labels_to_vertices.items()}
+
+    def estimated_raw_size(self) -> int:
+        """Rough on-disk byte size estimate for dataset summary tables.
+
+        Counts 16 bytes per edge (two 8-byte endpoints) plus a serialized
+        estimate of every property value — the analogue of the "Raw Size"
+        column in the paper's Table II.
+        """
+        size = 16 * self.edge_count
+        for props in self._vertex_props.values():
+            size += 8  # vertex id
+            size += sum(_value_size(v) for v in props.values())
+        for edge in self._edges.values():
+            size += sum(_value_size(v) for v in edge.properties.values())
+        return size
+
+    # ------------------------------------------------------------------
+    # internal helpers
+    # ------------------------------------------------------------------
+
+    def _require_vertex(self, vid: int) -> None:
+        if vid not in self._vertex_labels:
+            raise VertexNotFoundError(vid)
+
+    @staticmethod
+    def _adj_eids(
+        adj: Dict[str, List[int]], label: Optional[str]
+    ) -> Iterator[int]:
+        if label is None:
+            for eids in adj.values():
+                for eid in eids:
+                    yield eid
+        else:
+            for eid in adj.get(label, ()):
+                yield eid
+
+
+def _value_size(value: Any) -> int:
+    """Byte-size estimate of a property value for raw-size accounting."""
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return 8
+    if isinstance(value, float):
+        return 8
+    if isinstance(value, str):
+        return len(value.encode("utf-8"))
+    if isinstance(value, (list, tuple)):
+        return sum(_value_size(v) for v in value)
+    return 8

@@ -1,0 +1,35 @@
+"""LDBC Social Network Benchmark substrate: schema, generator, queries,
+mixed-workload driver."""
+
+from repro.ldbc.generator import (
+    SNB_SF300_SIM,
+    SNB_SF1000_SIM,
+    SNB_TINY,
+    SNBConfig,
+    SNBDataset,
+    generate_snb,
+)
+from repro.ldbc.queries import IC_QUERIES, IS_QUERIES, UP_QUERIES, QueryDef
+from repro.ldbc.workload import (
+    MixedWorkloadResult,
+    WorkloadConfig,
+    build_schedule,
+    run_mixed_workload,
+)
+
+__all__ = [
+    "IC_QUERIES",
+    "IS_QUERIES",
+    "MixedWorkloadResult",
+    "QueryDef",
+    "SNBConfig",
+    "SNBDataset",
+    "SNB_SF1000_SIM",
+    "SNB_SF300_SIM",
+    "SNB_TINY",
+    "UP_QUERIES",
+    "WorkloadConfig",
+    "build_schedule",
+    "generate_snb",
+    "run_mixed_workload",
+]

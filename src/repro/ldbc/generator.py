@@ -1,0 +1,325 @@
+"""Deterministic synthetic LDBC SNB dataset generator.
+
+Generates a schema-faithful SNB social network at configurable scale. The
+paper evaluates the official SF300 (0.97 B vertices, 6.7 B edges, 256 GB)
+and SF1000 (2.9 B vertices, 20.7 B edges, 862 GB) datasets; those are far
+outside a pure-Python simulation budget, so :data:`SNB_SF300_SIM` and
+:data:`SNB_SF1000_SIM` are scale-reduced stand-ins that preserve
+
+* the schema and the correlations the IC queries exploit (friends cluster
+  by city, interests bias message tags, comment authors come from the post
+  creator's friends),
+* the ~1 : 3 size ratio between the two datasets, and
+* power-law friend counts.
+
+Every entity gets an ``id`` property equal to its global vertex id, matching
+how the query plans look entities up.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.partition import PartitionedGraph
+from repro.graph.property_graph import PropertyGraph
+from repro.ldbc import schema as S
+
+FIRST_NAMES = [
+    "Jan", "Yang", "Chen", "Hans", "Jun", "Carlos", "Jose", "Ali", "Ken",
+    "Otto", "Wei", "Rahul", "Ivan", "Abdul", "John", "Mohammad", "Lei",
+    "Karl", "Anna", "Maria", "Lin", "Olga", "Emma", "Sofia", "Amy", "Li",
+]
+LAST_NAMES = [
+    "Smith", "Zhang", "Wang", "Kumar", "Garcia", "Mueller", "Kim", "Sato",
+    "Singh", "Lopez", "Ivanov", "Khan", "Silva", "Chen", "Ahmed", "Brown",
+]
+LANGUAGES = ["en", "zh", "es", "de", "fr", "ru", "ar", "pt"]
+BROWSERS = ["Chrome", "Firefox", "Safari", "Edge", "Opera"]
+TAG_NAMES = [f"tag_{i:03d}" for i in range(120)]
+TAGCLASS_NAMES = [
+    "Thing", "Person", "Organisation", "Place", "Work", "Event", "Artist",
+    "Politician", "Athlete", "Scientist",
+]
+CONTINENT_NAMES = ["Asia", "Europe", "Africa", "NorthAmerica", "SouthAmerica", "Oceania"]
+
+
+@dataclass(frozen=True)
+class SNBConfig:
+    """Scale knobs of the synthetic SNB generator."""
+
+    name: str
+    persons: int
+    seed: int = 2025
+    avg_friends: float = 14.0
+    forums_per_person: float = 0.9
+    posts_per_forum: float = 6.0
+    comments_per_post: float = 1.8
+    likes_per_person: float = 8.0
+    countries: int = 24
+    cities_per_country: int = 3
+    universities: int = 30
+    companies: int = 60
+
+
+#: Stand-ins for the paper's SF300 / SF1000 datasets (≈ 1 : 3 size ratio,
+#: matching SF300 : SF1000 ≈ 1 : 3.1 in vertices and edges).
+SNB_SF300_SIM = SNBConfig(name="snb-sf300-sim", persons=600)
+SNB_SF1000_SIM = SNBConfig(name="snb-sf1000-sim", persons=1800)
+#: A tiny config for unit tests.
+SNB_TINY = SNBConfig(name="snb-tiny", persons=120, seed=7)
+
+
+@dataclass
+class SNBDataset:
+    """A generated SNB graph plus the id pools parameter generation needs."""
+
+    config: SNBConfig
+    graph: PropertyGraph
+    persons: List[int] = field(default_factory=list)
+    forums: List[int] = field(default_factory=list)
+    posts: List[int] = field(default_factory=list)
+    comments: List[int] = field(default_factory=list)
+    tags: List[int] = field(default_factory=list)
+    tagclasses: List[int] = field(default_factory=list)
+    countries: List[int] = field(default_factory=list)
+    cities: List[int] = field(default_factory=list)
+    universities: List[int] = field(default_factory=list)
+    companies: List[int] = field(default_factory=list)
+
+    @property
+    def messages(self) -> List[int]:
+        return self.posts + self.comments
+
+    def partitioned(self, num_partitions: int) -> PartitionedGraph:
+        """Partition with the default SNB indexes built."""
+        pg = PartitionedGraph.from_graph(self.graph, num_partitions)
+        for label, key in S.DEFAULT_INDEXES:
+            pg.create_index(label, key)
+        return pg
+
+    def random_person(self, rng: random.Random) -> int:
+        """A uniformly random person id."""
+        return rng.choice(self.persons)
+
+    def random_tag_name(self, rng: random.Random) -> str:
+        """A uniformly random tag name."""
+        vid = rng.choice(self.tags)
+        return self.graph.get_vertex_property(vid, S.NAME)
+
+    def random_country_name(self, rng: random.Random) -> str:
+        """A uniformly random country name."""
+        vid = rng.choice(self.countries)
+        return self.graph.get_vertex_property(vid, S.NAME)
+
+    def random_tagclass_name(self, rng: random.Random) -> str:
+        """A uniformly random tag-class name."""
+        vid = rng.choice(self.tagclasses)
+        return self.graph.get_vertex_property(vid, S.NAME)
+
+
+def generate_snb(config: SNBConfig = SNB_SF300_SIM) -> SNBDataset:
+    """Generate the synthetic SNB dataset for ``config`` (deterministic)."""
+    rng = random.Random(config.seed)
+    b = GraphBuilder(S.PERSON)
+    next_id = [0]
+
+    def new_vertex(label: str, **props) -> int:
+        vid = next_id[0]
+        next_id[0] += 1
+        props.setdefault("id", vid)
+        b.vertex(vid, label, **props)
+        return vid
+
+    # -- places ---------------------------------------------------------------
+    continents = [new_vertex(S.CONTINENT, name=n) for n in CONTINENT_NAMES]
+    countries = []
+    cities = []
+    for i in range(config.countries):
+        country = new_vertex(S.COUNTRY, name=f"country_{i:02d}")
+        countries.append(country)
+        b.edge(country, continents[i % len(continents)], S.IS_PART_OF)
+        for j in range(config.cities_per_country):
+            city = new_vertex(S.CITY, name=f"city_{i:02d}_{j}")
+            cities.append(city)
+            b.edge(city, country, S.IS_PART_OF)
+
+    # -- tags -----------------------------------------------------------------------
+    tagclasses = [new_vertex(S.TAGCLASS, name=n) for n in TAGCLASS_NAMES]
+    for i in range(1, len(tagclasses)):
+        b.edge(tagclasses[i], tagclasses[0], S.IS_SUBCLASS_OF)
+    tags = []
+    for i, name in enumerate(TAG_NAMES):
+        tag = new_vertex(S.TAG, name=name)
+        tags.append(tag)
+        b.edge(tag, tagclasses[i % len(tagclasses)], S.HAS_TYPE)
+
+    # -- organisations ------------------------------------------------------------------
+    universities = []
+    for i in range(config.universities):
+        uni = new_vertex(S.UNIVERSITY, name=f"university_{i:02d}")
+        universities.append(uni)
+        b.edge(uni, rng.choice(cities), S.IS_LOCATED_IN)
+    companies = []
+    for i in range(config.companies):
+        com = new_vertex(S.COMPANY, name=f"company_{i:02d}")
+        companies.append(com)
+        b.edge(com, rng.choice(countries), S.IS_LOCATED_IN)
+
+    # -- persons -----------------------------------------------------------------------------
+    persons = []
+    person_city: Dict[int, int] = {}
+    person_interests: Dict[int, List[int]] = {}
+    for _ in range(config.persons):
+        city = rng.choice(cities)
+        p = new_vertex(
+            S.PERSON,
+            firstName=rng.choice(FIRST_NAMES),
+            lastName=rng.choice(LAST_NAMES),
+            gender=rng.choice(["male", "female"]),
+            birthday=rng.randrange(0, 366),
+            creationDate=rng.randrange(0, S.MAX_DATE),
+            locationIP=f"10.{rng.randrange(256)}.{rng.randrange(256)}.{rng.randrange(256)}",
+            browserUsed=rng.choice(BROWSERS),
+        )
+        persons.append(p)
+        person_city[p] = city
+        b.edge(p, city, S.IS_LOCATED_IN)
+        interests = rng.sample(tags, rng.randint(3, 8))
+        person_interests[p] = interests
+        for tag in interests:
+            b.edge(p, tag, S.HAS_INTEREST)
+        if rng.random() < 0.7:
+            b.edge(p, rng.choice(universities), S.STUDY_AT,
+                   classYear=rng.randrange(1995, 2014))
+        for company in rng.sample(companies, rng.choice([0, 1, 1, 2])):
+            b.edge(p, company, S.WORK_AT, workFrom=rng.randrange(1995, 2014))
+
+    # -- knows network (power-law-ish, city-homophilous, mutual) -----------------------------
+    by_city: Dict[int, List[int]] = {}
+    for p in persons:
+        by_city.setdefault(person_city[p], []).append(p)
+    known: Dict[int, set] = {p: set() for p in persons}
+    # Zipf-flavoured friend budget.
+    budgets = {}
+    for rank, p in enumerate(persons):
+        base = config.avg_friends * 0.55
+        tail = config.avg_friends * 6.0 / (1 + rank % 97)
+        budgets[p] = max(2, int(rng.gauss(base + tail, base / 2)))
+    for p in persons:
+        local = by_city.get(person_city[p], persons)
+        while len(known[p]) < budgets[p]:
+            pool = local if rng.random() < 0.5 and len(local) > 1 else persons
+            q = rng.choice(pool)
+            if q == p or q in known[p]:
+                if len(known[p]) >= len(pool) - 1:
+                    break
+                continue
+            date = rng.randrange(0, S.MAX_DATE)
+            b.edge(p, q, S.KNOWS, creationDate=date)
+            b.edge(q, p, S.KNOWS, creationDate=date)
+            known[p].add(q)
+            known[q].add(p)
+
+    # -- forums, posts, comments, likes ---------------------------------------------------------
+    forums = []
+    posts = []
+    comments = []
+    num_forums = max(1, int(config.persons * config.forums_per_person))
+    for i in range(num_forums):
+        moderator = rng.choice(persons)
+        forum = new_vertex(
+            S.FORUM,
+            title=f"forum_{i:04d}",
+            creationDate=rng.randrange(0, S.MAX_DATE // 2),
+        )
+        forums.append(forum)
+        b.edge(forum, moderator, S.HAS_MODERATOR)
+        member_pool = [moderator] + list(known[moderator])
+        members = set(member_pool)
+        extra = rng.randint(3, 12)
+        members.update(rng.choice(persons) for _ in range(extra))
+        members = sorted(members)
+        for member in members:
+            b.edge(forum, member, S.HAS_MEMBER,
+                   joinDate=rng.randrange(0, S.MAX_DATE))
+        n_posts = max(1, int(rng.expovariate(1.0 / config.posts_per_forum)))
+        for _ in range(n_posts):
+            creator = rng.choice(members)
+            post_tags = _biased_tags(rng, person_interests[creator], tags)
+            post = new_vertex(
+                S.POST,
+                creationDate=rng.randrange(0, S.MAX_DATE),
+                length=rng.randrange(20, 2000),
+                language=rng.choice(LANGUAGES),
+                content=f"post content {len(posts)}",
+            )
+            posts.append(post)
+            b.edge(forum, post, S.CONTAINER_OF)
+            b.edge(post, creator, S.HAS_CREATOR)
+            b.edge(post, rng.choice(countries), S.IS_LOCATED_IN)
+            for tag in post_tags:
+                b.edge(post, tag, S.HAS_TAG)
+            post_date = b.get_vertex_prop(post, S.CREATION_DATE)
+            n_comments = rng.randrange(0, max(1, int(config.comments_per_post * 2)))
+            parent = post
+            for _ in range(n_comments):
+                commenter_pool = list(known[creator]) or persons
+                commenter = rng.choice(commenter_pool)
+                comment = new_vertex(
+                    S.COMMENT,
+                    creationDate=min(S.MAX_DATE - 1,
+                                     post_date + rng.randrange(1, 200)),
+                    length=rng.randrange(5, 500),
+                    content=f"comment content {len(comments)}",
+                )
+                comments.append(comment)
+                b.edge(comment, parent, S.REPLY_OF)
+                b.edge(comment, commenter, S.HAS_CREATOR)
+                b.edge(comment, rng.choice(countries), S.IS_LOCATED_IN)
+                for tag in _biased_tags(rng, person_interests[commenter], tags, 1):
+                    b.edge(comment, tag, S.HAS_TAG)
+                # Threads: half the comments reply to the previous comment.
+                if rng.random() < 0.5:
+                    parent = comment
+
+    messages = posts + comments
+    for p in persons:
+        for _ in range(int(rng.expovariate(1.0 / config.likes_per_person))):
+            b.edge(p, rng.choice(messages), S.LIKES,
+                   creationDate=rng.randrange(0, S.MAX_DATE))
+
+    dataset = SNBDataset(
+        config=config,
+        graph=b.build(),
+        persons=persons,
+        forums=forums,
+        posts=posts,
+        comments=comments,
+        tags=tags,
+        tagclasses=tagclasses,
+        countries=countries,
+        cities=cities,
+        universities=universities,
+        companies=companies,
+    )
+    return dataset
+
+
+def _biased_tags(
+    rng: random.Random,
+    interests: List[int],
+    all_tags: List[int],
+    max_tags: int = 3,
+) -> List[int]:
+    """Pick 1..max_tags tags, biased toward the author's interests."""
+    count = rng.randint(1, max_tags)
+    picked = set()
+    for _ in range(count):
+        if interests and rng.random() < 0.6:
+            picked.add(rng.choice(interests))
+        else:
+            picked.add(rng.choice(all_tags))
+    return sorted(picked)

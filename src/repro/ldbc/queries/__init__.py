@@ -1,0 +1,8 @@
+"""LDBC SNB interactive queries: complex reads (IC), short reads (IS),
+and updates (UP)."""
+
+from repro.ldbc.queries.ic import IC_QUERIES, QueryDef
+from repro.ldbc.queries.short import IS_QUERIES
+from repro.ldbc.queries.updates import UP_QUERIES, UpdateDef
+
+__all__ = ["IC_QUERIES", "IS_QUERIES", "QueryDef", "UP_QUERIES", "UpdateDef"]

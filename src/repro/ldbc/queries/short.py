@@ -1,0 +1,138 @@
+"""The 7 LDBC SNB Interactive Short (IS) read queries.
+
+Short reads retrieve a vertex's properties or immediate neighborhood —
+the "transactional queries" row of the paper's Table I: 1–3 compute
+stages, < 0.01 % of the graph accessed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict
+
+from repro.ldbc import schema as S
+from repro.ldbc.generator import SNBDataset
+from repro.ldbc.queries.ic import QueryDef
+from repro.query.exprs import X
+from repro.query.traversal import Traversal
+
+
+def _person_param(dataset: SNBDataset, rng: random.Random) -> Dict[str, Any]:
+    return {"person": dataset.random_person(rng)}
+
+
+def _message_param(dataset: SNBDataset, rng: random.Random) -> Dict[str, Any]:
+    return {"message": rng.choice(dataset.messages)}
+
+
+def build_is1() -> Traversal:
+    """IS1: a person's profile."""
+    return (
+        Traversal("IS1")
+        .v_param("person")
+        .values("firstName", S.FIRST_NAME)
+        .values("lastName", S.LAST_NAME)
+        .values("birthday", S.BIRTHDAY)
+        .values("browser", S.BROWSER_USED)
+        .values("ip", S.LOCATION_IP)
+        .select("firstName", "lastName", "birthday", "browser", "ip")
+    )
+
+
+def build_is2() -> Traversal:
+    """IS2: a person's 10 most recent messages."""
+    return (
+        Traversal("IS2")
+        .v_param("person")
+        .in_(S.HAS_CREATOR)
+        .values("date", S.CREATION_DATE)
+        .as_("message")
+        .select("message", "date")
+        .order_by((X.binding("date"), "desc"), (X.binding("message"), "asc"))
+        .limit(10)
+    )
+
+
+def build_is3() -> Traversal:
+    """IS3: a person's friends with the friendship creation date."""
+    return (
+        Traversal("IS3")
+        .v_param("person")
+        .out(S.KNOWS, edge_prop=(S.CREATION_DATE, "since"))
+        .dedup()
+        .as_("friend")
+        .values("firstName", S.FIRST_NAME)
+        .select("friend", "firstName", "since")
+        .order_by((X.binding("since"), "desc"), (X.binding("friend"), "asc"))
+    )
+
+
+def build_is4() -> Traversal:
+    """IS4: a message's creation date and content."""
+    return (
+        Traversal("IS4")
+        .v_param("message")
+        .values("date", S.CREATION_DATE)
+        .values("content", S.CONTENT)
+        .select("date", "content")
+    )
+
+
+def build_is5() -> Traversal:
+    """IS5: a message's creator."""
+    return (
+        Traversal("IS5")
+        .v_param("message")
+        .out(S.HAS_CREATOR)
+        .as_("creator")
+        .values("firstName", S.FIRST_NAME)
+        .values("lastName", S.LAST_NAME)
+        .select("creator", "firstName", "lastName")
+    )
+
+
+def build_is6() -> Traversal:
+    """IS6: the forum containing a message, with its moderator.
+
+    Comments climb their reply chain to the root post first (the chain is
+    a memo-pruned expansion over ``replyOf``).
+    """
+    return (
+        Traversal("IS6")
+        .v_param("message")
+        .khop(S.REPLY_OF, k=12, dist_binding="hops")
+        .has_label(S.POST)
+        .in_(S.CONTAINER_OF)
+        .as_("forum")
+        .values("title", S.TITLE)
+        .out(S.HAS_MODERATOR)
+        .as_("moderator")
+        .select("forum", "title", "moderator")
+    )
+
+
+def build_is7() -> Traversal:
+    """IS7: direct replies to a message, with their authors."""
+    return (
+        Traversal("IS7")
+        .v_param("message")
+        .in_(S.REPLY_OF)
+        .as_("reply")
+        .values("date", S.CREATION_DATE)
+        .out(S.HAS_CREATOR)
+        .as_("author")
+        .values("authorName", S.FIRST_NAME)
+        .select("reply", "date", "author", "authorName")
+        .order_by((X.binding("date"), "desc"), (X.binding("reply"), "asc"))
+    )
+
+
+IS_QUERIES: Dict[int, QueryDef] = {
+    1: QueryDef(1, "IS1", "person profile", build_is1, _person_param),
+    2: QueryDef(2, "IS2", "person's recent messages", build_is2, _person_param),
+    3: QueryDef(3, "IS3", "person's friends", build_is3, _person_param),
+    4: QueryDef(4, "IS4", "message content", build_is4, _message_param),
+    5: QueryDef(5, "IS5", "message creator", build_is5, _message_param),
+    6: QueryDef(6, "IS6", "forum of message", build_is6, _message_param),
+    7: QueryDef(7, "IS7", "replies to message", build_is7, _message_param),
+}

@@ -1,0 +1,220 @@
+"""LDBC SNB interactive update operations (UP1–UP8).
+
+Updates run as MV2PL transactions against the transactional edge-log delta
+store (:mod:`repro.txn`) — the same separation real systems use (immutable
+base + transactional delta). Read queries in this reproduction execute
+against the immutable base snapshot; the updates exercise the write path
+(locking, versioning, LCT advancement) and contribute load to the mixed
+workload (Fig 7).
+
+Each update has an estimated service cost in microseconds used by the
+workload simulator; the values reflect the "transactional queries" row of
+Table I (µs-level point writes).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict
+
+from repro.ldbc import schema as S
+from repro.ldbc.generator import SNBDataset
+from repro.txn.manager import TransactionManager
+
+ApplyFn = Callable[[TransactionManager, Dict[str, Any]], None]
+ParamGen = Callable[["UpdateContext", random.Random], Dict[str, Any]]
+
+
+@dataclass
+class UpdateContext:
+    """Id allocation state shared by the update stream."""
+
+    dataset: SNBDataset
+
+    def __post_init__(self) -> None:
+        self._next_id = self.dataset.graph.vertex_count + 1_000_000
+        self._next_eid = self.dataset.graph.edge_count + 1_000_000
+
+    def new_vertex_id(self) -> int:
+        """Allocate a fresh vertex id above the base graph's range."""
+        vid = self._next_id
+        self._next_id += 1
+        return vid
+
+    def new_edge_id(self) -> int:
+        """Allocate a fresh edge id above the base graph's range."""
+        eid = self._next_eid
+        self._next_eid += 1
+        return eid
+
+
+@dataclass(frozen=True)
+class UpdateDef:
+    """One update operation type."""
+
+    number: int
+    name: str
+    description: str
+    apply: ApplyFn
+    make_params: ParamGen
+    #: simulated service time charged to the engine (µs)
+    service_us: float
+
+
+def _apply_add_person(txm: TransactionManager, p: Dict[str, Any]) -> None:
+    txn = txm.begin()
+    txm.set_property(txn, p["vid"], S.FIRST_NAME, p["firstName"])
+    txm.set_property(txn, p["vid"], S.CREATION_DATE, p["creationDate"])
+    txm.add_edge(txn, p["vid"], p["city"], S.IS_LOCATED_IN, p["eid"])
+    txm.commit(txn)
+
+
+def _params_add_person(ctx: UpdateContext, rng: random.Random) -> Dict[str, Any]:
+    return {
+        "vid": ctx.new_vertex_id(),
+        "eid": ctx.new_edge_id(),
+        "firstName": "NewPerson",
+        "creationDate": rng.randrange(0, S.MAX_DATE),
+        "city": rng.choice(ctx.dataset.cities),
+    }
+
+
+def _apply_add_like(txm: TransactionManager, p: Dict[str, Any]) -> None:
+    txn = txm.begin()
+    txm.add_edge(
+        txn, p["person"], p["message"], S.LIKES, p["eid"],
+        properties={"creationDate": p["creationDate"]},
+    )
+    txm.commit(txn)
+
+
+def _params_add_like(ctx: UpdateContext, rng: random.Random) -> Dict[str, Any]:
+    return {
+        "person": ctx.dataset.random_person(rng),
+        "message": rng.choice(ctx.dataset.messages),
+        "eid": ctx.new_edge_id(),
+        "creationDate": rng.randrange(0, S.MAX_DATE),
+    }
+
+
+def _apply_add_comment(txm: TransactionManager, p: Dict[str, Any]) -> None:
+    txn = txm.begin()
+    txm.set_property(txn, p["vid"], S.CREATION_DATE, p["creationDate"])
+    txm.add_edge(txn, p["vid"], p["parent"], S.REPLY_OF, p["eid1"])
+    txm.add_edge(txn, p["vid"], p["creator"], S.HAS_CREATOR, p["eid2"])
+    txm.commit(txn)
+
+
+def _params_add_comment(ctx: UpdateContext, rng: random.Random) -> Dict[str, Any]:
+    return {
+        "vid": ctx.new_vertex_id(),
+        "eid1": ctx.new_edge_id(),
+        "eid2": ctx.new_edge_id(),
+        "parent": rng.choice(ctx.dataset.messages),
+        "creator": ctx.dataset.random_person(rng),
+        "creationDate": rng.randrange(0, S.MAX_DATE),
+    }
+
+
+def _apply_add_post(txm: TransactionManager, p: Dict[str, Any]) -> None:
+    txn = txm.begin()
+    txm.set_property(txn, p["vid"], S.CREATION_DATE, p["creationDate"])
+    txm.add_edge(txn, p["forum"], p["vid"], S.CONTAINER_OF, p["eid1"])
+    txm.add_edge(txn, p["vid"], p["creator"], S.HAS_CREATOR, p["eid2"])
+    txm.commit(txn)
+
+
+def _params_add_post(ctx: UpdateContext, rng: random.Random) -> Dict[str, Any]:
+    return {
+        "vid": ctx.new_vertex_id(),
+        "eid1": ctx.new_edge_id(),
+        "eid2": ctx.new_edge_id(),
+        "forum": rng.choice(ctx.dataset.forums),
+        "creator": ctx.dataset.random_person(rng),
+        "creationDate": rng.randrange(0, S.MAX_DATE),
+    }
+
+
+def _apply_add_forum(txm: TransactionManager, p: Dict[str, Any]) -> None:
+    txn = txm.begin()
+    txm.set_property(txn, p["vid"], S.TITLE, p["title"])
+    txm.add_edge(txn, p["vid"], p["moderator"], S.HAS_MODERATOR, p["eid"])
+    txm.commit(txn)
+
+
+def _params_add_forum(ctx: UpdateContext, rng: random.Random) -> Dict[str, Any]:
+    return {
+        "vid": ctx.new_vertex_id(),
+        "eid": ctx.new_edge_id(),
+        "title": "new forum",
+        "moderator": ctx.dataset.random_person(rng),
+    }
+
+
+def _apply_add_member(txm: TransactionManager, p: Dict[str, Any]) -> None:
+    txn = txm.begin()
+    txm.add_edge(
+        txn, p["forum"], p["person"], S.HAS_MEMBER, p["eid"],
+        properties={"joinDate": p["joinDate"]},
+    )
+    txm.commit(txn)
+
+
+def _params_add_member(ctx: UpdateContext, rng: random.Random) -> Dict[str, Any]:
+    return {
+        "forum": rng.choice(ctx.dataset.forums),
+        "person": ctx.dataset.random_person(rng),
+        "eid": ctx.new_edge_id(),
+        "joinDate": rng.randrange(0, S.MAX_DATE),
+    }
+
+
+def _apply_add_knows(txm: TransactionManager, p: Dict[str, Any]) -> None:
+    txn = txm.begin()
+    txm.add_edge(
+        txn, p["p1"], p["p2"], S.KNOWS, p["eid1"],
+        properties={"creationDate": p["creationDate"]},
+    )
+    txm.add_edge(
+        txn, p["p2"], p["p1"], S.KNOWS, p["eid2"],
+        properties={"creationDate": p["creationDate"]},
+    )
+    txm.commit(txn)
+
+
+def _params_add_knows(ctx: UpdateContext, rng: random.Random) -> Dict[str, Any]:
+    p1 = ctx.dataset.random_person(rng)
+    p2 = ctx.dataset.random_person(rng)
+    return {
+        "p1": p1,
+        "p2": p2,
+        "eid1": ctx.new_edge_id(),
+        "eid2": ctx.new_edge_id(),
+        "creationDate": rng.randrange(0, S.MAX_DATE),
+    }
+
+
+def _apply_remove_like(txm: TransactionManager, p: Dict[str, Any]) -> None:
+    # Insert-then-delete exercises the tombstone path deterministically.
+    txn = txm.begin()
+    txm.add_edge(
+        txn, p["person"], p["message"], S.LIKES, p["eid"],
+        properties={"creationDate": p["creationDate"]},
+    )
+    txm.commit(txn)
+    txn2 = txm.begin()
+    txm.delete_edge(txn2, p["person"], p["message"], S.LIKES, p["eid"])
+    txm.commit(txn2)
+
+
+UP_QUERIES: Dict[int, UpdateDef] = {
+    1: UpdateDef(1, "UP1", "add person", _apply_add_person, _params_add_person, 18.0),
+    2: UpdateDef(2, "UP2", "add like", _apply_add_like, _params_add_like, 6.0),
+    3: UpdateDef(3, "UP3", "add comment", _apply_add_comment, _params_add_comment, 12.0),
+    4: UpdateDef(4, "UP4", "add forum", _apply_add_forum, _params_add_forum, 10.0),
+    5: UpdateDef(5, "UP5", "add forum member", _apply_add_member, _params_add_member, 6.0),
+    6: UpdateDef(6, "UP6", "add post", _apply_add_post, _params_add_post, 12.0),
+    7: UpdateDef(7, "UP7", "unlike (add+tombstone)", _apply_remove_like, _params_add_like, 8.0),
+    8: UpdateDef(8, "UP8", "add knows", _apply_add_knows, _params_add_knows, 8.0),
+}

@@ -1,0 +1,115 @@
+"""LDBC Social Network Benchmark schema (vertex/edge labels, properties).
+
+A faithful subset of the SNB interactive schema — every label and edge type
+the 14 interactive complex (IC) queries touch. Property names follow the
+benchmark specification (https://ldbcouncil.org/ldbc_snb_docs/).
+"""
+
+from __future__ import annotations
+
+# -- vertex labels -------------------------------------------------------------
+
+PERSON = "person"
+FORUM = "forum"
+POST = "post"
+COMMENT = "comment"
+TAG = "tag"
+TAGCLASS = "tagclass"
+CITY = "city"
+COUNTRY = "country"
+CONTINENT = "continent"
+UNIVERSITY = "university"
+COMPANY = "company"
+
+MESSAGE_LABELS = (POST, COMMENT)
+PLACE_LABELS = (CITY, COUNTRY, CONTINENT)
+ORGANISATION_LABELS = (UNIVERSITY, COMPANY)
+
+ALL_VERTEX_LABELS = (
+    PERSON,
+    FORUM,
+    POST,
+    COMMENT,
+    TAG,
+    TAGCLASS,
+    CITY,
+    COUNTRY,
+    CONTINENT,
+    UNIVERSITY,
+    COMPANY,
+)
+
+# -- edge labels -----------------------------------------------------------------
+
+KNOWS = "knows"                  # person -> person (mutual: stored both ways)
+HAS_CREATOR = "hasCreator"       # post/comment -> person
+CONTAINER_OF = "containerOf"     # forum -> post
+HAS_MEMBER = "hasMember"         # forum -> person (joinDate)
+HAS_MODERATOR = "hasModerator"   # forum -> person
+REPLY_OF = "replyOf"             # comment -> post/comment
+HAS_TAG = "hasTag"               # post/comment -> tag
+HAS_INTEREST = "hasInterest"     # person -> tag
+HAS_TYPE = "hasType"             # tag -> tagclass
+IS_SUBCLASS_OF = "isSubclassOf"  # tagclass -> tagclass
+IS_LOCATED_IN = "isLocatedIn"    # person -> city, message -> country, org -> place
+IS_PART_OF = "isPartOf"          # city -> country -> continent
+STUDY_AT = "studyAt"             # person -> university (classYear)
+WORK_AT = "workAt"               # person -> company (workFrom)
+LIKES = "likes"                  # person -> post/comment (creationDate)
+
+ALL_EDGE_LABELS = (
+    KNOWS,
+    HAS_CREATOR,
+    CONTAINER_OF,
+    HAS_MEMBER,
+    HAS_MODERATOR,
+    REPLY_OF,
+    HAS_TAG,
+    HAS_INTEREST,
+    HAS_TYPE,
+    IS_SUBCLASS_OF,
+    IS_LOCATED_IN,
+    IS_PART_OF,
+    STUDY_AT,
+    WORK_AT,
+    LIKES,
+)
+
+# -- property keys ------------------------------------------------------------------
+
+# person
+FIRST_NAME = "firstName"
+LAST_NAME = "lastName"
+GENDER = "gender"
+BIRTHDAY = "birthday"            # integer day-of-year-cycle (0..365)
+CREATION_DATE = "creationDate"   # integer days since epoch
+LOCATION_IP = "locationIP"
+BROWSER_USED = "browserUsed"
+
+# message
+CONTENT = "content"
+LENGTH = "length"
+LANGUAGE = "language"
+IMAGE_FILE = "imageFile"
+
+# forum / tag / place / organisation
+TITLE = "title"
+NAME = "name"
+JOIN_DATE = "joinDate"
+CLASS_YEAR = "classYear"
+WORK_FROM = "workFrom"
+
+#: Property indexes the LDBC query plans rely on (IndexLookup sources).
+DEFAULT_INDEXES = [
+    (PERSON, "id"),
+    (PERSON, FIRST_NAME),
+    (POST, "id"),
+    (COMMENT, "id"),
+    (FORUM, "id"),
+    (TAG, NAME),
+    (TAGCLASS, NAME),
+    (COUNTRY, NAME),
+]
+
+#: Simulated "today" for date-window parameters (days since epoch).
+MAX_DATE = 2000

@@ -1,0 +1,38 @@
+"""Query layer: fluent traversals, expressions, compiler, plans."""
+
+from repro.query.compiler import compile_traversal
+from repro.query.exprs import X
+from repro.query.gremlin import GremlinParseError, parse_gremlin
+from repro.query.plan import PhysicalPlan, QueryStatement, Stage
+from repro.query.patterns import (
+    count_triangles,
+    rectangles_from,
+    triangles_from,
+)
+from repro.query.planner import (
+    GraphStats,
+    JoinPlan,
+    PatternEdge,
+    build_join_traversal,
+    plan_path,
+)
+from repro.query.traversal import Traversal
+
+__all__ = [
+    "GraphStats",
+    "GremlinParseError",
+    "JoinPlan",
+    "PatternEdge",
+    "PhysicalPlan",
+    "QueryStatement",
+    "Stage",
+    "Traversal",
+    "X",
+    "build_join_traversal",
+    "compile_traversal",
+    "count_triangles",
+    "parse_gremlin",
+    "plan_path",
+    "rectangles_from",
+    "triangles_from",
+]

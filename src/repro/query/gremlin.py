@@ -1,0 +1,454 @@
+"""A Gremlin-text frontend: parse query strings into traversals.
+
+The paper writes its example queries in Gremlin (Fig 1a)::
+
+    g.V(start).repeat(out('knows')).times(k).dedup().
+      filter(it != start).order().by('weight', desc).
+      by(id, asc).limit(10)
+
+This module parses that dialect into the fluent
+:class:`~repro.query.traversal.Traversal` builder, so the paper's queries
+can be written verbatim::
+
+    from repro.query.gremlin import parse_gremlin
+    traversal = parse_gremlin(
+        "g.V($start).repeat(out('knows')).times(3).dedup()"
+        ".filter(it != $start).order().by('weight', desc)"
+        ".by(id, asc).limit(10)"
+    )
+    plan = traversal.compile(graph)   # params: {"start": ...}
+
+Supported steps: ``V``, ``out``/``in``/``both`` (optionally with an edge
+label), ``repeat(...)``\\ ``.times(k)`` (compiled to the memo-pruned k-hop
+of Fig 5), ``dedup``, ``filter(it != x)``, ``has``, ``hasLabel``,
+``values``, ``as``, ``select``, ``order().by(key, asc|desc)``, ``limit``,
+``count``, ``sum``, ``groupCount``. Bare identifiers and ``$name`` both
+denote query parameters; ``it`` is the current vertex; ``id`` sorts by
+vertex id.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from repro.errors import CompilationError
+from repro.query.exprs import X
+from repro.query.traversal import Traversal
+
+
+class GremlinParseError(CompilationError):
+    """The query text does not parse in the supported dialect."""
+
+
+# -- tokenizer ---------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<number>-?\d+(?:\.\d+)?)
+  | (?P<param>\$[A-Za-z_]\w*)
+  | (?P<name>[A-Za-z_]\w*)
+  | (?P<neq>!=)
+  | (?P<eq>==)
+  | (?P<punct>[().,])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    pos: int
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split query text into tokens (raises on bad input)."""
+    tokens: List[Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise GremlinParseError(
+                f"unexpected character {text[pos]!r} at offset {pos}"
+            )
+        kind = match.lastgroup or ""
+        if kind != "ws":
+            tokens.append(Token(kind, match.group(), pos))
+        pos = match.end()
+    return tokens
+
+
+# -- call-chain parser -----------------------------------------------------------
+
+
+@dataclass
+class Call:
+    """One step call: name + raw argument values."""
+
+    name: str
+    args: List[Any]
+
+
+class _Param:
+    """A parameter reference appearing as an argument."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"${self.name}"
+
+
+class _Keyword:
+    """A bare keyword argument: it / id / asc / desc, or a nested call."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return self.name
+
+
+@dataclass
+class Comparison:
+    """``it != <value>`` (or ==) inside filter()."""
+
+    op: str
+    right: Any
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.i = 0
+
+    def peek(self) -> Optional[Token]:
+        return self.tokens[self.i] if self.i < len(self.tokens) else None
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token is None:
+            raise GremlinParseError("unexpected end of query")
+        self.i += 1
+        return token
+
+    def expect(self, text: str) -> Token:
+        token = self.next()
+        if token.text != text:
+            raise GremlinParseError(
+                f"expected {text!r} at offset {token.pos}, got {token.text!r}"
+            )
+        return token
+
+    def parse_chain(self) -> List[Call]:
+        """``g.step(...).step(...)...`` → list of calls."""
+        head = self.next()
+        if head.kind != "name" or head.text != "g":
+            raise GremlinParseError("queries must start with 'g'")
+        calls: List[Call] = []
+        while self.peek() is not None:
+            self.expect(".")
+            name_token = self.next()
+            if name_token.kind != "name":
+                raise GremlinParseError(
+                    f"expected step name at offset {name_token.pos}"
+                )
+            self.expect("(")
+            args = self.parse_args()
+            self.expect(")")
+            calls.append(Call(name_token.text, args))
+        return calls
+
+    def parse_args(self) -> List[Any]:
+        args: List[Any] = []
+        if self.peek() is not None and self.peek().text == ")":
+            return args
+        while True:
+            args.append(self.parse_value())
+            token = self.peek()
+            if token is not None and token.text == ",":
+                self.next()
+                continue
+            return args
+
+    def parse_value(self) -> Any:
+        token = self.next()
+        if token.kind == "string":
+            return token.text[1:-1]
+        if token.kind == "number":
+            text = token.text
+            return float(text) if "." in text else int(text)
+        if token.kind == "param":
+            return self._maybe_comparison(_Param(token.text[1:]))
+        if token.kind == "name":
+            # nested call? e.g. repeat(out('knows'))
+            if self.peek() is not None and self.peek().text == "(":
+                self.next()
+                inner_args = self.parse_args()
+                self.expect(")")
+                return Call(token.text, inner_args)
+            if token.text in ("it", "id", "asc", "desc"):
+                return self._maybe_comparison(_Keyword(token.text))
+            # bare identifier = parameter (the paper writes V(start))
+            return self._maybe_comparison(_Param(token.text))
+        raise GremlinParseError(
+            f"unexpected token {token.text!r} at offset {token.pos}"
+        )
+
+    def _maybe_comparison(self, left: Any) -> Any:
+        token = self.peek()
+        if token is not None and token.kind in ("neq", "eq"):
+            if not isinstance(left, _Keyword) or left.name != "it":
+                raise GremlinParseError(
+                    "comparisons must have 'it' on the left-hand side"
+                )
+            op = self.next().text
+            right = self.parse_value()
+            return Comparison(op, right)
+        return left
+
+
+# -- translation to the fluent builder --------------------------------------------
+
+
+def parse_gremlin(text: str, name: str = "gremlin") -> Traversal:
+    """Parse a Gremlin-dialect query string into a Traversal."""
+    calls = _Parser(tokenize(text)).parse_chain()
+    return _Translator(name).translate(calls)
+
+
+class _Translator:
+    def __init__(self, name: str) -> None:
+        self.t = Traversal(name)
+        self._values_bound: dict = {}
+        self._auto = 0
+        self._selected: List[str] = []
+        self._order_parts: List[Tuple[X, str]] = []
+
+    def translate(self, calls: List[Call]) -> Traversal:
+        i = 0
+        while i < len(calls):
+            call = calls[i]
+            handler = getattr(self, f"_step_{call.name}", None)
+            if handler is None:
+                raise GremlinParseError(f"unsupported step {call.name!r}")
+            consumed = handler(call, calls[i + 1:])
+            i += 1 + consumed
+        self._finish_order()
+        return self.t
+
+    # -- helpers ------------------------------------------------------------
+
+    def _value_expr(self, value: Any) -> X:
+        if isinstance(value, _Param):
+            return X.param(value.name)
+        if isinstance(value, _Keyword):
+            if value.name == "it":
+                return X.vertex()
+            raise GremlinParseError(f"unexpected keyword {value.name!r}")
+        return X.const(value)
+
+    def _bind_values(self, key: str) -> str:
+        """Project a vertex property into a binding (memoized per key)."""
+        binding = self._values_bound.get(key)
+        if binding is None:
+            binding = f"__val_{key}__"
+            self.t.values(binding, key)
+            self._values_bound[key] = binding
+        return binding
+
+    def _vertex_binding(self) -> str:
+        binding = self._values_bound.get(("__vertex__",))
+        if binding is None:
+            binding = "__vid__"
+            self.t.as_(binding)
+            self._values_bound[("__vertex__",)] = binding
+        return binding
+
+    def _finish_order(self) -> None:
+        if not self._order_parts:
+            return
+        # Output the current vertex plus any projected sort keys.
+        vid = self._vertex_binding()
+        select = [vid] + [b for b in self._values_bound.values()
+                          if isinstance(b, str) and b != vid]
+        self.t.select(*dict.fromkeys(select))
+        self.t.order_by(*self._order_parts)
+        self._order_parts = []
+
+    # -- steps ----------------------------------------------------------------
+
+    def _step_V(self, call: Call, _rest: List[Call]) -> int:
+        if len(call.args) != 1:
+            raise GremlinParseError("V() needs exactly one start vertex")
+        arg = call.args[0]
+        if isinstance(arg, _Param):
+            self.t.v_param(arg.name)
+        elif isinstance(arg, int):
+            self.t.v_const(arg)
+        else:
+            raise GremlinParseError("V() takes a vertex id or parameter")
+        return 0
+
+    def _expand(self, call: Call, direction: str) -> None:
+        label = None
+        if call.args:
+            if not isinstance(call.args[0], str):
+                raise GremlinParseError(
+                    f"{call.name}() takes an edge-label string"
+                )
+            label = call.args[0]
+        if direction == "out":
+            self.t.out(label)
+        elif direction == "in":
+            self.t.in_(label)
+        else:
+            self.t.both(label)
+
+    def _step_out(self, call: Call, _rest: List[Call]) -> int:
+        self._expand(call, "out")
+        return 0
+
+    # `in` is a Python keyword; Gremlin's in() arrives as the call name "in"
+    def _step_in(self, call: Call, _rest: List[Call]) -> int:
+        self._expand(call, "in")
+        return 0
+
+    def _step_both(self, call: Call, _rest: List[Call]) -> int:
+        self._expand(call, "both")
+        return 0
+
+    def _step_repeat(self, call: Call, rest: List[Call]) -> int:
+        if len(call.args) != 1 or not isinstance(call.args[0], Call):
+            raise GremlinParseError("repeat() takes one traversal argument")
+        inner = call.args[0]
+        if inner.name not in ("out", "in", "both"):
+            raise GremlinParseError(
+                "repeat() supports out/in/both expansions"
+            )
+        label = inner.args[0] if inner.args else None
+        if not rest or rest[0].name != "times":
+            raise GremlinParseError("repeat() must be followed by times(k)")
+        times = rest[0]
+        if len(times.args) != 1 or not isinstance(times.args[0], int):
+            raise GremlinParseError("times() takes an integer")
+        k = times.args[0]
+        # Consume an immediately following dedup(): the k-hop lowering
+        # already dedups its exits (Fig 2's plan).
+        consumed = 1
+        emit = "improving"
+        if len(rest) > 1 and rest[1].name == "dedup" and not rest[1].args:
+            emit = "distinct"
+            consumed = 2
+        direction = {"out": "out", "in": "in", "both": "both"}[inner.name]
+        self.t.khop(label, k=k, direction=direction, emit=emit)
+        return consumed
+
+    def _step_dedup(self, call: Call, _rest: List[Call]) -> int:
+        self.t.dedup(*[a for a in call.args if isinstance(a, str)])
+        return 0
+
+    def _step_filter(self, call: Call, _rest: List[Call]) -> int:
+        if len(call.args) != 1 or not isinstance(call.args[0], Comparison):
+            raise GremlinParseError(
+                "filter() supports 'it != value' / 'it == value'"
+            )
+        cmp = call.args[0]
+        right = self._value_expr(cmp.right)
+        expr = X.vertex().neq(right) if cmp.op == "!=" else X.vertex().eq(right)
+        self.t.filter_(expr)
+        return 0
+
+    def _step_has(self, call: Call, _rest: List[Call]) -> int:
+        if len(call.args) != 2 or not isinstance(call.args[0], str):
+            raise GremlinParseError("has() takes (key, value)")
+        key, value = call.args
+        if isinstance(value, _Param):
+            self.t.has_param(key, value.name)
+        else:
+            self.t.has(key, value)
+        return 0
+
+    def _step_hasLabel(self, call: Call, _rest: List[Call]) -> int:
+        if len(call.args) != 1 or not isinstance(call.args[0], str):
+            raise GremlinParseError("hasLabel() takes a label string")
+        self.t.has_label(call.args[0])
+        return 0
+
+    def _step_values(self, call: Call, _rest: List[Call]) -> int:
+        if len(call.args) != 1 or not isinstance(call.args[0], str):
+            raise GremlinParseError("values() takes a property key")
+        self._bind_values(call.args[0])
+        return 0
+
+    def _step_as(self, call: Call, _rest: List[Call]) -> int:
+        if len(call.args) != 1 or not isinstance(call.args[0], (str, _Param)):
+            raise GremlinParseError("as() takes a binding name")
+        arg = call.args[0]
+        name = arg if isinstance(arg, str) else arg.name
+        self.t.as_(name)
+        self._values_bound[("as", name)] = name
+        return 0
+
+    def _step_select(self, call: Call, _rest: List[Call]) -> int:
+        names = [a for a in call.args if isinstance(a, str)]
+        if len(names) != len(call.args):
+            raise GremlinParseError("select() takes binding names")
+        self.t.select(*names)
+        return 0
+
+    def _step_order(self, call: Call, _rest: List[Call]) -> int:
+        if call.args:
+            raise GremlinParseError("order() takes no arguments; use by()")
+        return 0
+
+    def _step_by(self, call: Call, _rest: List[Call]) -> int:
+        if not call.args:
+            raise GremlinParseError("by() needs a sort key")
+        key = call.args[0]
+        direction = "asc"
+        if len(call.args) > 1:
+            kw = call.args[1]
+            if not isinstance(kw, _Keyword) or kw.name not in ("asc", "desc"):
+                raise GremlinParseError("by() direction must be asc or desc")
+            direction = kw.name
+        if isinstance(key, _Keyword) and key.name == "id":
+            binding = self._vertex_binding()
+        elif isinstance(key, str):
+            binding = self._bind_values(key)
+        else:
+            raise GremlinParseError("by() sorts by a property key or id")
+        self._order_parts.append((X.binding(binding), direction))
+        return 0
+
+    def _step_limit(self, call: Call, _rest: List[Call]) -> int:
+        if len(call.args) != 1 or not isinstance(call.args[0], int):
+            raise GremlinParseError("limit() takes an integer")
+        self._finish_order()
+        self.t.limit(call.args[0])
+        return 0
+
+    def _step_count(self, call: Call, _rest: List[Call]) -> int:
+        self.t.count()
+        return 0
+
+    def _step_sum(self, call: Call, _rest: List[Call]) -> int:
+        if len(call.args) != 1 or not isinstance(call.args[0], str):
+            raise GremlinParseError("sum() takes a property key")
+        binding = self._bind_values(call.args[0])
+        self.t.sum_(binding)
+        return 0
+
+    def _step_groupCount(self, call: Call, _rest: List[Call]) -> int:
+        limit = None
+        if call.args:
+            if not isinstance(call.args[0], int):
+                raise GremlinParseError("groupCount() takes an int limit")
+            limit = call.args[0]
+        self.t.group_count(limit=limit)
+        return 0

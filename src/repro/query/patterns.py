@@ -1,0 +1,116 @@
+"""Graph pattern matching on PSTM (paper §III).
+
+"Various specialized graph processing tasks, such as graph pattern matching
+and graph mining, can also be expressed using the Gremlin steps (e.g.,
+Expand and Join), thereby leveraging the advantages offered by PSTM."
+
+This module provides the common pattern shapes as ready-made traversals:
+
+* **path patterns** — delegated to the cost-based planner
+  (:func:`repro.query.planner.build_join_traversal`), which picks forward,
+  backward, or bidirectional-join execution (Fig 3);
+* **triangles** — a→b→c→a, closed with a partition-local adjacency check
+  (:meth:`~repro.query.exprs.X.edge_exists_to`);
+* **rectangles** (4-cycles) — a→b→c←d←a, executed as the paper's
+  bidirectional double-pipelined join: the two 2-hop half-paths expand
+  simultaneously from the anchor and meet at the opposite corner.
+
+All matchers emit each match once under a canonical ordering, so their
+result sets are deterministic across engines.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.query.exprs import X
+from repro.query.planner import build_join_traversal, plan_path  # noqa: F401
+from repro.query.traversal import Traversal
+
+
+def triangles_from(
+    edge_label: Optional[str] = None,
+    anchor_param: str = "anchor",
+) -> Traversal:
+    """Directed triangles anchored at a vertex: anchor→b→c→anchor.
+
+    Emits ``(anchor, b, c)`` rows, deduplicated on (b, c). The closing
+    edge is verified with a local adjacency check on c's partition — no
+    extra hop, which is the PSTM advantage over edge-by-edge expansion.
+    """
+    return (
+        Traversal("triangles-from")
+        .v_param(anchor_param)
+        .as_("a")
+        .out(edge_label)
+        .filter_(X.vertex().neq(X.binding("a")))
+        .as_("b")
+        .out(edge_label)
+        .filter_(X.vertex().neq(X.binding("a")))
+        .filter_(X.vertex().neq(X.binding("b")))
+        .as_("c")
+        .filter_(X.edge_exists_to(X.binding("a"), edge_label))
+        .dedup("b", "c")
+        .select("a", "b", "c")
+    )
+
+
+def count_triangles(edge_label: Optional[str] = None) -> Traversal:
+    """Count directed triangles a→b→c→a with a < b canonical start.
+
+    Each directed 3-cycle is counted exactly once (at its minimum vertex),
+    so the result matches a brute-force cycle census.
+    """
+    return (
+        Traversal("count-triangles")
+        .scan()
+        .as_("a")
+        .out(edge_label)
+        .filter_(X.vertex().gt(X.binding("a")))
+        .as_("b")
+        .out(edge_label)
+        .filter_(X.vertex().gt(X.binding("a")))
+        .filter_(X.vertex().neq(X.binding("b")))
+        .as_("c")
+        .filter_(X.edge_exists_to(X.binding("a"), edge_label))
+        .dedup("a", "b", "c")
+        .count()
+    )
+
+
+def rectangles_from(
+    edge_label: Optional[str] = None,
+    anchor_param: str = "anchor",
+) -> Traversal:
+    """Directed 4-cycles through an anchor: anchor→b→d←c←anchor, b ≠ c.
+
+    Executed join-centric (paper Fig 3): both 2-hop half-paths expand from
+    the anchor simultaneously and meet at the far corner ``d`` via the
+    double-pipelined join — the intermediate result is 2×(fanout²) partial
+    paths instead of fanout³ for one-directional expansion.
+    """
+    left = (
+        Traversal("rect.left")
+        .v_param(anchor_param)
+        .as_("a")
+        .out(edge_label)
+        .as_("b")
+        .out(edge_label)
+        .as_("d1")
+    )
+    right = (
+        Traversal("rect.right")
+        .v_param(anchor_param)
+        .out(edge_label)
+        .as_("c")
+        .out(edge_label)
+        .as_("d2")
+    )
+    return (
+        Traversal.join("rectangles-from", left, "d1", right, "d2")
+        .filter_(X.binding("b").neq(X.binding("c")))
+        .filter_(X.binding("d1").neq(X.binding("a")))
+        .filter_(X.binding("b").lt(X.binding("c")))  # canonical: count once
+        .dedup("b", "c", "d1")
+        .select("a", "b", "c", "d1")
+    )

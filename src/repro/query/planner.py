@@ -1,0 +1,209 @@
+"""Cost-based planning of bidirectional path joins (paper §III-A, Fig 3).
+
+Given a path pattern anchored at both ends, e.g.::
+
+    p:Person -knows*- v:Person -hasCreator^-1- Post -hasTag- t:Tag
+
+a traversal can expand from either endpoint, or break the path at an
+intermediate *join key* and expand from both ends simultaneously, meeting
+in a double-pipelined join. The paper: "The selection of the join key is
+facilitated by a cost-based query planner, which chooses the key that
+minimizes the estimated number of all matched partial paths."
+
+This module implements that planner:
+
+* :class:`GraphStats` — average fanout per (edge label, direction),
+  measured from a graph;
+* :func:`plan_path` — evaluate every split point (including the two
+  single-direction extremes) and return the cheapest :class:`JoinPlan`;
+* :func:`build_join_traversal` — materialize the chosen plan as a
+  :class:`~repro.query.traversal.Traversal` (a plain chain, or a
+  ``Traversal.join`` of the two partial paths).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import PlanningError
+from repro.graph.partition import PartitionedGraph
+from repro.graph.property_graph import PropertyGraph
+from repro.query.traversal import Traversal
+
+
+@dataclass(frozen=True)
+class PatternEdge:
+    """One step of a path pattern, read left-to-right."""
+
+    direction: str  # "out" | "in" (w.r.t. left-to-right reading)
+    label: str
+
+    def reversed(self) -> "PatternEdge":
+        """The same edge read right-to-left."""
+        return PatternEdge("in" if self.direction == "out" else "out", self.label)
+
+
+class GraphStats:
+    """Average fanout per (edge label, direction), for cardinality
+    estimation."""
+
+    def __init__(self, fanouts: Dict[Tuple[str, str], float]) -> None:
+        self._fanouts = fanouts
+
+    @classmethod
+    def from_graph(cls, graph: PropertyGraph) -> "GraphStats":
+        counts: Dict[str, int] = {}
+        for edge in graph.edges():
+            counts[edge.label] = counts.get(edge.label, 0) + 1
+        n = max(graph.vertex_count, 1)
+        fanouts: Dict[Tuple[str, str], float] = {}
+        for label, count in counts.items():
+            fanouts[(label, "out")] = count / n
+            fanouts[(label, "in")] = count / n
+        return cls(fanouts)
+
+    @classmethod
+    def from_partitioned(cls, graph: PartitionedGraph) -> "GraphStats":
+        counts: Dict[str, int] = {}
+        for store in graph.stores:
+            for label in store.edge_labels():
+                # Count each edge once, from its source partition's out-CSR.
+                for vid in store.local_vertices():
+                    counts[label] = counts.get(label, 0) + store.degree(
+                        vid, "out", label
+                    )
+        n = max(graph.vertex_count, 1)
+        fanouts: Dict[Tuple[str, str], float] = {}
+        for label, count in counts.items():
+            fanouts[(label, "out")] = count / n
+            fanouts[(label, "in")] = count / n
+        return cls(fanouts)
+
+    def fanout(self, edge: PatternEdge) -> float:
+        """Estimated branching factor of expanding along ``edge``."""
+        return self._fanouts.get((edge.label, edge.direction), 1.0)
+
+
+@dataclass
+class JoinPlan:
+    """The planner's decision for a path pattern.
+
+    ``split`` is the index of the pattern vertex at which the two partial
+    paths meet: 0 means "expand only from the right anchor", ``len(edges)``
+    means "expand only from the left anchor", anything in between is a
+    bidirectional join at that vertex.
+    """
+
+    split: int
+    left_cost: float
+    right_cost: float
+    num_edges: int = 0
+
+    @property
+    def total_cost(self) -> float:
+        return self.left_cost + self.right_cost
+
+    @property
+    def is_join(self) -> bool:
+        return 0 < self.split < self.num_edges
+
+
+def estimate_expansion_cost(
+    edges: Sequence[PatternEdge], stats: GraphStats, start_count: float = 1.0
+) -> float:
+    """Total matched partial paths over an expansion chain.
+
+    The sum of intermediate result sizes at every level — the quantity the
+    paper's planner minimizes ("the estimated number of all matched partial
+    paths").
+    """
+    total = 0.0
+    count = start_count
+    for edge in edges:
+        count *= max(stats.fanout(edge), 1e-9)
+        total += count
+    return total
+
+
+def plan_path(
+    edges: Sequence[PatternEdge],
+    stats: GraphStats,
+    left_anchored: bool = True,
+    right_anchored: bool = True,
+) -> JoinPlan:
+    """Choose the cheapest split point for a two-anchored path pattern.
+
+    Evaluates every split ``0..len(edges)``; split ``s`` expands the first
+    ``s`` edges from the left anchor and the remaining edges (reversed)
+    from the right anchor. Unanchored ends cannot expand (their splits are
+    skipped).
+    """
+    if not edges:
+        raise PlanningError("empty pattern")
+    n = len(edges)
+    best: Optional[JoinPlan] = None
+    for split in range(0, n + 1):
+        if split > 0 and not left_anchored:
+            continue
+        if split < n and not right_anchored:
+            continue
+        left = estimate_expansion_cost(edges[:split], stats)
+        right = estimate_expansion_cost(
+            [e.reversed() for e in reversed(edges[split:])], stats
+        )
+        candidate = JoinPlan(split, left, right, n)
+        if best is None or candidate.total_cost < best.total_cost:
+            best = candidate
+    assert best is not None
+    return best
+
+
+def build_join_traversal(
+    name: str,
+    edges: Sequence[PatternEdge],
+    stats: GraphStats,
+    left_param: str = "left",
+    right_param: str = "right",
+) -> Tuple[Traversal, JoinPlan]:
+    """Materialize the cheapest plan for a two-anchored path as a traversal.
+
+    The result binds the meeting vertex as ``"meet"`` and, for join plans,
+    continues after the double-pipelined join with both sides' bindings.
+    Single-direction plans verify arrival at the opposite anchor with a
+    final filter.
+    """
+    from repro.query.exprs import X
+
+    plan = plan_path(edges, stats)
+    n = len(edges)
+
+    def chain(t: Traversal, part: Sequence[PatternEdge]) -> Traversal:
+        for edge in part:
+            t = t.out(edge.label) if edge.direction == "out" else t.in_(edge.label)
+        return t
+
+    if plan.split == n:
+        # Forward-only: expand the whole path from the left anchor.
+        t = chain(Traversal(name).v_param(left_param), edges)
+        t = t.filter_(X.vertex().eq(X.param(right_param))).as_("meet")
+        return t, plan
+    if plan.split == 0:
+        # Backward-only: expand the reversed path from the right anchor.
+        t = chain(
+            Traversal(name).v_param(right_param),
+            [e.reversed() for e in reversed(edges)],
+        )
+        t = t.filter_(X.vertex().eq(X.param(left_param))).as_("meet")
+        return t, plan
+
+    left = chain(Traversal(f"{name}.left").v_param(left_param), edges[: plan.split])
+    left = left.as_("__left_meet__")
+    right = chain(
+        Traversal(f"{name}.right").v_param(right_param),
+        [e.reversed() for e in reversed(edges[plan.split:])],
+    )
+    right = right.as_("__right_meet__")
+    joined = Traversal.join(name, left, "__left_meet__", right, "__right_meet__")
+    joined = joined.project(meet=X.binding("__left_meet__"))
+    return joined, plan

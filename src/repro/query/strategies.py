@@ -1,0 +1,144 @@
+"""Traversal strategies: semantics-preserving logical rewrites (§II-B).
+
+The Gremlin compiler applies *traversal strategies* — rewriting rules that
+convert a section of a traversal into an equivalent, cheaper form. Three are
+implemented here; all operate on the logical step list before lowering:
+
+* :class:`IndexLookupStrategy` — the paper's example: a full vertex scan
+  followed by an exact-match property filter becomes an index lookup when
+  the partitioned graph has the matching ``(label, key)`` index.
+* :class:`IndexFallbackStrategy` — the inverse safety net: an index lookup
+  against a missing index degrades to scan+filter instead of failing.
+* :class:`FilterFusionStrategy` — adjacent structured ``has`` filters fuse
+  into a single conjunctive filter, halving per-traverser op dispatches.
+
+Strategies also recurse into union branches and join sides.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.query import ast
+from repro.query.exprs import X
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.partition import PartitionedGraph
+
+
+class Strategy:
+    """Base class: rewrite a logical step list."""
+
+    def apply(
+        self, steps: List[ast.LogicalStep], graph: "PartitionedGraph"
+    ) -> List[ast.LogicalStep]:
+        """Rewrite a logical step list (semantics-preserving)."""
+        raise NotImplementedError
+
+
+class IndexLookupStrategy(Strategy):
+    """Replace ``Scan(label) + Has(key, $p)`` with ``IndexLookup``."""
+
+    def apply(
+        self, steps: List[ast.LogicalStep], graph: "PartitionedGraph"
+    ) -> List[ast.LogicalStep]:
+        """Rewrite Scan+Has into IndexLookup when indexed."""
+        if len(steps) >= 2 and isinstance(steps[0], ast.ScanStep):
+            scan = steps[0]
+            nxt = steps[1]
+            if (
+                isinstance(nxt, ast.HasStep)
+                and nxt.param is not None
+                and scan.label is not None
+                and graph.has_index(scan.label, nxt.key)
+            ):
+                lookup = ast.IndexLookupStep(scan.label, nxt.key, nxt.param)
+                return [lookup] + steps[2:]
+        return steps
+
+
+class IndexFallbackStrategy(Strategy):
+    """Degrade ``IndexLookup`` against a missing index to scan+filter."""
+
+    def apply(
+        self, steps: List[ast.LogicalStep], graph: "PartitionedGraph"
+    ) -> List[ast.LogicalStep]:
+        """Degrade IndexLookup to Scan+Has when unindexed."""
+        if steps and isinstance(steps[0], ast.IndexLookupStep):
+            step = steps[0]
+            if not graph.has_index(step.label, step.key):
+                return [
+                    ast.ScanStep(step.label),
+                    ast.HasStep(step.key, param=step.value_param),
+                ] + steps[1:]
+        return steps
+
+
+class FilterFusionStrategy(Strategy):
+    """Fuse runs of adjacent ``Has`` steps into one conjunctive filter."""
+
+    def apply(
+        self, steps: List[ast.LogicalStep], graph: "PartitionedGraph"
+    ) -> List[ast.LogicalStep]:
+        """Fuse adjacent Has filters into one conjunction."""
+        out: List[ast.LogicalStep] = []
+        i = 0
+        while i < len(steps):
+            step = steps[i]
+            if isinstance(step, ast.HasStep):
+                run = [step]
+                while i + 1 < len(steps) and isinstance(steps[i + 1], ast.HasStep):
+                    i += 1
+                    run.append(steps[i])
+                if len(run) > 1:
+                    expr = _has_expr(run[0])
+                    for has in run[1:]:
+                        expr = expr.and_(_has_expr(has))
+                    out.append(ast.FilterStep(expr))
+                else:
+                    out.append(step)
+            else:
+                out.append(step)
+            i += 1
+        return out
+
+
+def _has_expr(step: ast.HasStep) -> X:
+    if step.param is not None:
+        return X.prop(step.key).eq(X.param(step.param))
+    return X.prop(step.key).eq(X.const(step.const))
+
+
+DEFAULT_STRATEGIES: List[Strategy] = [
+    IndexLookupStrategy(),
+    IndexFallbackStrategy(),
+    FilterFusionStrategy(),
+]
+
+
+def apply_strategies(
+    steps: List[ast.LogicalStep],
+    graph: "PartitionedGraph",
+    strategies: List[Strategy] = None,
+) -> List[ast.LogicalStep]:
+    """Run every strategy over the step list, recursing into branches."""
+    active = DEFAULT_STRATEGIES if strategies is None else strategies
+    for strategy in active:
+        steps = strategy.apply(steps, graph)
+    rewritten: List[ast.LogicalStep] = []
+    for step in steps:
+        if isinstance(step, ast.UnionStep):
+            step = ast.UnionStep(
+                [apply_strategies(branch, graph, active) for branch in step.branches]
+            )
+        elif isinstance(step, ast.JoinStep):
+            step = ast.JoinStep(
+                ast.JoinSpec(
+                    apply_strategies(step.left.steps, graph, active), step.left.key
+                ),
+                ast.JoinSpec(
+                    apply_strategies(step.right.steps, graph, active), step.right.key
+                ),
+            )
+        rewritten.append(step)
+    return rewritten

@@ -1,0 +1,65 @@
+"""Execution runtimes: the reference interpreter and simulated engines."""
+
+from repro.runtime.bsp import BSPEngine
+from repro.runtime.cluster import PAPER_CLUSTER, SMALL_CLUSTER, ClusterConfig
+from repro.runtime.costmodel import (
+    DEFAULT_COST_MODEL,
+    CostModel,
+    HardwareProfile,
+    MODERN,
+)
+from repro.runtime.engine import (
+    AsyncPSTMEngine,
+    EngineConfig,
+    IO_SYNC,
+    IO_TLC,
+    IO_TLC_NLC,
+    QueryProfile,
+    QueryResult,
+)
+from repro.runtime.hybrid import HybridEngine, estimate_plan_work
+from repro.runtime.metrics import LatencyRecorder, MsgKind, QueryMetrics, RunMetrics
+from repro.runtime.reference import LocalExecutor
+from repro.runtime.simclock import SimClock
+from repro.runtime.variants import (
+    SingleNodeEngine,
+    make_banyan,
+    make_bsp,
+    make_gaia,
+    make_graphdance,
+    make_graphscope,
+    make_non_partitioned,
+)
+
+__all__ = [
+    "AsyncPSTMEngine",
+    "BSPEngine",
+    "ClusterConfig",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "EngineConfig",
+    "HardwareProfile",
+    "HybridEngine",
+    "IO_SYNC",
+    "IO_TLC",
+    "IO_TLC_NLC",
+    "LatencyRecorder",
+    "LocalExecutor",
+    "MODERN",
+    "MsgKind",
+    "PAPER_CLUSTER",
+    "QueryMetrics",
+    "QueryProfile",
+    "QueryResult",
+    "RunMetrics",
+    "SMALL_CLUSTER",
+    "SimClock",
+    "SingleNodeEngine",
+    "estimate_plan_work",
+    "make_banyan",
+    "make_bsp",
+    "make_gaia",
+    "make_graphdance",
+    "make_graphscope",
+    "make_non_partitioned",
+]

@@ -1,0 +1,54 @@
+"""Cluster configurations shared by benchmarks and examples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+from repro.graph.partition import PartitionedGraph
+from repro.graph.property_graph import PropertyGraph
+from repro.runtime.costmodel import MODERN, HardwareProfile, validate_cluster
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Shape of the simulated cluster."""
+
+    nodes: int = 8
+    workers_per_node: int = 16
+    hardware: HardwareProfile = MODERN
+
+    def __post_init__(self) -> None:
+        validate_cluster(self.nodes, self.workers_per_node, self.hardware)
+
+    @property
+    def num_partitions(self) -> int:
+        """Partitions for a fully partitioned (GraphDance) deployment."""
+        return self.nodes * self.workers_per_node
+
+    def with_nodes(self, nodes: int) -> "ClusterConfig":
+        """A copy with a different node count."""
+        return replace(self, nodes=nodes)
+
+    def with_workers(self, workers_per_node: int) -> "ClusterConfig":
+        """A copy with a different workers-per-node count."""
+        return replace(self, workers_per_node=workers_per_node)
+
+    def with_hardware(self, hardware: HardwareProfile) -> "ClusterConfig":
+        """A copy with a different hardware profile."""
+        return replace(self, hardware=hardware)
+
+    def partition(self, graph: PropertyGraph) -> PartitionedGraph:
+        """Partition a graph for this cluster's partitioned deployment."""
+        return PartitionedGraph.from_graph(graph, self.num_partitions)
+
+    def partition_per_node(self, graph: PropertyGraph) -> PartitionedGraph:
+        """Partition a graph one-shard-per-node (non-partitioned baseline)."""
+        return PartitionedGraph.from_graph(graph, self.nodes)
+
+
+#: The paper's 8-node evaluation cluster (§V).
+PAPER_CLUSTER = ClusterConfig(nodes=8, workers_per_node=16, hardware=MODERN)
+
+#: A small cluster for quick tests and examples.
+SMALL_CLUSTER = ClusterConfig(nodes=2, workers_per_node=4, hardware=MODERN)

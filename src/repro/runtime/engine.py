@@ -1,0 +1,634 @@
+"""The asynchronous PSTM engine — GraphDance's runtime (paper §IV).
+
+:class:`AsyncPSTMEngine` executes compiled plans on a simulated cluster:
+
+* one single-threaded :class:`~repro.runtime.worker.Worker` per partition
+  (shared-nothing; the non-partitioned baseline attaches several workers to
+  one shared per-node partition instead);
+* two-tier message passing (:mod:`repro.runtime.network`);
+* weight-based progress tracking with optional coalescing
+  (:mod:`repro.core.progress`), hosted on a centralized tracker actor;
+* staged aggregation with distributed partials gathered at the coordinator
+  (:mod:`repro.core.subquery`).
+
+Queries run **for real** — every operator touches real partitioned data and
+the result rows are exact; the simulation only decides *when* things happen,
+which is what the paper's evaluation measures.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.machine import PSTMMachine, resolve_partition
+from repro.core.memo import MemoStore
+from repro.core.progress import ProgressMode, ProgressTracker
+from repro.core.steps import FixedVertexSource, StepContext
+from repro.core.subquery import GatheredPartial, StageCursor
+from repro.core.traverser import Traverser, make_root
+from repro.core.weight import ROOT_WEIGHT, split_weight
+from repro.errors import ConfigurationError, ExecutionError, QueryTimeoutError
+from repro.graph.partition import PartitionedGraph
+from repro.query.plan import PhysicalPlan
+from repro.runtime.costmodel import (
+    DEFAULT_COST_MODEL,
+    CostModel,
+    HardwareProfile,
+    MODERN,
+    validate_cluster,
+)
+from repro.runtime.metrics import LatencyRecorder, MsgKind, QueryMetrics, RunMetrics
+from repro.runtime.network import TRACKER_DST, Message, Network
+from repro.runtime.simclock import SimClock
+from repro.runtime.worker import PartitionRuntime, TrackerActor, Worker
+
+#: I/O scheduler configurations of Fig 12.
+IO_SYNC = "sync"          # no batching: every message is its own packet
+IO_TLC = "tlc"            # thread-level combining only
+IO_TLC_NLC = "tlc+nlc"    # full two-tier scheduler (default)
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Behavioral switches for the async engine and its baselines."""
+
+    name: str = "graphdance"
+    progress_mode: ProgressMode = ProgressMode.WEIGHTED_COALESCED
+    io_mode: str = IO_TLC_NLC
+    flush_threshold_bytes: int = 8192
+    batch_size: int = 64
+    #: False → the non-partitioned baseline: one shared state per node
+    partitioned_state: bool = True
+    #: dataflow-style per-(op × worker) query setup cost (Banyan/GAIA)
+    per_query_instantiation: bool = False
+    #: route all aggregation traversers to partition 0 (GAIA)
+    centralized_agg: bool = False
+    #: compute scaling (hand-optimized single-node plugins use < 1)
+    cpu_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.io_mode not in (IO_SYNC, IO_TLC, IO_TLC_NLC):
+            raise ConfigurationError(f"unknown io_mode {self.io_mode!r}")
+
+
+@dataclass
+class QueryResult:
+    """Outcome of one query run."""
+
+    rows: List[Any]
+    latency_us: float
+    metrics: QueryMetrics
+
+    @property
+    def latency_ms(self) -> float:
+        """Simulated latency in milliseconds."""
+        return self.latency_us / 1000.0
+
+
+@dataclass
+class QueryProfile:
+    """EXPLAIN ANALYZE output: per-operator execution statistics."""
+
+    plan: PhysicalPlan
+    op_steps: Dict[int, int]
+    op_spawned: Dict[int, int]
+    metrics: QueryMetrics
+    rows: List[Any]
+
+    def steps_of(self, op_idx: int) -> int:
+        """Traversers that executed the operator at ``op_idx``."""
+        return self.op_steps.get(op_idx, 0)
+
+    def spawned_of(self, op_idx: int) -> int:
+        """Children produced by the operator at ``op_idx``."""
+        return self.op_spawned.get(op_idx, 0)
+
+    def hottest(self, k: int = 3) -> List[int]:
+        """Operator indexes by descending execution count."""
+        return sorted(self.op_steps, key=lambda i: -self.op_steps[i])[:k]
+
+    def render(self) -> str:
+        """Per-operator table aligned with ``plan.describe()``."""
+        lines = [f"profile of {self.plan.name!r} "
+                 f"({self.metrics.latency_us / 1000:.3f} ms simulated, "
+                 f"{self.metrics.steps_executed} steps)"]
+        for op in self.plan.ops:
+            executed = self.op_steps.get(op.idx, 0)
+            spawned = self.op_spawned.get(op.idx, 0)
+            marker = "*" if op.is_barrier else " "
+            lines.append(
+                f"  [{op.idx:>2}]{marker} {op.name:<32} "
+                f"executed={executed:<8d} spawned={spawned}"
+            )
+        return "\n".join(lines)
+
+
+class QuerySession:
+    """Runtime state of one in-flight query."""
+
+    def __init__(
+        self,
+        engine: "AsyncPSTMEngine",
+        query_id: int,
+        plan: PhysicalPlan,
+        params: Dict[str, Any],
+        on_done: Optional[Callable[["QuerySession"], None]],
+    ) -> None:
+        self.engine = engine
+        self.query_id = query_id
+        self.plan = plan
+        self.params = params
+        self.on_done = on_done
+        self.machine = PSTMMachine(
+            plan,
+            engine.graph.partitioner,
+            barrier_route=0 if engine.config.centralized_agg else None,
+        )
+        self.rng = random.Random((engine.seed << 20) ^ query_id)
+        self.cursor = StageCursor(plan, query_id)
+        self.qmetrics = QueryMetrics(query_id, plan.name, submitted_at_us=0.0)
+        self._contexts: List[Optional[StepContext]] = [None] * engine.num_partitions
+        self.expected_partials = 0
+        self.partials: List[GatheredPartial] = []
+        #: set when the query was aborted by its time limit (§II-A)
+        self.timed_out = False
+        #: per-operator execution counts (op index → traversers executed),
+        #: the EXPLAIN ANALYZE data behind :meth:`AsyncPSTMEngine.profile`
+        self.op_steps: Dict[int, int] = {}
+        #: per-operator spawn counts (op index → children produced)
+        self.op_spawned: Dict[int, int] = {}
+
+    def context(self, pid: int) -> StepContext:
+        """The query's StepContext on one partition (lazy)."""
+        ctx = self._contexts[pid]
+        if ctx is None:
+            runtime = self.engine.runtimes[pid]
+            ctx = StepContext(
+                runtime.store,
+                runtime.memo_store.for_query(self.query_id),
+                self.engine.graph.partitioner,
+                self.params,
+            )
+            self._contexts[pid] = ctx
+        return ctx
+
+    @property
+    def results(self) -> List[Any]:
+        if self.cursor.results is None:
+            raise ExecutionError(f"query {self.query_id} has not finished")
+        return self.cursor.results
+
+
+class AsyncPSTMEngine:
+    """GraphDance: asynchronous distributed PSTM execution (simulated)."""
+
+    def __init__(
+        self,
+        graph: PartitionedGraph,
+        nodes: int,
+        workers_per_node: int,
+        hardware: HardwareProfile = MODERN,
+        cost_model: Optional[CostModel] = None,
+        config: EngineConfig = EngineConfig(),
+        seed: int = 0,
+    ) -> None:
+        validate_cluster(nodes, workers_per_node, hardware)
+        expected = nodes * workers_per_node if config.partitioned_state else nodes
+        if graph.num_partitions != expected:
+            raise ConfigurationError(
+                f"{config.name}: graph has {graph.num_partitions} partitions "
+                f"but this configuration needs {expected} "
+                f"({nodes} nodes × {workers_per_node} workers, "
+                f"partitioned_state={config.partitioned_state})"
+            )
+        self.graph = graph
+        self.nodes = nodes
+        self.workers_per_node = workers_per_node
+        self.config = config
+        self.seed = seed
+        base_cost = cost_model or DEFAULT_COST_MODEL
+        self.cost = replace(
+            base_cost.with_hardware(hardware), cpu_scale=config.cpu_scale
+        )
+        self.num_partitions = graph.num_partitions
+        self.partitions_per_node = self.num_partitions // nodes
+
+        self.clock = SimClock()
+        self.metrics = RunMetrics()
+        self.network = Network(
+            self.clock,
+            nodes,
+            self.cost,
+            self.metrics,
+            self._deliver,
+            node_combining=(config.io_mode == IO_TLC_NLC),
+        )
+        # Effective tier-1 flush threshold: IO_SYNC flushes every message.
+        self._flush_threshold = (
+            1 if config.io_mode == IO_SYNC else config.flush_threshold_bytes
+        )
+
+        self.runtimes: List[PartitionRuntime] = [
+            PartitionRuntime(p, graph.stores[p], MemoStore(p))
+            for p in range(self.num_partitions)
+        ]
+        self.workers: List[Worker] = []
+        if config.partitioned_state:
+            for pid in range(self.num_partitions):
+                self.workers.append(
+                    Worker(self, pid, self.node_of(pid), self.runtimes[pid])
+                )
+        else:
+            wid = 0
+            for node in range(nodes):
+                for _ in range(workers_per_node):
+                    self.workers.append(Worker(self, wid, node, self.runtimes[node]))
+                    wid += 1
+
+        self.tracker_node = 0
+        self.tracker = TrackerActor(self)
+        self.progress = ProgressTracker(config.progress_mode, self._stage_terminated)
+        self.sessions: Dict[int, QuerySession] = {}
+        self.completed: Dict[int, QuerySession] = {}
+        self._next_query_id = 0
+        # Worker-bound traversers buffered or in flight, per query. Only the
+        # naive progress mode needs this (its active counter can transiently
+        # hit zero while traversers are in transit); weighted modes skip the
+        # bookkeeping entirely.
+        self._inflight: Dict[int, int] = {}
+        self.track_inflight = config.progress_mode is ProgressMode.NAIVE_CENTRAL
+
+    # -- topology -----------------------------------------------------------
+
+    def node_of(self, pid: int) -> int:
+        """The node hosting a partition."""
+        return pid // self.partitions_per_node
+
+    def resolve_target(self, trav: Traverser, routed: Optional[int]) -> int:
+        """The partition a traverser should execute on."""
+        return resolve_partition(trav, self.graph.partitioner, routed)
+
+    def worker_utilization(self, window_us: Optional[float] = None) -> float:
+        """Mean fraction of worker CPU time spent busy over a window.
+
+        Defaults to the full simulated run (``clock.now``). The async
+        model's headline advantage over BSP is exactly this number: no
+        barrier ever parks a worker that has local work (§II-C2).
+        """
+        window = window_us if window_us is not None else self.clock.now
+        if window <= 0:
+            return 0.0
+        busy = sum(worker.busy_total for worker in self.workers)
+        return busy / (window * len(self.workers))
+
+    def note_outbound(self, query_id: int) -> None:
+        """Record a worker-bound message entering a buffer or the network."""
+        self._inflight[query_id] = self._inflight.get(query_id, 0) + 1
+
+    def _query_quiescent(self, query_id: int, stage: int) -> bool:
+        """True when no traverser of this (query, stage) exists anywhere:
+        not queued, not buffered, not in flight."""
+        if self._inflight.get(query_id, 0) > 0:
+            return False
+        return all(
+            runtime.stage_counts.get((query_id, stage), 0) <= 0
+            for runtime in self.runtimes
+        )
+
+    # Worker-facing config shims -----------------------------------------------
+
+    @property
+    def flush_threshold_bytes(self) -> int:
+        return self._flush_threshold
+
+    # -- submission ---------------------------------------------------------------
+
+    def submit(
+        self,
+        plan: PhysicalPlan,
+        params: Optional[Dict[str, Any]] = None,
+        on_done: Optional[Callable[[QuerySession], None]] = None,
+        at: Optional[float] = None,
+        time_limit_us: Optional[float] = None,
+    ) -> QuerySession:
+        """Submit a query now (or at simulated time ``at``).
+
+        ``time_limit_us`` arms an abort deadline: interactive serving
+        systems run under strict budgets (the paper's §II-A example gives a
+        search engine ~50 ms — "any queries ... that fail to complete
+        within this time limit will simply be aborted"). An aborted query's
+        session is torn down (memos cleared, in-flight traversers dropped)
+        and its metrics stay incomplete; ``on_done`` still fires so closed
+        loops keep moving.
+        """
+        session = QuerySession(
+            self, self._next_query_id, plan, dict(params or {}), on_done
+        )
+        self._next_query_id += 1
+        self.sessions[session.query_id] = session
+        if at is None:
+            self._do_submit(session)
+        else:
+            self.clock.schedule_at(at, lambda: self._do_submit(session))
+        if time_limit_us is not None:
+            deadline = (at if at is not None else self.clock.now) + time_limit_us
+            self.clock.schedule_at(
+                deadline, lambda: self._abort_if_running(session, time_limit_us)
+            )
+        return session
+
+    def _abort_if_running(self, session: QuerySession, limit_us: float) -> None:
+        """Deadline handler: tear down a query that overran its budget."""
+        if session.query_id not in self.sessions:
+            return  # finished in time
+        session.timed_out = True
+        self.sessions.pop(session.query_id, None)
+        for runtime in self.runtimes:
+            runtime.memo_store.clear_query(session.query_id)
+        self._inflight.pop(session.query_id, None)
+        self.progress.close_query(session.query_id)
+        self.completed[session.query_id] = session
+        if session.on_done is not None:
+            session.on_done(session)
+
+    def _do_submit(self, session: QuerySession) -> None:
+        now = self.clock.now
+        session.qmetrics.submitted_at_us = now
+        ready_at = now
+        if self.config.per_query_instantiation:
+            # Dataflow-style engines (Banyan, GAIA) instantiate every
+            # operator in every worker thread before the query can start:
+            # each worker pays a parallel setup cost, and the coordinator
+            # serially registers the (ops × workers) channel endpoints —
+            # the linear-in-threads overhead behind Fig 9's flattening.
+            setup = self.cost.operator_instantiation_us * len(session.plan.ops)
+            for worker in self.workers:
+                worker.add_setup_cost(now, setup)
+            coord_setup = (
+                self.cost.operator_instantiation_us
+                * 0.25
+                * len(self.workers)
+                * len(session.plan.ops)
+            )
+            ready_at = self.tracker.charge(now, coord_setup)
+        self.progress.open_stage(session.query_id, 0)
+        seeds = self._stage0_seeds(session)
+        if ready_at > now:
+            self.clock.schedule_at(
+                ready_at, lambda: self._dispatch_seeds(session, seeds, self.clock.now)
+            )
+        else:
+            self._dispatch_seeds(session, seeds, now)
+
+    def _stage0_seeds(self, session: QuerySession) -> List[Traverser]:
+        plan = session.plan
+        specs: List[Traverser] = []
+        for source in plan.source_ops():
+            if source.broadcast:
+                for pid in range(self.num_partitions):
+                    specs.append(
+                        make_root(
+                            session.query_id, -pid - 1, source.idx, plan.payload_width, 0
+                        )
+                    )
+            else:
+                assert isinstance(source, FixedVertexSource)
+                vertex = source.start_vertex(session.params)
+                specs.append(
+                    make_root(
+                        session.query_id, vertex, source.idx, plan.payload_width, 0
+                    )
+                )
+        weights = split_weight(ROOT_WEIGHT, len(specs), session.rng)
+        return [t.evolve(weight=w) for t, w in zip(specs, weights)]
+
+    def _dispatch_seeds(
+        self, session: QuerySession, seeds: List[Traverser], now: float
+    ) -> None:
+        """Route seed traversers from the coordinator to their partitions."""
+        if self.config.progress_mode is ProgressMode.NAIVE_CENTRAL and seeds:
+            # The coordinator knows the seed count; no message needed.
+            self.progress.add_naive_active(
+                session.query_id, seeds[0].stage, len(seeds)
+            )
+        by_pid: Dict[int, List[Traverser]] = {}
+        for trav in seeds:
+            pid = self.resolve_target(trav, session.machine.route(trav))
+            by_pid.setdefault(pid, []).append(trav)
+        for pid, travs in by_pid.items():
+            size = sum(t.estimated_size_bytes() for t in travs)
+            if self.track_inflight:
+                self.note_outbound(session.query_id)
+            self.network.send(
+                self.tracker_node,
+                self.node_of(pid),
+                [Message(MsgKind.SEED, pid, travs, size, session.query_id)],
+                now,
+            )
+
+    # -- message delivery ------------------------------------------------------------
+
+    def _deliver(self, msg: Message) -> None:
+        if msg.dst_pid == TRACKER_DST:
+            self.tracker.submit(msg, self.clock.now, self.cost.tracker_msg_us)
+            return
+        runtime = self.runtimes[msg.dst_pid]
+        if msg.kind is MsgKind.TRAVERSER:
+            if self.track_inflight and msg.query_id in self._inflight:
+                self._inflight[msg.query_id] -= len(msg.payload)
+            runtime.enqueue(msg.payload, self.clock.now)
+        elif msg.kind is MsgKind.SEED:
+            if self.track_inflight and msg.query_id in self._inflight:
+                self._inflight[msg.query_id] -= 1
+            runtime.enqueue(list(msg.payload), self.clock.now)
+        else:  # pragma: no cover - no other worker-bound kinds exist
+            raise ExecutionError(f"unexpected worker message kind {msg.kind}")
+
+    def tracker_handle(self, msg: Message) -> None:
+        """Process one tracker-bound message (progress report or partial)."""
+        if msg.kind is MsgKind.PROGRESS:
+            tag, query_id, stage, value = msg.payload
+            if tag == "weight":
+                self.progress.report_weight(query_id, stage, value)
+            else:
+                self.progress.report_delta(query_id, stage, value)
+        elif msg.kind is MsgKind.PARTIAL:
+            _tag, query_id, stage, partial = msg.payload
+            session = self.sessions.get(query_id)
+            if session is None or session.cursor.current != stage:
+                return
+            session.partials.append(partial)
+            if len(session.partials) >= session.expected_partials:
+                done_at = self.tracker.charge(
+                    self.clock.now,
+                    self.cost.combine_partial_us * len(session.partials),
+                )
+                self.clock.schedule_at(
+                    done_at, lambda s=session, st=stage: self._complete_stage(s, st)
+                )
+        else:  # pragma: no cover
+            raise ExecutionError(f"unexpected tracker message kind {msg.kind}")
+
+    # -- stage lifecycle ------------------------------------------------------------------
+
+    def _stage_terminated(self, query_id: int, stage: int) -> None:
+        """Weight ledger hit 1: gather the barrier's partials (Fig 6)."""
+        session = self.sessions.get(query_id)
+        if session is None or session.cursor.current != stage:
+            return
+        if (
+            self.config.progress_mode is ProgressMode.NAIVE_CENTRAL
+            and not self._query_quiescent(query_id, stage)
+        ):
+            # Transient zero crossing: traversers are still in transit.
+            # Their own reports will re-trigger the zero check later.
+            return
+        barrier = session.cursor.barrier()
+        now = self.clock.now
+        expected = 0
+        for pid, runtime in enumerate(self.runtimes):
+            memo = runtime.memo_store.peek(query_id)
+            if memo is None:
+                continue
+            value = barrier.partial(memo)
+            if value is None:
+                continue
+            expected += 1
+            size = barrier.estimated_partial_size(value)
+            self.network.send(
+                self.node_of(pid),
+                self.tracker_node,
+                [
+                    Message(
+                        MsgKind.PARTIAL,
+                        TRACKER_DST,
+                        ("partial", query_id, stage,
+                         GatheredPartial(pid, value, size)),
+                        size,
+                        query_id,
+                    )
+                ],
+                now,
+            )
+        session.expected_partials = expected
+        session.partials = []
+        if expected == 0:
+            self._complete_stage(session, stage)
+
+    def _complete_stage(self, session: QuerySession, stage: int) -> None:
+        if session.cursor.current != stage or session.cursor.finished:
+            return
+        seeds = session.cursor.complete_stage(session.partials, session.rng)
+        # Vacuously-empty intermediate stages terminate immediately.
+        while not seeds and not session.cursor.finished:
+            seeds = session.cursor.complete_stage([], session.rng)
+        if session.cursor.finished:
+            self._finish_query(session)
+            return
+        self.progress.open_stage(session.query_id, session.cursor.current)
+        self._dispatch_seeds(session, seeds, self.clock.now)
+
+    def _finish_query(self, session: QuerySession) -> None:
+        session.qmetrics.completed_at_us = self.clock.now
+        session.qmetrics.result_rows = len(session.results)
+        for runtime in self.runtimes:
+            runtime.memo_store.clear_query(session.query_id)
+        self._inflight.pop(session.query_id, None)
+        self.progress.close_query(session.query_id)
+        self.sessions.pop(session.query_id, None)
+        self.completed[session.query_id] = session
+        if session.on_done is not None:
+            session.on_done(session)
+
+    # -- convenience runners ------------------------------------------------------------------
+
+    def run(
+        self,
+        plan: PhysicalPlan,
+        params: Optional[Dict[str, Any]] = None,
+        max_events: Optional[int] = None,
+        time_limit_us: Optional[float] = None,
+    ) -> QueryResult:
+        """Submit one query and simulate to completion.
+
+        Raises :class:`~repro.errors.QueryTimeoutError` when
+        ``time_limit_us`` is set and the query overruns it.
+        """
+        session = self.submit(plan, params, time_limit_us=time_limit_us)
+        self.clock.run_until_idle(max_events)
+        if session.timed_out:
+            raise QueryTimeoutError(session.query_id, (time_limit_us or 0) / 1e3)
+        if not session.qmetrics.done:
+            raise ExecutionError(
+                f"query {session.query_id} did not complete (plan "
+                f"{plan.name!r}); simulation deadlock?"
+            )
+        return QueryResult(
+            session.results, session.qmetrics.latency_us, session.qmetrics
+        )
+
+    def profile(
+        self,
+        plan: PhysicalPlan,
+        params: Optional[Dict[str, Any]] = None,
+        max_events: Optional[int] = None,
+    ) -> "QueryProfile":
+        """EXPLAIN ANALYZE: run a query and return per-operator counts.
+
+        Shows, for every physical operator, how many traversers executed it
+        and how many children it spawned — where a query's traverser volume
+        actually comes from (e.g. which Expand explodes, how many arrivals
+        a Dedup prunes).
+        """
+        session = self.submit(plan, params)
+        self.clock.run_until_idle(max_events)
+        if not session.qmetrics.done:
+            raise ExecutionError(f"profiled query {session.query_id} incomplete")
+        return QueryProfile(
+            plan,
+            dict(session.op_steps),
+            dict(session.op_spawned),
+            session.qmetrics,
+            session.results,
+        )
+
+    def run_closed_loop(
+        self,
+        make_query: Callable[[int], Tuple[PhysicalPlan, Dict[str, Any]]],
+        clients: int,
+        total_queries: int,
+        max_events: Optional[int] = None,
+    ) -> Tuple[float, LatencyRecorder]:
+        """Closed-loop throughput: ``clients`` concurrent issuers.
+
+        Returns (queries per second of simulated time, latency recorder).
+        """
+        recorder = LatencyRecorder()
+        state = {"issued": 0, "done": 0}
+
+        def issue() -> None:
+            if state["issued"] >= total_queries:
+                return
+            index = state["issued"]
+            state["issued"] += 1
+            plan, params = make_query(index)
+            self.submit(plan, params, on_done=on_done)
+
+        def on_done(session: QuerySession) -> None:
+            state["done"] += 1
+            recorder.record(session.qmetrics.latency_us)
+            issue()
+
+        for _ in range(min(clients, total_queries)):
+            issue()
+        start = self.clock.now
+        self.clock.run_until_idle(max_events)
+        elapsed_us = self.clock.now - start
+        if state["done"] != total_queries:
+            raise ExecutionError(
+                f"closed loop finished {state['done']}/{total_queries} queries"
+            )
+        qps = total_queries / (elapsed_us / 1e6) if elapsed_us > 0 else float("inf")
+        return qps, recorder

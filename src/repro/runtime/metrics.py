@@ -1,0 +1,153 @@
+"""Run metrics: message/step/byte counters and latency recorders.
+
+These counters feed the paper's microbenchmark figures directly:
+
+* Fig 11 — progress-tracking messages vs other messages (``messages`` by
+  :class:`MsgKind`);
+* Fig 10/12 — latency under different progress-tracking / I/O-scheduler
+  configurations (``QueryMetrics.latency_us``);
+* Fig 7 — avg and P99 latency over a mixed workload
+  (:class:`LatencyRecorder`).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+
+class MsgKind(Enum):
+    """Wire message categories (for Fig 11's breakdown)."""
+
+    TRAVERSER = "traverser"
+    PROGRESS = "progress"
+    PARTIAL = "partial"
+    SEED = "seed"
+    CONTROL = "control"
+
+    @property
+    def is_progress(self) -> bool:
+        return self is MsgKind.PROGRESS
+
+
+@dataclass
+class RunMetrics:
+    """Global counters for one engine instance."""
+
+    steps_executed: int = 0
+    traversers_spawned: int = 0
+    edges_scanned: int = 0
+    memo_ops: int = 0
+    messages: Counter = field(default_factory=Counter)  # MsgKind -> count
+    packets_sent: int = 0  # NIC-level packets (after node combining)
+    bytes_sent: int = 0
+    flushes: int = 0  # thread-level buffer flushes
+    local_deliveries: int = 0  # same-node shared-memory deliveries
+    supersteps: int = 0  # BSP only
+    # BSP only: per-superstep compute totals vs barrier-idle time. Idle is
+    # Σ_s (P·max_p - Σ_p) compute — worker-time wasted waiting at barriers
+    # because the superstep's frontier was imbalanced (the paper's
+    # straggler/low-utilization critique of BSP).
+    bsp_compute_us: float = 0.0
+    bsp_idle_us: float = 0.0
+
+    @property
+    def bsp_idle_fraction(self) -> float:
+        """Fraction of worker-time wasted at barriers (BSP engines only)."""
+        total = self.bsp_compute_us + self.bsp_idle_us
+        return self.bsp_idle_us / total if total > 0 else 0.0
+
+    def message_count(self, kind: MsgKind) -> int:
+        """Logical message count of one kind."""
+        return self.messages.get(kind, 0)
+
+    @property
+    def progress_messages(self) -> int:
+        return self.message_count(MsgKind.PROGRESS)
+
+    @property
+    def other_messages(self) -> int:
+        return sum(v for k, v in self.messages.items() if k is not MsgKind.PROGRESS)
+
+    def snapshot(self) -> Dict[str, int]:
+        """All counters as a flat dict (for reports)."""
+        out = {
+            "steps_executed": self.steps_executed,
+            "traversers_spawned": self.traversers_spawned,
+            "edges_scanned": self.edges_scanned,
+            "memo_ops": self.memo_ops,
+            "packets_sent": self.packets_sent,
+            "bytes_sent": self.bytes_sent,
+            "flushes": self.flushes,
+            "local_deliveries": self.local_deliveries,
+            "supersteps": self.supersteps,
+        }
+        for kind in MsgKind:
+            out[f"messages_{kind.value}"] = self.message_count(kind)
+        return out
+
+
+@dataclass
+class QueryMetrics:
+    """Per-query outcome."""
+
+    query_id: int
+    plan_name: str
+    submitted_at_us: float
+    completed_at_us: Optional[float] = None
+    steps_executed: int = 0
+    result_rows: int = 0
+
+    @property
+    def latency_us(self) -> float:
+        if self.completed_at_us is None:
+            raise ValueError(f"query {self.query_id} has not completed")
+        return self.completed_at_us - self.submitted_at_us
+
+    @property
+    def done(self) -> bool:
+        return self.completed_at_us is not None
+
+
+class LatencyRecorder:
+    """Collects latencies and reports avg / percentiles (Fig 7)."""
+
+    def __init__(self) -> None:
+        self._values: List[float] = []
+
+    def record(self, latency_us: float) -> None:
+        """Record one latency sample (µs)."""
+        self._values.append(latency_us)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def values(self) -> List[float]:
+        return list(self._values)
+
+    def average(self) -> float:
+        """Mean of the recorded latencies."""
+        if not self._values:
+            raise ValueError("no latencies recorded")
+        return sum(self._values) / len(self._values)
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile (rank = ⌈p/100 · N⌉), p in [0, 100]."""
+        import math
+
+        if not self._values:
+            raise ValueError("no latencies recorded")
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile out of range: {p}")
+        ordered = sorted(self._values)
+        if p == 0:
+            return ordered[0]
+        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+        return ordered[min(rank, len(ordered)) - 1]
+
+    def p99(self) -> float:
+        """The 99th-percentile latency (nearest rank)."""
+        return self.percentile(99)

@@ -1,0 +1,145 @@
+"""Two-tier message passing over a simulated NIC (paper §IV-B).
+
+The paper's I/O path has two tiers:
+
+1. **Thread-level combining (TLC)** — each worker keeps one buffer per
+   destination node; messages are stashed until the buffer exceeds a flush
+   threshold (8 KB) or the worker idles. This tier lives in
+   :class:`repro.runtime.worker.Worker`.
+2. **Node-level combining (NLC)** — flushed buffers from all workers of a
+   node are merged by network threads into packs, one TCP send per
+   destination node. Same-node messages short-cut through shared memory.
+
+This module implements tier 2 plus the NIC: per-node serial egress with
+per-packet overhead, bandwidth-proportional serialization time, and one-way
+wire latency. Message-kind counters feed Fig 11; packet counters feed
+Fig 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.runtime.costmodel import CostModel
+from repro.runtime.metrics import MsgKind, RunMetrics
+from repro.runtime.simclock import SimClock
+
+#: destination pid used for the tracker/coordinator actor
+TRACKER_DST = -1
+
+
+@dataclass
+class Message:
+    """One logical message (traverser pack, progress report, partial, ...)."""
+
+    kind: MsgKind
+    dst_pid: int  # worker partition id, or TRACKER_DST
+    payload: Any
+    size_bytes: int
+    query_id: int = -1
+
+
+DeliverFn = Callable[[Message], None]
+
+
+class Network:
+    """Simulated cluster interconnect with optional node-level combining."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        num_nodes: int,
+        cost: CostModel,
+        metrics: RunMetrics,
+        deliver: DeliverFn,
+        node_combining: bool = True,
+    ) -> None:
+        self.clock = clock
+        self.num_nodes = num_nodes
+        self.cost = cost
+        self.metrics = metrics
+        self.deliver = deliver
+        self.node_combining = node_combining
+        # per-node NIC egress availability
+        self._nic_free_at = [0.0] * num_nodes
+        # NLC: per (src, dst) pending messages and whether a send is armed
+        self._combiner: Dict[Tuple[int, int], List[Message]] = {}
+        self._combiner_bytes: Dict[Tuple[int, int], int] = {}
+        self._combiner_armed: Dict[Tuple[int, int], bool] = {}
+
+    # -- public API ---------------------------------------------------------
+
+    def send(self, src_node: int, dst_node: int, messages: List[Message], when: float) -> None:
+        """Transmit a flushed buffer from ``src_node`` toward ``dst_node``.
+
+        ``when`` is the flush instant. Same-node traffic takes the
+        shared-memory shortcut; remote traffic goes through the NIC, with
+        node-level combining when enabled.
+        """
+        if not messages:
+            return
+        for msg in messages:
+            # A traverser batch is many logical messages packed into one
+            # buffer flush; Fig 11 counts logical messages.
+            if msg.kind is MsgKind.TRAVERSER and isinstance(msg.payload, list):
+                self.metrics.messages[msg.kind] += len(msg.payload)
+            else:
+                self.metrics.messages[msg.kind] += 1
+        total = sum(m.size_bytes for m in messages)
+        if src_node == dst_node:
+            self.metrics.local_deliveries += len(messages)
+            arrival = when + self.cost.hardware.shm_latency_us
+            self.clock.schedule_at(arrival, lambda ms=messages: self._deliver_all(ms))
+            return
+        if self.node_combining:
+            self._combine(src_node, dst_node, messages, total, when)
+        else:
+            self._nic_send(src_node, dst_node, messages, total, when)
+
+    # -- node-level combining --------------------------------------------------
+
+    def _combine(
+        self,
+        src: int,
+        dst: int,
+        messages: List[Message],
+        total: int,
+        when: float,
+    ) -> None:
+        key = (src, dst)
+        self._combiner.setdefault(key, []).extend(messages)
+        self._combiner_bytes[key] = self._combiner_bytes.get(key, 0) + total
+        if not self._combiner_armed.get(key):
+            self._combiner_armed[key] = True
+            fire_at = when + self.cost.nlc_window_us
+            self.clock.schedule_at(fire_at, lambda k=key: self._fire_combiner(k))
+
+    def _fire_combiner(self, key: Tuple[int, int]) -> None:
+        messages = self._combiner.pop(key, [])
+        total = self._combiner_bytes.pop(key, 0)
+        self._combiner_armed[key] = False
+        if messages:
+            self._nic_send(key[0], key[1], messages, total, self.clock.now)
+
+    # -- NIC --------------------------------------------------------------------
+
+    def _nic_send(
+        self,
+        src: int,
+        dst: int,
+        messages: List[Message],
+        total: int,
+        when: float,
+    ) -> None:
+        start = max(when, self._nic_free_at[src])
+        tx = self.cost.tx_time_us(total)
+        self._nic_free_at[src] = start + tx
+        arrival = start + tx + self.cost.hardware.network_latency_us
+        self.metrics.packets_sent += 1
+        self.metrics.bytes_sent += total
+        self.clock.schedule_at(arrival, lambda ms=messages: self._deliver_all(ms))
+
+    def _deliver_all(self, messages: List[Message]) -> None:
+        for msg in messages:
+            self.deliver(msg)

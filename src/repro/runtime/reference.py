@@ -1,0 +1,138 @@
+"""Reference executor: run a plan to completion, no simulation.
+
+:class:`LocalExecutor` interprets a physical plan over a partitioned graph
+with a plain work queue — single Python thread, no clock, no network. It
+exercises the full PSTM core (machine, memos, weights, stages) and serves as
+
+* the correctness oracle the simulated engines are tested against, and
+* the cheapest way to just *run a query* from the public API.
+
+Because it shares every operator and the weight ledger with the distributed
+engines, a green reference run also certifies the termination-detection
+invariant: the query finishes exactly when the finished weight reaches 1.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+from repro.core.machine import PSTMMachine, resolve_partition
+from repro.core.memo import MemoStore
+from repro.core.progress import ProgressMode, ProgressTracker
+from repro.core.steps import FixedVertexSource, StepContext
+from repro.core.subquery import StageCursor, gather_partials
+from repro.core.traverser import Traverser, make_root
+from repro.core.weight import ROOT_WEIGHT, split_weight
+from repro.errors import ExecutionError
+from repro.graph.partition import PartitionedGraph
+from repro.query.plan import PhysicalPlan
+
+
+class LocalExecutor:
+    """Synchronous single-process plan interpreter."""
+
+    def __init__(self, graph: PartitionedGraph, seed: int = 0) -> None:
+        self.graph = graph
+        self.memo_stores = [MemoStore(p) for p in range(graph.num_partitions)]
+        self._seed = seed
+        self._next_query_id = 0
+        # Statistics of the last run (useful for tests and examples).
+        self.last_steps_executed = 0
+        self.last_traversers_spawned = 0
+
+    def run(self, plan: PhysicalPlan, params: Optional[Dict[str, Any]] = None) -> List[Any]:
+        """Execute ``plan`` with ``params`` and return the result rows."""
+        params = params or {}
+        query_id = self._next_query_id
+        self._next_query_id += 1
+        rng = random.Random((self._seed << 20) ^ query_id)
+        machine = PSTMMachine(plan, self.graph.partitioner)
+        cursor = StageCursor(plan, query_id)
+        completed: List[int] = []
+        tracker = ProgressTracker(
+            ProgressMode.WEIGHTED_IMMEDIATE,
+            lambda qid, stage: completed.append(stage),
+        )
+        self.last_steps_executed = 0
+        self.last_traversers_spawned = 0
+
+        queue: deque = deque(self._stage0_seeds(plan, params, query_id, rng))
+        tracker.open_stage(query_id, 0)
+        self.last_traversers_spawned += len(queue)
+        contexts = self._contexts(plan, params, query_id)
+
+        while True:
+            while queue:
+                trav = queue.popleft()
+                pid = resolve_partition(trav, self.graph.partitioner, machine.route(trav))
+                result = machine.execute(contexts[pid], trav, rng)
+                self.last_steps_executed += 1
+                self.last_traversers_spawned += len(result.children)
+                for child, _target in result.children:
+                    queue.append(child)
+                if result.finished_weight:
+                    tracker.report_weight(query_id, trav.stage, result.finished_weight)
+            # The queue drained: the current stage must have terminated.
+            if not completed or completed[-1] != cursor.current:
+                raise ExecutionError(
+                    f"queue drained but stage {cursor.current} not terminated "
+                    "(weight invariant violated)"
+                )
+            partials = gather_partials(plan, cursor.current, query_id, self.memo_stores)
+            seeds = cursor.complete_stage(partials, rng)
+            if cursor.finished:
+                break
+            tracker.open_stage(query_id, cursor.current)
+            if seeds:
+                queue.extend(seeds)
+                self.last_traversers_spawned += len(seeds)
+            else:
+                # Next stage has no input: it terminates vacuously.
+                completed.append(cursor.current)
+
+        for store in self.memo_stores:
+            store.clear_query(query_id)
+        tracker.close_query(query_id)
+        assert cursor.results is not None
+        return cursor.results
+
+    # -- helpers -----------------------------------------------------------
+
+    def _contexts(
+        self, plan: PhysicalPlan, params: Dict[str, Any], query_id: int
+    ) -> List[StepContext]:
+        return [
+            StepContext(
+                self.graph.stores[p],
+                self.memo_stores[p].for_query(query_id),
+                self.graph.partitioner,
+                params,
+            )
+            for p in range(self.graph.num_partitions)
+        ]
+
+    def _stage0_seeds(
+        self,
+        plan: PhysicalPlan,
+        params: Dict[str, Any],
+        query_id: int,
+        rng: random.Random,
+    ) -> List[Traverser]:
+        """Seed traversers for every stage-0 source, weights summing to 1."""
+        specs: List[Traverser] = []
+        for source in plan.source_ops():
+            if source.broadcast:
+                for pid in range(self.graph.num_partitions):
+                    specs.append(
+                        make_root(query_id, -pid - 1, source.idx, plan.payload_width, 0)
+                    )
+            else:
+                assert isinstance(source, FixedVertexSource)
+                vertex = source.start_vertex(params)
+                specs.append(
+                    make_root(query_id, vertex, source.idx, plan.payload_width, 0)
+                )
+        weights = split_weight(ROOT_WEIGHT, len(specs), rng)
+        return [t.evolve(weight=w) for t, w in zip(specs, weights)]

@@ -1,0 +1,90 @@
+"""Discrete-event simulation core.
+
+The distributed engines execute queries *for real* (every operator touches
+real graph data and produces real results); only **time** is simulated. The
+clock is a priority queue of timestamped events; actors (workers, NICs, the
+progress tracker) schedule callbacks and maintain ``busy_until`` horizons.
+
+Simulated time is measured in microseconds (float).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+Event = Callable[[], None]
+
+
+class SimClock:
+    """A deterministic discrete-event scheduler."""
+
+    def __init__(self) -> None:
+        self._queue: List[Tuple[float, int, Event]] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._events_run = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in microseconds."""
+        return self._now
+
+    @property
+    def events_run(self) -> int:
+        return self._events_run
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def schedule_at(self, time: float, fn: Event) -> None:
+        """Run ``fn`` at absolute simulated time ``time``.
+
+        Scheduling in the past is clamped to *now* (events triggered by the
+        currently running event run "immediately after" it).
+        """
+        if time < self._now:
+            time = self._now
+        heapq.heappush(self._queue, (time, next(self._seq), fn))
+
+    def schedule(self, delay: float, fn: Event) -> None:
+        """Run ``fn`` after ``delay`` microseconds of simulated time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        self.schedule_at(self._now + delay, fn)
+
+    def step(self) -> bool:
+        """Run the next event. Returns False when the queue is empty."""
+        if not self._queue:
+            return False
+        time, _seq, fn = heapq.heappop(self._queue)
+        self._now = time
+        self._events_run += 1
+        fn()
+        return True
+
+    def run_until_idle(self, max_events: Optional[int] = None) -> None:
+        """Drain the event queue (optionally bounded, as a runaway guard)."""
+        count = 0
+        while self.step():
+            count += 1
+            if max_events is not None and count > max_events:
+                raise SimulationError(
+                    f"simulation exceeded {max_events} events (runaway?)"
+                )
+
+    def run_until(self, time: float, max_events: Optional[int] = None) -> None:
+        """Run events with timestamps <= ``time``."""
+        count = 0
+        while self._queue and self._queue[0][0] <= time:
+            self.step()
+            count += 1
+            if max_events is not None and count > max_events:
+                raise SimulationError(
+                    f"simulation exceeded {max_events} events (runaway?)"
+                )
+        self._now = max(self._now, time)

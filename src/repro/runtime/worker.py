@@ -1,0 +1,345 @@
+"""Worker actors: shared-nothing partition executors (paper §IV).
+
+A :class:`PartitionRuntime` owns one graph partition's store, memo store,
+and run queue. In the partitioned (GraphDance) configuration exactly one
+:class:`Worker` serves each runtime — single-threaded, latch-free access, as
+in the paper. The non-partitioned baseline attaches several workers to one
+shared runtime; every state access then pays a latch/contention penalty from
+the cost model (paper §V-A2).
+
+Workers implement tier 1 of the two-tier I/O scheduler: per-destination-node
+message buffers flushed at the size threshold or when the worker idles, with
+finished-weight coalescing piggybacked on flushes (paper §IV-A(a), §IV-B).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import TYPE_CHECKING, Deque, Dict, List, Tuple
+
+from repro.core.memo import MemoStore
+from repro.core.progress import ProgressMode
+from repro.core.traverser import Traverser
+from repro.core.weight import WeightAccumulator
+from repro.graph.partition import PartitionStore
+from repro.runtime.metrics import MsgKind
+from repro.runtime.network import TRACKER_DST, Message
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.engine import AsyncPSTMEngine
+
+#: wire size of a progress report (weight or delta + headers)
+PROGRESS_MSG_BYTES = 16
+
+
+class PartitionRuntime:
+    """One partition's queue + state, shared by its worker(s)."""
+
+    def __init__(self, pid: int, store: PartitionStore, memo_store: MemoStore) -> None:
+        self.pid = pid
+        self.store = store
+        self.memo_store = memo_store
+        self.queue: Deque[Traverser] = deque()
+        # local traversers per (query, stage): drives weight-flush decisions
+        self.stage_counts: Counter = Counter()
+        self.workers: List["Worker"] = []
+
+    def enqueue(self, travs: List[Traverser], now: float) -> None:
+        """Queue traversers and wake an idle worker."""
+        for trav in travs:
+            self.queue.append(trav)
+            self.stage_counts[(trav.query_id, trav.stage)] += 1
+        self.wake(now)
+
+    def wake(self, now: float) -> None:
+        """Wake one idle worker (the least busy) to process the queue."""
+        if not self.queue:
+            return
+        idle = [w for w in self.workers if not w.scheduled]
+        if idle:
+            min(idle, key=lambda w: w.busy_until).wake(now)
+
+
+class Worker:
+    """A single simulated CPU core executing traversers for one runtime."""
+
+    def __init__(
+        self,
+        engine: "AsyncPSTMEngine",
+        wid: int,
+        node: int,
+        runtime: PartitionRuntime,
+    ) -> None:
+        self.engine = engine
+        self.wid = wid
+        self.node = node
+        self.runtime = runtime
+        runtime.workers.append(self)
+        self.busy_until = 0.0
+        self.scheduled = False
+        #: compute slowdown multiplier (straggler injection; 1.0 = healthy)
+        self.slowdown = 1.0
+        #: total simulated CPU time this worker has burned (utilization)
+        self.busy_total = 0.0
+        # tier-1 buffers: destination node -> control messages / traversers
+        self._buffers: Dict[int, List[Message]] = {}
+        # traverser buffer entries are (target pid, traverser, wire size)
+        self._trav_buffers: Dict[int, List[Tuple[int, Traverser, int]]] = {}
+        self._buffer_bytes: Dict[int, int] = {}
+        # weight coalescing accumulators per (query, stage)
+        self._accums: Dict[Tuple[int, int], WeightAccumulator] = {}
+
+    # -- scheduling --------------------------------------------------------
+
+    def wake(self, now: float) -> None:
+        """Schedule a run at max(now, busy_until) if idle."""
+        if self.scheduled:
+            return
+        self.scheduled = True
+        self.engine.clock.schedule_at(max(now, self.busy_until), self._run)
+
+    def add_setup_cost(self, now: float, cost_us: float) -> None:
+        """Charge per-query setup work (operator instantiation, Banyan/GAIA)."""
+        self.busy_until = max(self.busy_until, now) + cost_us
+
+    # -- main loop -----------------------------------------------------------
+
+    def _run(self) -> None:
+        self.scheduled = False
+        t = self.engine.clock.now
+        queue = self.runtime.queue
+        cm = self.engine.cost
+        config = self.engine.config
+        metrics = self.engine.metrics
+        sharers = len(self.runtime.workers)
+        cpu = 0.0
+
+        for _ in range(config.batch_size):
+            if not queue:
+                break
+            trav = queue.popleft()
+            self.runtime.stage_counts[(trav.query_id, trav.stage)] -= 1
+            session = self.engine.sessions.get(trav.query_id)
+            if session is None:
+                continue  # query already finished/cancelled
+            ctx = session.context(self.runtime.pid)
+            result = session.machine.execute(ctx, trav, session.rng)
+            cost_us = cm.op_cost_us(result.cost)
+            if sharers > 1:
+                # Shared-state (non-partitioned) penalty: reduced locality on
+                # all compute, plus latches with contention proportional to
+                # the threads concurrently hitting this partition.
+                busy = 1 + sum(
+                    1 for w in self.runtime.workers if w is not self and w.scheduled
+                )
+                cost_us = cost_us * cm.shared_locality_factor
+                cost_us += cm.shared_state_penalty_us(result.cost, busy)
+            cpu += cost_us
+            metrics.steps_executed += 1
+            metrics.edges_scanned += result.cost.edges
+            metrics.memo_ops += result.cost.memo_ops
+            metrics.traversers_spawned += len(result.children)
+            session.qmetrics.steps_executed += 1
+            op_idx = trav.op_idx
+            session.op_steps[op_idx] = session.op_steps.get(op_idx, 0) + 1
+            if result.children:
+                session.op_spawned[op_idx] = (
+                    session.op_spawned.get(op_idx, 0) + len(result.children)
+                )
+
+            for child, routed in result.children:
+                pid = self.engine.resolve_target(child, routed)
+                if pid == self.runtime.pid:
+                    queue.append(child)
+                    self.runtime.stage_counts[(child.query_id, child.stage)] += 1
+                else:
+                    cpu += cm.serialize_us * cm.cpu_scale
+                    cpu += self._buffer_traverser(
+                        child, pid, self.engine.node_of(pid), t + cpu
+                    )
+
+            mode = config.progress_mode
+            if mode is ProgressMode.NAIVE_CENTRAL:
+                # One report per execution: active count delta.
+                cpu += self._buffer_message(
+                    Message(
+                        MsgKind.PROGRESS,
+                        TRACKER_DST,
+                        ("delta", trav.query_id, trav.stage,
+                         len(result.children) - 1),
+                        PROGRESS_MSG_BYTES,
+                        trav.query_id,
+                    ),
+                    self.engine.tracker_node,
+                    t + cpu,
+                )
+            elif result.finished_weight:
+                if mode.coalesced:
+                    self._accum(trav.query_id, trav.stage).absorb(
+                        result.finished_weight
+                    )
+                else:
+                    cpu += self._buffer_message(
+                        Message(
+                            MsgKind.PROGRESS,
+                            TRACKER_DST,
+                            ("weight", trav.query_id, trav.stage,
+                             result.finished_weight),
+                            PROGRESS_MSG_BYTES,
+                            trav.query_id,
+                        ),
+                        self.engine.tracker_node,
+                        t + cpu,
+                    )
+
+        # End of batch: flush coalesced weights of stages with no local work
+        # left (the paper's "flush before the thread sleeps" rule, refined to
+        # per-stage idleness so one busy query cannot stall another's
+        # termination).
+        if config.progress_mode.coalesced:
+            cpu += self._flush_idle_accums(t + cpu)
+
+        cpu *= self.slowdown
+        self.busy_total += cpu
+        if queue:
+            self.busy_until = t + cpu
+            self.scheduled = True
+            self.engine.clock.schedule_at(self.busy_until, self._run)
+        else:
+            # Idle: flush every buffer (tier-1 idle rule).
+            cpu += self._flush_all(t + cpu)
+            self.busy_until = t + cpu
+
+    # -- buffering -------------------------------------------------------------
+
+    def _accum(self, query_id: int, stage: int) -> WeightAccumulator:
+        key = (query_id, stage)
+        accum = self._accums.get(key)
+        if accum is None:
+            accum = WeightAccumulator()
+            self._accums[key] = accum
+        return accum
+
+    def _buffer_traverser(
+        self, child: Traverser, pid: int, dst_node: int, when: float
+    ) -> float:
+        """Stash a remote-bound traverser in the tier-1 buffer.
+
+        Traversers are batched as ``(pid, traverser)`` pairs and packed into
+        per-destination-partition batch messages at flush time, so the
+        per-traverser bookkeeping stays off the hot path.
+        """
+        engine = self.engine
+        if engine.track_inflight:
+            engine.note_outbound(child.query_id)
+        buf = self._trav_buffers.setdefault(dst_node, [])
+        size = child.estimated_size_bytes()
+        buf.append((pid, child, size))
+        self._buffer_bytes[dst_node] = self._buffer_bytes.get(dst_node, 0) + size
+        if self._buffer_bytes[dst_node] >= self.engine.flush_threshold_bytes:
+            return self._flush(dst_node, when)
+        return 0.0
+
+    def _buffer_message(self, msg: Message, dst_node: int, when: float) -> float:
+        """Stash a control message (progress report) in the tier-1 buffer.
+
+        Returns the CPU time spent (flush syscalls, if any).
+        """
+        buf = self._buffers.setdefault(dst_node, [])
+        buf.append(msg)
+        self._buffer_bytes[dst_node] = (
+            self._buffer_bytes.get(dst_node, 0) + msg.size_bytes
+        )
+        if self._buffer_bytes[dst_node] >= self.engine.flush_threshold_bytes:
+            return self._flush(dst_node, when)
+        return 0.0
+
+    def _flush(self, dst_node: int, when: float) -> float:
+        msgs = self._buffers.get(dst_node) or []
+        pairs = self._trav_buffers.get(dst_node) or []
+        if not msgs and not pairs:
+            return 0.0
+        if msgs:
+            self._buffers[dst_node] = []
+        if pairs:
+            self._trav_buffers[dst_node] = []
+            # Pack traversers into one batch message per target partition.
+            by_pid: Dict[int, List[Traverser]] = {}
+            sizes: Dict[int, int] = {}
+            for pid, child, size in pairs:
+                by_pid.setdefault(pid, []).append(child)
+                sizes[pid] = sizes.get(pid, 0) + size
+            msgs = list(msgs)
+            for pid, travs in by_pid.items():
+                msgs.append(
+                    Message(
+                        MsgKind.TRAVERSER, pid, travs, sizes[pid], travs[0].query_id
+                    )
+                )
+        self._buffer_bytes[dst_node] = 0
+        self.engine.metrics.flushes += 1
+        cm = self.engine.cost
+        if dst_node == self.node or self.engine.network.node_combining:
+            cost = cm.combiner_handoff_us
+        else:
+            cost = cm.syscall_us
+        self.engine.network.send(self.node, dst_node, msgs, when)
+        return cost * cm.cpu_scale
+
+    def _flush_idle_accums(self, when: float) -> float:
+        """Flush finished-weight accumulators whose stage has drained here."""
+        cost = 0.0
+        for (query_id, stage), accum in self._accums.items():
+            if accum.pending_count == 0:
+                continue
+            if self.runtime.stage_counts.get((query_id, stage), 0) > 0:
+                continue
+            combined = accum.flush()
+            if combined is None:
+                continue
+            cost += self._buffer_message(
+                Message(
+                    MsgKind.PROGRESS,
+                    TRACKER_DST,
+                    ("weight", query_id, stage, combined),
+                    PROGRESS_MSG_BYTES,
+                    query_id,
+                ),
+                self.engine.tracker_node,
+                when + cost,
+            )
+        return cost
+
+    def _flush_all(self, when: float) -> float:
+        cost = 0.0
+        for dst_node in set(self._buffers) | set(self._trav_buffers):
+            cost += self._flush(dst_node, when + cost)
+        return cost
+
+
+class TrackerActor:
+    """The centralized progress tracker / query coordinator CPU.
+
+    A serial resource: progress and partial messages queue behind each
+    other, which is exactly the bottleneck weight coalescing relieves.
+    """
+
+    def __init__(self, engine: "AsyncPSTMEngine") -> None:
+        self.engine = engine
+        self.free_at = 0.0
+        self.messages_processed = 0
+
+    def submit(self, msg: Message, at: float, cost_us: float) -> None:
+        """Queue a message behind the tracker's serial CPU."""
+        start = max(self.free_at, at)
+        self.free_at = start + cost_us
+        self.messages_processed += 1
+        self.engine.clock.schedule_at(
+            self.free_at, lambda m=msg: self.engine.tracker_handle(m)
+        )
+
+    def charge(self, at: float, cost_us: float) -> float:
+        """Occupy the tracker CPU for ``cost_us``; returns completion time."""
+        start = max(self.free_at, at)
+        self.free_at = start + cost_us
+        return self.free_at

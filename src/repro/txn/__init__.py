@@ -1,0 +1,29 @@
+"""Transactional processing: TEL-backed MVCC, MV2PL, LCT, recovery."""
+
+from repro.txn.manager import TransactionManager
+from repro.txn.mv2pl import LockMode, LockTable
+from repro.txn.recovery import RecoveryReport, recover
+from repro.txn.view import SnapshotGraph, SnapshotStore, snapshot_view
+from repro.txn.transaction import (
+    Transaction,
+    TxnPartitionState,
+    TxnStatus,
+    VersionedProps,
+    WriteOp,
+)
+
+__all__ = [
+    "LockMode",
+    "LockTable",
+    "RecoveryReport",
+    "SnapshotGraph",
+    "SnapshotStore",
+    "Transaction",
+    "snapshot_view",
+    "TransactionManager",
+    "TxnPartitionState",
+    "TxnStatus",
+    "VersionedProps",
+    "WriteOp",
+    "recover",
+]

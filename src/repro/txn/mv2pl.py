@@ -1,0 +1,79 @@
+"""MV2PL lock table (paper §IV-C).
+
+Update transactions acquire two-phase locks on the objects they touch;
+read-only transactions never lock (they read a multi-version snapshot at
+their read timestamp, so "read-only queries will not be blocked by
+concurrent update transactions").
+
+Deadlocks are avoided with the no-wait policy: a conflicting acquisition
+aborts the requester immediately. This matches the short, point-write shape
+of LDBC SNB update transactions, where retries are cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Set
+
+from repro.errors import TransactionAborted
+
+
+class LockMode:
+    """Lock mode constants (shared / exclusive)."""
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+class LockTable:
+    """An object-granularity lock table with no-wait conflict handling."""
+
+    def __init__(self) -> None:
+        # key -> (mode, set of holder txn ids)
+        self._locks: Dict[Hashable, tuple] = {}
+
+    def acquire(self, txn_id: int, key: Hashable, mode: str) -> None:
+        """Acquire (or upgrade) a lock; raises TransactionAborted on conflict."""
+        entry = self._locks.get(key)
+        if entry is None:
+            self._locks[key] = (mode, {txn_id})
+            return
+        held_mode, holders = entry
+        if txn_id in holders:
+            if held_mode == LockMode.SHARED and mode == LockMode.EXCLUSIVE:
+                if len(holders) == 1:
+                    self._locks[key] = (LockMode.EXCLUSIVE, holders)
+                    return
+                raise TransactionAborted(
+                    txn_id, f"upgrade conflict on {key!r}"
+                )
+            return  # already held at sufficient strength
+        if held_mode == LockMode.SHARED and mode == LockMode.SHARED:
+            holders.add(txn_id)
+            return
+        raise TransactionAborted(
+            txn_id, f"lock conflict on {key!r} ({held_mode} held)"
+        )
+
+    def release_all(self, txn_id: int, keys: List[Hashable]) -> None:
+        """Release every listed lock held by the transaction."""
+        for key in keys:
+            entry = self._locks.get(key)
+            if entry is None:
+                continue
+            _mode, holders = entry
+            holders.discard(txn_id)
+            if not holders:
+                del self._locks[key]
+
+    def holders(self, key: Hashable) -> Set[int]:
+        """Transaction ids currently holding a lock."""
+        entry = self._locks.get(key)
+        return set(entry[1]) if entry else set()
+
+    def mode(self, key: Hashable) -> Optional[str]:
+        """The held mode of a lock (None when free)."""
+        entry = self._locks.get(key)
+        return entry[0] if entry else None
+
+    def held_count(self) -> int:
+        """Number of keys currently locked."""
+        return len(self._locks)

@@ -1,0 +1,76 @@
+"""Shared fixtures: small graphs and step-context factories."""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional
+
+import pytest
+
+from repro.core.memo import MemoStore
+from repro.core.steps import StepContext
+from repro.graph.builder import GraphBuilder
+from repro.graph.partition import PartitionedGraph
+
+
+def build_diamond(partitions: int = 4) -> PartitionedGraph:
+    """The Fig 4 style example graph: 0→{1,2}, 1→3, 2→3, 3→4, plus weights."""
+    b = GraphBuilder("person")
+    weights = {0: 50, 1: 10, 2: 20, 3: 30, 4: 40}
+    for v, w in weights.items():
+        b.vertex(v, "person", weight=w, name=f"p{v}")
+    for src, dst in [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]:
+        b.edge(src, dst, "knows")
+    return PartitionedGraph.from_graph(b.build(), partitions)
+
+
+def random_graph(
+    n: int = 60,
+    degree: int = 4,
+    partitions: int = 4,
+    seed: int = 0,
+    label: str = "person",
+    edge_label: str = "knows",
+) -> PartitionedGraph:
+    rng = random.Random(seed)
+    b = GraphBuilder(label)
+    for v in range(n):
+        b.vertex(v, label, weight=rng.randint(1, 100))
+    for v in range(n):
+        for _ in range(degree):
+            u = rng.randrange(n)
+            if u != v:
+                b.edge(v, u, edge_label)
+    return PartitionedGraph.from_graph(b.build(), partitions)
+
+
+class ContextFactory:
+    """Builds StepContexts over a partitioned graph for direct op tests."""
+
+    def __init__(self, graph: PartitionedGraph, params: Optional[Dict[str, Any]] = None,
+                 query_id: int = 0) -> None:
+        self.graph = graph
+        self.params = params or {}
+        self.query_id = query_id
+        self.memo_stores = [MemoStore(p) for p in range(graph.num_partitions)]
+
+    def ctx(self, pid: int) -> StepContext:
+        return StepContext(
+            self.graph.stores[pid],
+            self.memo_stores[pid].for_query(self.query_id),
+            self.graph.partitioner,
+            self.params,
+        )
+
+    def ctx_of_vertex(self, vid: int) -> StepContext:
+        return self.ctx(self.graph.partition_of(vid))
+
+
+@pytest.fixture
+def diamond():
+    return build_diamond()
+
+
+@pytest.fixture
+def diamond_ctx(diamond):
+    return ContextFactory(diamond)

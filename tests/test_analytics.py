@@ -1,0 +1,132 @@
+"""Tests for the offline analytics algorithms."""
+
+import pytest
+
+from repro.analytics import connected_components, pagerank, triangle_count
+from repro.errors import ConfigurationError
+from repro.graph.builder import GraphBuilder
+from repro.graph.partition import PartitionedGraph
+
+
+def partitioned(builder: GraphBuilder, parts: int = 4) -> PartitionedGraph:
+    return PartitionedGraph.from_graph(builder.build(), parts)
+
+
+@pytest.fixture
+def cycle3():
+    b = GraphBuilder()
+    for v in range(3):
+        b.vertex(v)
+    b.edge(0, 1, "e").edge(1, 2, "e").edge(2, 0, "e")
+    return partitioned(b)
+
+
+class TestPageRank:
+    def test_symmetric_cycle_is_uniform(self, cycle3):
+        result = pagerank(cycle3)
+        assert result.converged
+        for v in range(3):
+            assert result.values[v] == pytest.approx(1 / 3, abs=1e-4)
+
+    def test_ranks_sum_to_one(self):
+        b = GraphBuilder()
+        for v in range(10):
+            b.vertex(v)
+        for v in range(9):
+            b.edge(v, v + 1, "e")
+        result = pagerank(partitioned(b))
+        assert sum(result.values.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_hub_attracts_rank(self):
+        b = GraphBuilder()
+        for v in range(20):
+            b.vertex(v)
+        for v in range(1, 20):
+            b.edge(v, 0, "e")   # everybody points at 0
+            b.edge(0, v, "e")   # and 0 spreads back (no dangling sinks)
+        result = pagerank(partitioned(b))
+        top = result.top(1)
+        assert top[0][0] == 0
+        assert result.values[0] > 5 * result.values[1]
+
+    def test_dangling_mass_conserved(self):
+        b = GraphBuilder()
+        b.vertex(0).vertex(1)
+        b.edge(0, 1, "e")  # vertex 1 is a dangling sink
+        result = pagerank(partitioned(b, 2))
+        assert sum(result.values.values()) == pytest.approx(1.0, abs=1e-6)
+        assert result.values[1] > result.values[0]
+
+    def test_bad_damping_rejected(self, cycle3):
+        with pytest.raises(ConfigurationError):
+            pagerank(cycle3, damping=1.5)
+
+    def test_empty_graph(self):
+        b = GraphBuilder()
+        result = pagerank(partitioned(b, 1))
+        assert result.values == {}
+        assert result.converged
+
+    def test_updates_counted(self, cycle3):
+        result = pagerank(cycle3)
+        assert result.updates == 3 * result.iterations
+
+
+class TestConnectedComponents:
+    def test_two_components(self):
+        b = GraphBuilder()
+        for v in range(6):
+            b.vertex(v)
+        b.edge(0, 1, "e").edge(1, 2, "e")       # component {0,1,2}
+        b.edge(3, 4, "e").edge(4, 5, "e")       # component {3,4,5}
+        result = connected_components(partitioned(b))
+        assert result.converged
+        labels = result.values
+        assert labels[0] == labels[1] == labels[2] == 0
+        assert labels[3] == labels[4] == labels[5] == 3
+
+    def test_direction_ignored(self):
+        b = GraphBuilder()
+        for v in range(3):
+            b.vertex(v)
+        b.edge(2, 1, "e").edge(1, 0, "e")  # edges point "backwards"
+        result = connected_components(partitioned(b))
+        assert len(set(result.values.values())) == 1
+
+    def test_isolated_vertices_self_label(self):
+        b = GraphBuilder()
+        for v in range(4):
+            b.vertex(v)
+        result = connected_components(partitioned(b))
+        assert result.values == {0: 0, 1: 1, 2: 2, 3: 3}
+
+
+class TestTriangleCount:
+    def test_single_triangle(self, cycle3):
+        assert triangle_count(cycle3) == 1
+
+    def test_no_triangles_in_a_path(self):
+        b = GraphBuilder()
+        for v in range(5):
+            b.vertex(v)
+        for v in range(4):
+            b.edge(v, v + 1, "e")
+        assert triangle_count(partitioned(b)) == 0
+
+    def test_k4_has_four_triangles(self):
+        b = GraphBuilder()
+        for v in range(4):
+            b.vertex(v)
+        for a in range(4):
+            for c in range(a + 1, 4):
+                b.edge(a, c, "e")
+        assert triangle_count(partitioned(b)) == 4
+
+    def test_parallel_and_reciprocal_edges_not_double_counted(self):
+        b = GraphBuilder()
+        for v in range(3):
+            b.vertex(v)
+        b.edge(0, 1, "e").edge(1, 0, "e")
+        b.edge(1, 2, "e").edge(2, 1, "e")
+        b.edge(2, 0, "e").edge(0, 2, "e")
+        assert triangle_count(partitioned(b)) == 1

@@ -1,0 +1,98 @@
+"""API-quality gates: public items are documented and exports resolve."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.analytics",
+    "repro.bench",
+    "repro.core",
+    "repro.datasets",
+    "repro.graph",
+    "repro.ldbc",
+    "repro.query",
+    "repro.runtime",
+    "repro.txn",
+]
+
+
+def iter_all_modules():
+    seen = set()
+    for pkg_name in PUBLIC_MODULES:
+        pkg = importlib.import_module(pkg_name)
+        yield pkg
+        if not hasattr(pkg, "__path__"):
+            continue
+        for info in pkgutil.walk_packages(pkg.__path__, prefix=pkg_name + "."):
+            if info.name in seen or info.name.endswith("__main__"):
+                continue  # __main__ runs the CLI on import
+            seen.add(info.name)
+            yield importlib.import_module(info.name)
+
+
+class TestExports:
+    @pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+    def test_all_exports_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        exported = getattr(module, "__all__", [])
+        for name in exported:
+            assert hasattr(module, name), f"{module_name}.{name} missing"
+
+    @pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+    def test_all_lists_are_sorted_and_unique(self, module_name):
+        module = importlib.import_module(module_name)
+        exported = getattr(module, "__all__", [])
+        assert len(exported) == len(set(exported)), module_name
+
+
+class TestDocstrings:
+    def test_every_module_has_a_docstring(self):
+        for module in iter_all_modules():
+            assert module.__doc__, f"{module.__name__} lacks a docstring"
+
+    def test_public_classes_and_functions_documented(self):
+        undocumented = []
+        for module in iter_all_modules():
+            for name, obj in vars(module).items():
+                if name.startswith("_"):
+                    continue
+                if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+                    continue
+                if getattr(obj, "__module__", None) != module.__name__:
+                    continue  # re-export; documented at its home
+                if not inspect.getdoc(obj):
+                    undocumented.append(f"{module.__name__}.{name}")
+        assert not undocumented, f"undocumented public items: {undocumented}"
+
+    def test_public_methods_documented(self):
+        undocumented = []
+        for module in iter_all_modules():
+            for cls_name, cls in vars(module).items():
+                if cls_name.startswith("_") or not inspect.isclass(cls):
+                    continue
+                if cls.__module__ != module.__name__:
+                    continue
+                for meth_name, meth in vars(cls).items():
+                    if meth_name.startswith("_"):
+                        continue
+                    if not inspect.isfunction(meth):
+                        continue
+                    if not inspect.getdoc(meth):
+                        undocumented.append(
+                            f"{module.__name__}.{cls_name}.{meth_name}"
+                        )
+        assert not undocumented, (
+            f"{len(undocumented)} undocumented public methods: "
+            f"{undocumented[:20]}"
+        )
+
+
+class TestVersion:
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2

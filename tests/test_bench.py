@@ -1,0 +1,106 @@
+"""Tests for the benchmark harness and report tables."""
+
+import pytest
+
+from repro.bench.harness import (
+    BENCH_CLUSTER,
+    build_engine,
+    khop_starts,
+    khop_traversal,
+)
+from repro.bench.report import Table, render_all
+
+
+class TestTable:
+    def test_add_and_render(self):
+        t = Table("demo", ["a", "b"])
+        t.add(1, "x")
+        t.add(2.5, "yyyy")
+        text = t.render()
+        assert "demo" in text
+        assert "2.50" in text
+        assert "yyyy" in text
+
+    def test_row_arity_checked(self):
+        t = Table("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add(1)
+
+    def test_column_extraction(self):
+        t = Table("demo", ["a", "b"])
+        t.add(1, "x")
+        t.add(2, "y")
+        assert t.column("a") == [1, 2]
+        assert t.column("b") == ["x", "y"]
+
+    def test_notes_rendered(self):
+        t = Table("demo", ["a"])
+        t.add(1)
+        t.note("important caveat")
+        assert "important caveat" in t.render()
+
+    def test_number_formatting(self):
+        t = Table("demo", ["v"])
+        t.add(1234567.0)
+        t.add(0.0001)
+        t.add(0)
+        text = t.render()
+        assert "1,234,567" in text
+        assert "0.0001" in text
+
+    def test_render_all_joins_tables(self):
+        t1 = Table("one", ["a"])
+        t1.add(1)
+        t2 = Table("two", ["b"])
+        t2.add(2)
+        text = render_all([t1, t2])
+        assert "one" in text and "two" in text
+
+    def test_empty_table_renders_headers(self):
+        text = Table("empty", ["col"]).render()
+        assert "col" in text
+
+    def test_render_bars(self):
+        t = Table("latency", ["engine", "ms"])
+        t.add("fast", 1.0)
+        t.add("slow", 4.0)
+        chart = t.render_bars("ms")
+        lines = chart.splitlines()
+        assert "latency — ms" in lines[0]
+        fast_bar = lines[1].count("#")
+        slow_bar = lines[2].count("#")
+        assert slow_bar == 4 * fast_bar
+        assert "fast" in lines[1] and "slow" in lines[2]
+
+    def test_render_bars_handles_nan_and_nonnumeric(self):
+        t = Table("x", ["label", "v"])
+        t.add("a", float("nan"))
+        t.add("b", 2.0)
+        chart = t.render_bars("v")
+        assert "n/a" in chart
+
+    def test_render_bars_unknown_column_raises(self):
+        t = Table("x", ["a"])
+        with pytest.raises(ValueError):
+            t.render_bars("missing")
+
+
+class TestHarness:
+    def test_khop_traversal_shape(self):
+        t = khop_traversal(3)
+        steps = t.logical_steps()
+        assert steps  # source + khop + filter + ... + order/limit
+
+    def test_khop_starts_deterministic(self):
+        assert khop_starts("lj", 3) == khop_starts("lj", 3)
+        assert len(khop_starts("lj", 5)) == 5
+
+    def test_build_engine_kinds(self):
+        gd = build_engine("graphdance", "lj", BENCH_CLUSTER)
+        assert gd.config.name == "graphdance"
+        bsp = build_engine("bsp", "lj", BENCH_CLUSTER)
+        assert "bsp" in bsp.name
+        np_engine = build_engine("non-partitioned", "lj", BENCH_CLUSTER)
+        assert np_engine.graph.num_partitions == BENCH_CLUSTER.nodes
+        with pytest.raises(ValueError):
+            build_engine("warp-drive", "lj", BENCH_CLUSTER)

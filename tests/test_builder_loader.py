@@ -1,0 +1,139 @@
+"""Tests for GraphBuilder and the edge-list / JSONL loaders."""
+
+import pytest
+
+from repro.errors import GraphError, VertexNotFoundError
+from repro.graph.builder import GraphBuilder
+from repro.graph.loader import (
+    load_edge_list,
+    load_jsonl,
+    parse_edge_list,
+    save_edge_list,
+    save_jsonl,
+)
+
+
+class TestGraphBuilder:
+    def test_basic_build(self):
+        g = (
+            GraphBuilder("person")
+            .vertex(1, weight=5)
+            .vertex(2, "post")
+            .edge(1, 2, "wrote")
+            .build()
+        )
+        assert g.vertex_label(1) == "person"
+        assert g.vertex_label(2) == "post"
+        assert g.out_neighbors(1, "wrote") == [2]
+
+    def test_implicit_vertices_created(self):
+        g = GraphBuilder("v").edge(1, 2, "e").build()
+        assert g.vertex_count == 2
+        assert g.vertex_label(1) == "v"
+
+    def test_strict_build_rejects_implicit_vertices(self):
+        with pytest.raises(VertexNotFoundError):
+            GraphBuilder().edge(1, 2).build(strict=True)
+
+    def test_vertex_redeclaration_merges_properties(self):
+        b = GraphBuilder()
+        b.vertex(1, "person", a=1)
+        b.vertex(1, None, b=2)
+        g = b.build()
+        assert g.get_vertex_property(1, "a") == 1
+        assert g.get_vertex_property(1, "b") == 2
+        assert g.vertex_label(1) == "person"
+
+    def test_vertex_redeclaration_can_change_label(self):
+        b = GraphBuilder()
+        b.vertex(1, "a")
+        b.vertex(1, "b")
+        assert b.build().vertex_label(1) == "b"
+
+    def test_bulk_edges(self):
+        g = GraphBuilder().edges([(1, 2), (2, 3)], label="e").build()
+        assert g.edge_count == 2
+
+    def test_counts_before_build(self):
+        b = GraphBuilder().vertex(1).edge(1, 2)
+        assert b.vertex_count == 1
+        assert b.edge_count == 1
+
+    def test_get_vertex_prop(self):
+        b = GraphBuilder().vertex(1, "v", x=9)
+        assert b.get_vertex_prop(1, "x") == 9
+        assert b.get_vertex_prop(1, "missing", 0) == 0
+        with pytest.raises(KeyError):
+            b.get_vertex_prop(99, "x")
+
+    def test_build_partitioned_with_indexes(self):
+        pg = (
+            GraphBuilder("person")
+            .vertex(1, name="a")
+            .vertex(2, name="b")
+            .edge(1, 2, "knows")
+            .build_partitioned(4, indexes=[("person", "name")])
+        )
+        assert pg.num_partitions == 4
+        assert pg.has_index("person", "name")
+
+
+class TestEdgeListFormat:
+    def test_parse_skips_comments_and_blanks(self):
+        lines = ["# header", "", "1 2", "3\t4", "  # another", "5 6"]
+        assert list(parse_edge_list(lines)) == [(1, 2), (3, 4), (5, 6)]
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(GraphError):
+            list(parse_edge_list(["1"]))
+
+    def test_parse_rejects_non_integers(self):
+        with pytest.raises(GraphError):
+            list(parse_edge_list(["a b"]))
+
+    def test_roundtrip(self, tmp_path):
+        g = GraphBuilder().edges([(1, 2), (2, 3), (3, 1)], "edge").build()
+        path = tmp_path / "graph.el"
+        save_edge_list(g, path)
+        loaded = load_edge_list(path)
+        assert loaded.vertex_count == 3
+        assert loaded.edge_count == 3
+        assert sorted(loaded.out_neighbors(1)) == [2]
+
+
+class TestJsonlFormat:
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        g = (
+            GraphBuilder("person")
+            .vertex(1, "person", name="alice", score=1.5)
+            .vertex(2, "post", tags=["x", "y"])
+            .edge(1, 2, "wrote", at=7)
+            .build()
+        )
+        path = tmp_path / "graph.jsonl"
+        save_jsonl(g, path)
+        loaded = load_jsonl(path)
+        assert loaded.vertex_count == 2
+        assert loaded.vertex_label(1) == "person"
+        assert loaded.get_vertex_property(1, "name") == "alice"
+        assert loaded.get_vertex_property(2, "tags") == ["x", "y"]
+        edge = next(loaded.edges("wrote"))
+        assert edge.src == 1 and edge.dst == 2
+        assert edge.properties == {"at": 7}
+
+    def test_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(GraphError):
+            load_jsonl(path)
+
+    def test_rejects_unknown_record_type(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"t": "x"}\n')
+        with pytest.raises(GraphError):
+            load_jsonl(path)
+
+    def test_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "ok.jsonl"
+        path.write_text('{"t":"v","id":1,"label":"v","props":{}}\n\n')
+        assert load_jsonl(path).vertex_count == 1

@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestList:
+    def test_lists_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+
+class TestRun:
+    def test_unknown_experiment_fails(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_fast_experiment(self, capsys):
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "transactional" in out
+
+    def test_run_multiple(self, capsys):
+        assert main(["run", "table1", "fig11"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "Fig 11" in out
+
+    def test_run_with_bars(self, capsys):
+        assert main(["run", "--bars", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "#" in out  # the ASCII bar chart
+        assert "latency (ms)" in out
+
+
+class TestExplain:
+    def test_explain_khop(self, capsys):
+        assert main(["explain", "khop3"]) == 0
+        out = capsys.readouterr().out
+        assert "MinDistBranch(k=3)" in out
+        assert "Collect" in out
+
+    def test_explain_rejects_unknown_query(self, capsys):
+        assert main(["explain", "pagerank"]) == 2
+
+    def test_explain_rejects_bad_k(self, capsys):
+        assert main(["explain", "khopX"]) == 2
+
+
+class TestParser:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])

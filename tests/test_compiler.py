@@ -1,0 +1,289 @@
+"""Tests for traversal building and compilation to physical plans."""
+
+import pytest
+
+from repro.core import steps as phys
+from repro.errors import CompilationError
+from repro.query.exprs import X
+from repro.query.plan import QueryStatement
+from repro.query.traversal import Traversal
+from repro.runtime.reference import LocalExecutor
+from tests.conftest import build_diamond
+
+
+@pytest.fixture
+def graph():
+    return build_diamond()
+
+
+def ops_of(plan, kind):
+    return [op for op in plan.ops if isinstance(op, kind)]
+
+
+class TestBuilderValidation:
+    def test_source_must_come_first(self):
+        with pytest.raises(CompilationError):
+            Traversal("t").out("knows").v_param("s")
+
+    def test_khop_requires_positive_k(self):
+        with pytest.raises(CompilationError):
+            Traversal("t").v_param("s").khop("knows", k=0)
+
+    def test_khop_emit_mode_validated(self):
+        with pytest.raises(CompilationError):
+            Traversal("t").v_param("s").khop("knows", k=1, emit="weird")
+
+    def test_union_needs_two_branches(self):
+        with pytest.raises(CompilationError):
+            Traversal("t").v_param("s").union(lambda b: b.out("knows"))
+
+    def test_limit_positive(self):
+        with pytest.raises(CompilationError):
+            Traversal("t").v_param("s").limit(0)
+
+    def test_select_nonempty(self):
+        with pytest.raises(CompilationError):
+            Traversal("t").v_param("s").select()
+
+    def test_empty_traversal_rejected(self, graph):
+        with pytest.raises(CompilationError):
+            Traversal("t").compile(graph)
+
+
+class TestCompilation:
+    def test_plan_ends_in_barrier(self, graph):
+        plan = (Traversal("t").v_param("s").out("knows")).compile(graph)
+        assert plan.ops[-1].is_barrier
+        assert plan.stages[-1].barrier_idx == len(plan.ops) - 1
+
+    def test_linear_wiring(self, graph):
+        plan = (Traversal("t").v_param("s").out("knows").as_("v")).compile(graph)
+        for op in plan.ops[:-1]:
+            assert op.next_idx == op.idx + 1
+
+    def test_khop_emits_loop_structure(self, graph):
+        plan = (Traversal("t").v_param("s").khop("knows", k=2)).compile(graph)
+        branches = ops_of(plan, phys.MinDistBranchOp)
+        assert len(branches) == 1
+        branch = branches[0]
+        expand = plan.ops[branch.loop_idx]
+        assert isinstance(expand, phys.ExpandOp)
+        assert expand.next_idx == branch.idx       # loop back
+        assert branch.exit_idx > branch.idx        # exit path continues
+        # default distinct emit adds a dedup on the exit path
+        assert isinstance(plan.ops[branch.exit_idx], phys.DedupOp)
+
+    def test_khop_improving_has_no_exit_dedup(self, graph):
+        plan = (
+            Traversal("t").v_param("s").khop("knows", k=2, emit="improving")
+        ).compile(graph)
+        branch = ops_of(plan, phys.MinDistBranchOp)[0]
+        assert not isinstance(plan.ops[branch.exit_idx], phys.DedupOp)
+
+    def test_union_fork_and_convergence(self, graph):
+        plan = (
+            Traversal("t")
+            .v_param("s")
+            .union(lambda b: b.out("knows"),
+                   lambda b: b.out("knows").out("knows"))
+            .as_("v")
+        ).compile(graph)
+        fork = ops_of(plan, phys.ForkOp)[0]
+        assert len(fork.targets) == 2
+        # both branches converge on the op after the union (the as-project)
+        project = ops_of(plan, phys.ProjectOp)[0]
+        branch_tails = []
+        for entry in fork.targets:
+            op = plan.ops[entry]
+            while op.next_idx != project.idx:
+                op = plan.ops[op.next_idx]
+            branch_tails.append(op.idx)
+        assert len(branch_tails) == 2
+
+    def test_union_rejects_aggregation_in_branch(self, graph):
+        with pytest.raises(CompilationError):
+            (
+                Traversal("t")
+                .v_param("s")
+                .union(lambda b: b.out("knows").count(),
+                       lambda b: b.out("knows"))
+            ).compile(graph)
+
+    def test_join_must_be_first(self, graph):
+        left = Traversal("l").v_param("a").as_("x")
+        right = Traversal("r").v_param("b").as_("y")
+        t = Traversal.join("j", left, "x", right, "y")
+        # joining is fine; but a join step appended later is rejected
+        import repro.query.ast as ast
+
+        bad = Traversal("bad").v_param("s")
+        bad.steps.append(ast.JoinStep(ast.JoinSpec(left.steps, "x"),
+                                      ast.JoinSpec(right.steps, "y")))
+        with pytest.raises(CompilationError):
+            bad.compile(graph)
+
+    def test_join_stage0_has_two_entry_points(self, graph):
+        left = Traversal("l").v_param("a").as_("x")
+        right = Traversal("r").v_param("b").as_("y")
+        plan = Traversal.join("j", left, "x", right, "y").compile(graph)
+        assert len(plan.stages[0].entry_points) == 2
+        assert len(plan.source_ops()) == 2
+        joins = ops_of(plan, phys.JoinOp)
+        assert {j.side for j in joins} == {"A", "B"}
+        assert joins[0].next_idx == joins[1].next_idx  # converge
+
+    def test_mid_plan_count_creates_two_stages(self, graph):
+        plan = (
+            Traversal("t").v_param("s").out("knows").count()
+            .filter_(X.binding("count").gt(0)).select("count")
+        ).compile(graph)
+        assert plan.num_stages == 2
+        assert plan.ops[plan.stages[0].barrier_idx].name == "Count"
+        # stage-1 ops are tagged with their stage index
+        for idx in range(plan.stages[1].entry_points[0],
+                         plan.stages[1].barrier_idx + 1):
+            assert plan.ops[idx].stage == 1
+
+    def test_mid_plan_sum_rejected(self, graph):
+        with pytest.raises(CompilationError):
+            (
+                Traversal("t").v_param("s").values("w", "weight").sum_("w")
+                .filter_(X.binding("w").gt(0))
+            ).compile(graph)
+
+    def test_order_without_select_rejected(self, graph):
+        with pytest.raises(CompilationError):
+            (
+                Traversal("t").v_param("s").out("knows")
+                .order_by((X.binding("v"), "asc"))
+            ).compile(graph)
+
+    def test_select_unknown_binding_rejected(self, graph):
+        with pytest.raises(CompilationError):
+            (Traversal("t").v_param("s").select("ghost")).compile(graph)
+
+    def test_dedup_by_unknown_binding_rejected(self, graph):
+        with pytest.raises(CompilationError):
+            (Traversal("t").v_param("s").dedup("ghost")).compile(graph)
+
+    def test_payload_width_counts_bindings(self, graph):
+        plan = (
+            Traversal("t").v_param("s").as_("a").as_("b")
+            .values("c", "weight").select("a", "b", "c")
+        ).compile(graph)
+        assert plan.payload_width == 3
+
+    def test_param_names_collected(self, graph):
+        plan = (
+            Traversal("t").v_param("start").has_param("name", "who")
+        ).compile(graph)
+        assert set(plan.param_names) == {"start", "who"}
+
+    def test_describe_mentions_every_op(self, graph):
+        plan = (Traversal("t").v_param("s").out("knows").dedup()).compile(graph)
+        text = plan.describe()
+        for op in plan.ops:
+            assert f"[{op.idx:>2}]" in text
+
+
+class TestQueryStatement:
+    def test_missing_params_rejected(self, graph):
+        plan = (Traversal("t").v_param("start")).compile(graph)
+        with pytest.raises(CompilationError):
+            QueryStatement(plan, {})
+
+    def test_complete_params_accepted(self, graph):
+        plan = (Traversal("t").v_param("start")).compile(graph)
+        stmt = QueryStatement(plan, {"start": 0})
+        assert stmt.params == {"start": 0}
+
+
+class TestCompiledSemantics:
+    """End-to-end checks of compiled constructs via the reference executor."""
+
+    def run(self, graph, traversal, params):
+        return LocalExecutor(graph).run(traversal.compile(graph), params)
+
+    def test_union_merges_branch_outputs(self, graph):
+        rows = self.run(
+            graph,
+            Traversal("t").v_param("s").union(
+                lambda b: b.out("knows"),
+                lambda b: b.out("knows").out("knows"),
+            ).as_("v").select("v"),
+            {"s": 0},
+        )
+        assert sorted(r[0] for r in rows) == [1, 2, 3, 3]
+
+    def test_has_label(self, graph):
+        rows = self.run(
+            graph,
+            Traversal("t").v_param("s").out("knows").has_label("person")
+            .as_("v").select("v"),
+            {"s": 0},
+        )
+        assert sorted(r[0] for r in rows) == [1, 2]
+
+    def test_dedup_by_binding(self, graph):
+        rows = self.run(
+            graph,
+            Traversal("t").v_param("s")
+            .union(lambda b: b.out("knows"), lambda b: b.out("knows"))
+            .values("w", "weight").dedup("w").select("w"),
+            {"s": 0},
+        )
+        assert sorted(r[0] for r in rows) == [10, 20]
+
+    def test_mid_plan_count_then_filter(self, graph):
+        rows = self.run(
+            graph,
+            Traversal("t").v_param("s").out("knows").count()
+            .filter_(X.binding("count").gt(1)).select("count"),
+            {"s": 0},
+        )
+        assert rows == [(2,)]
+
+    def test_mid_plan_group_count_reseed(self, graph):
+        rows = self.run(
+            graph,
+            Traversal("t").v_param("s").out("knows").out("knows").as_("v")
+            .group_count("v")
+            .filter_(X.binding("count").ge(2))
+            .select("key", "count"),
+            {"s": 0},
+        )
+        assert rows == [(3, 2)]
+
+    def test_sum_terminal(self, graph):
+        rows = self.run(
+            graph,
+            Traversal("t").v_param("s").out("knows").values("w", "weight")
+            .sum_("w"),
+            {"s": 0},
+        )
+        assert rows == [30]
+
+    def test_min_max_terminal(self, graph):
+        lo = self.run(
+            graph,
+            Traversal("t").v_param("s").out("knows").values("w", "weight")
+            .min_("w"),
+            {"s": 0},
+        )
+        hi = self.run(
+            graph,
+            Traversal("t").v_param("s").out("knows").values("w", "weight")
+            .max_("w"),
+            {"s": 0},
+        )
+        assert lo == [10] and hi == [20]
+
+    def test_goto_after_join(self, graph):
+        left = (Traversal("l").v_param("a").out("knows").as_("lmeet"))
+        right = (Traversal("r").v_param("b").in_("knows").as_("rmeet"))
+        t = (
+            Traversal.join("j", left, "lmeet", right, "rmeet")
+            .goto("lmeet").values("w", "weight").select("lmeet", "w")
+        )
+        rows = self.run(graph, t, {"a": 0, "b": 3})
+        assert sorted(rows) == [(1, 10), (2, 20)]

@@ -1,0 +1,68 @@
+"""Tests for the CSR adjacency index."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.csr import CSRIndex
+
+
+class TestConstruction:
+    def test_from_adjacency_basic(self):
+        csr = CSRIndex.from_adjacency(3, {0: [(10, 0), (11, 1)], 2: [(12, 2)]})
+        assert csr.num_sources == 3
+        assert csr.num_edges == 3
+        assert csr.neighbors(0) == [10, 11]
+        assert csr.neighbors(1) == []
+        assert csr.neighbors(2) == [12]
+
+    def test_edges_returns_pairs(self):
+        csr = CSRIndex.from_adjacency(1, {0: [(5, 100)]})
+        assert csr.edges(0) == [(5, 100)]
+
+    def test_degree(self):
+        csr = CSRIndex.from_adjacency(2, {0: [(1, 0), (2, 1), (3, 2)]})
+        assert csr.degree(0) == 3
+        assert csr.degree(1) == 0
+
+    def test_out_of_range_source_rejected(self):
+        with pytest.raises(ValueError):
+            CSRIndex.from_adjacency(2, {5: [(0, 0)]})
+        with pytest.raises(ValueError):
+            CSRIndex.from_adjacency(2, {-1: [(0, 0)]})
+
+    def test_malformed_offsets_rejected(self):
+        with pytest.raises(ValueError):
+            CSRIndex([1, 2], [0], [0])  # offsets must start at 0
+        with pytest.raises(ValueError):
+            CSRIndex([0, 5], [0], [0])  # last offset must equal len(targets)
+
+    def test_parallel_arrays_must_match(self):
+        with pytest.raises(ValueError):
+            CSRIndex([0, 1], [0], [])
+
+    def test_iter_all(self):
+        csr = CSRIndex.from_adjacency(2, {0: [(7, 1)], 1: [(8, 2)]})
+        assert list(csr.iter_all()) == [(0, 7, 1), (1, 8, 2)]
+
+    def test_empty_graph(self):
+        csr = CSRIndex.from_adjacency(0, {})
+        assert csr.num_sources == 0
+        assert csr.num_edges == 0
+
+
+@given(
+    adjacency=st.dictionaries(
+        keys=st.integers(min_value=0, max_value=9),
+        values=st.lists(
+            st.tuples(st.integers(0, 100), st.integers(0, 1000)), max_size=5
+        ),
+    )
+)
+@settings(max_examples=100)
+def test_property_roundtrip_matches_input(adjacency):
+    """CSR preserves each source's adjacency list exactly (order included)."""
+    csr = CSRIndex.from_adjacency(10, adjacency)
+    for src in range(10):
+        assert csr.edges(src) == adjacency.get(src, [])
+    assert csr.num_edges == sum(len(v) for v in adjacency.values())

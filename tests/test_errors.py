@@ -1,0 +1,58 @@
+"""Tests for the exception hierarchy's contracts."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError) or \
+                    obj is errors.ReproError, name
+
+    def test_graph_family(self):
+        assert issubclass(errors.VertexNotFoundError, errors.GraphError)
+        assert issubclass(errors.EdgeNotFoundError, errors.GraphError)
+        assert issubclass(errors.PartitionError, errors.GraphError)
+
+    def test_query_family(self):
+        assert issubclass(errors.CompilationError, errors.QueryError)
+        assert issubclass(errors.PlanningError, errors.QueryError)
+
+    def test_execution_family(self):
+        assert issubclass(errors.QueryTimeoutError, errors.ExecutionError)
+        assert issubclass(errors.TerminationError, errors.ExecutionError)
+        assert issubclass(errors.MemoError, errors.ExecutionError)
+
+    def test_txn_family(self):
+        assert issubclass(errors.TransactionAborted, errors.TransactionError)
+
+
+class TestPayloads:
+    def test_vertex_not_found_carries_id(self):
+        err = errors.VertexNotFoundError(42)
+        assert err.vertex_id == 42
+        assert "42" in str(err)
+
+    def test_edge_not_found_carries_id(self):
+        err = errors.EdgeNotFoundError(7)
+        assert err.edge_id == 7
+
+    def test_timeout_carries_query_and_limit(self):
+        err = errors.QueryTimeoutError("q1", 50.0)
+        assert err.query_id == "q1"
+        assert err.limit_ms == 50.0
+        assert "50" in str(err)
+
+    def test_aborted_carries_reason(self):
+        err = errors.TransactionAborted(3, "lock conflict")
+        assert err.txn_id == 3
+        assert err.reason == "lock conflict"
+        assert "lock conflict" in str(err)
+
+    def test_catching_the_base_class(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.VertexNotFoundError(1)

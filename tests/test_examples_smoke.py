@@ -1,0 +1,51 @@
+"""Smoke tests: the fast example scripts run end to end.
+
+Heavier examples (engine_ablation, analytics_and_patterns,
+social_recommendation) are exercised by the benchmark/CI path; here we run
+the two quick ones so the documented entry points cannot silently rot.
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    """Execute an example as __main__ and return its stdout."""
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "compiled plan" in out
+    assert "same rows" in out
+    assert "top-10 influencers" in out
+    assert "Fig 1a" in out
+
+
+def test_fraud_detection(capsys):
+    out = run_example("fraud_detection.py", capsys)
+    assert "ring discovery" in out
+    assert "[RING]" in out
+    assert "true ring members" in out
+    assert "transactional delta" in out
+
+
+def test_all_examples_exist_and_have_docstrings():
+    expected = {
+        "quickstart.py",
+        "social_recommendation.py",
+        "fraud_detection.py",
+        "engine_ablation.py",
+        "analytics_and_patterns.py",
+    }
+    found = {p.name for p in EXAMPLES.glob("*.py")}
+    assert expected <= found
+    for name in expected:
+        text = (EXAMPLES / name).read_text()
+        assert text.lstrip().startswith(('"""', "#!")), name

@@ -1,0 +1,78 @@
+"""Fast smoke tests of the experiment functions with minimal parameters.
+
+The full benchmark suite exercises the defaults; these runs cover the
+parameterization paths inside ``repro.bench.experiments`` cheaply enough
+for the unit suite.
+"""
+
+import pytest
+
+from repro.bench import experiments as exp
+from repro.bench.report import Table
+
+
+class TestTableExperiments:
+    def test_table1(self):
+        table = exp.table1_workload_characteristics()
+        assert isinstance(table, Table)
+        assert len(table.rows) == 3
+
+    def test_table2(self):
+        table = exp.table2_datasets()
+        assert len(table.rows) == 4
+        assert table.notes
+
+
+class TestFigureExperimentsReduced:
+    def test_fig8_latency_single_query(self):
+        table = exp.fig8_ic_latency(datasets=("sf300",), queries=(2,))
+        assert len(table.rows) == 1
+        _ds, _q, gd, bsp, nonpart = table.rows[0]
+        assert gd > 0 and bsp > 0 and nonpart > 0
+
+    def test_fig8_throughput_single_query(self):
+        table = exp.fig8_ic_throughput(queries=(2,), clients=8, total=8)
+        assert len(table.rows) == 1
+
+    def test_fig8_graphscope_reduced(self):
+        table = exp.fig8_graphscope_comparison(queries=(2,))
+        assert len(table.rows) == 2  # sf300 + sf1000
+        fits = {row[0]: row[4] for row in table.rows}
+        assert fits["sf300"] == "yes"
+        assert fits["sf1000"] != "yes"
+
+    def test_fig9_vertical_reduced(self):
+        table = exp.fig9_vertical(workers=(1, 4), engines=("graphdance",),
+                                  ks=(2,), starts=1)
+        assert len(table.rows) == 1
+        assert table.rows[0][2] > 0
+
+    def test_fig9_horizontal_reduced(self):
+        table = exp.fig9_horizontal(nodes=(1, 2), engines=("graphdance",),
+                                    ks=(2,), starts=1)
+        assert len(table.rows) == 1
+
+    def test_fig10_reduced(self):
+        table = exp.fig10_weight_coalescing(ks=(2,), starts=1)
+        k, wc, nowc, naive, saving = table.rows[0]
+        assert naive > wc
+
+    def test_fig11_reduced(self):
+        table = exp.fig11_message_counts(k=2, starts=1)
+        rows = {r[0]: r for r in table.rows}
+        assert rows["WC on"][1] < rows["WC off"][1]
+
+    def test_fig12_reduced(self):
+        table = exp.fig12_io_scheduler(ks=(2,), starts=1)
+        assert table.rows[0][4] > 1.0  # TLC speedup
+
+    def test_fig13_reduced(self):
+        table = exp.fig13_hardware(ks=(2,), starts=1)
+        assert len(table.rows) == 5
+        assert table.rows[0][2] == 1.0  # modern baseline
+
+    def test_fig7_single_tcr(self):
+        table = exp.fig7_mixed_workload(tcrs=(3.0,), engines=("graphdance",),
+                                        duration_s=0.3)
+        assert len(table.rows) == 1
+        assert table.rows[0][2] == "yes"

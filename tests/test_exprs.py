@@ -1,0 +1,153 @@
+"""Tests for the expression combinators."""
+
+import pytest
+
+from repro.core.steps import StepContext, _NegKey
+from repro.core.traverser import Traverser
+from repro.errors import CompilationError, ExecutionError
+from repro.query.exprs import X, make_sort_key
+from tests.conftest import ContextFactory, build_diamond
+
+
+@pytest.fixture
+def env():
+    graph = build_diamond()
+    factory = ContextFactory(graph, params={"threshold": 25, "who": 3})
+    return factory
+
+
+def ev(expr, ctx, vertex=3, payload=(), loops=0, slots=None):
+    t = Traverser(0, vertex, 0, payload, 0, loops=loops)
+    return expr.resolve(slots or {})(ctx, t)
+
+
+class TestLeaves:
+    def test_prop(self, env):
+        ctx = env.ctx_of_vertex(3)
+        assert ev(X.prop("weight"), ctx) == 30
+        assert ev(X.prop("missing", default=-1), ctx) == -1
+
+    def test_label(self, env):
+        assert ev(X.label(), env.ctx_of_vertex(3)) == "person"
+
+    def test_vertex(self, env):
+        assert ev(X.vertex(), env.ctx(0), vertex=7) == 7
+
+    def test_param(self, env):
+        assert ev(X.param("threshold"), env.ctx(0)) == 25
+
+    def test_missing_param_raises(self, env):
+        with pytest.raises(ExecutionError):
+            ev(X.param("nope"), env.ctx(0))
+
+    def test_const(self, env):
+        assert ev(X.const("x"), env.ctx(0)) == "x"
+
+    def test_binding_resolves_to_slot(self, env):
+        expr = X.binding("name")
+        fn = expr.resolve({"name": 1})
+        t = Traverser(0, 0, 0, ("a", "b"), 0)
+        assert fn(None, t) == "b"
+
+    def test_unknown_binding_fails_at_resolve(self):
+        with pytest.raises(CompilationError):
+            X.binding("ghost").resolve({})
+
+    def test_loops(self, env):
+        assert ev(X.loops(), env.ctx(0), loops=5) == 5
+
+    def test_wrap(self, env):
+        expr = X.wrap(lambda ctx, t: t.vertex * 2, needs_vertex=False)
+        assert ev(expr, env.ctx(0), vertex=4) == 8
+        assert not expr.needs_vertex
+
+
+class TestCombinators:
+    def test_comparisons(self, env):
+        ctx = env.ctx_of_vertex(3)
+        assert ev(X.prop("weight").eq(30), ctx) is True
+        assert ev(X.prop("weight").neq(30), ctx) is False
+        assert ev(X.prop("weight").lt(31), ctx) is True
+        assert ev(X.prop("weight").le(30), ctx) is True
+        assert ev(X.prop("weight").gt(29), ctx) is True
+        assert ev(X.prop("weight").ge(31), ctx) is False
+
+    def test_comparison_against_expr(self, env):
+        ctx = env.ctx_of_vertex(3)
+        assert ev(X.prop("weight").gt(X.param("threshold")), ctx) is True
+
+    def test_plain_values_autowrap_to_const(self, env):
+        ctx = env.ctx_of_vertex(3)
+        assert ev(X.vertex().eq(3), ctx) is True
+
+    def test_boolean_connectives(self, env):
+        ctx = env.ctx_of_vertex(3)
+        both = X.prop("weight").gt(10).and_(X.vertex().eq(3))
+        either = X.prop("weight").gt(100).or_(X.vertex().eq(3))
+        neither = X.prop("weight").gt(100).and_(X.vertex().eq(3))
+        assert ev(both, ctx) is True
+        assert ev(either, ctx) is True
+        assert ev(neither, ctx) is False
+        assert ev(neither.not_(), ctx) is True
+
+    def test_is_in(self, env):
+        assert ev(X.vertex().is_in(X.const({1, 3})), env.ctx(0), vertex=3)
+
+    def test_arithmetic(self, env):
+        ctx = env.ctx_of_vertex(3)
+        assert ev(X.prop("weight").add(5), ctx) == 35
+        assert ev(X.prop("weight").sub(X.const(10)), ctx) == 20
+
+    def test_needs_vertex_propagates(self):
+        assert X.prop("w").gt(1).needs_vertex
+        assert not X.param("p").eq(X.const(1)).needs_vertex
+        assert not X.binding("b").not_().needs_vertex
+        assert X.const(1).eq(X.prop("w")).needs_vertex
+
+
+class TestMakeSortKey:
+    def test_single_ascending(self):
+        key = make_sort_key([(X.binding("a"), "asc")], {"a": 0})
+        t1 = Traverser(0, 0, 0, (1,), 0)
+        t2 = Traverser(0, 0, 0, (2,), 0)
+        assert key(t1) < key(t2)
+
+    def test_descending_inverts(self):
+        key = make_sort_key([(X.binding("a"), "desc")], {"a": 0})
+        t1 = Traverser(0, 0, 0, (1,), 0)
+        t2 = Traverser(0, 0, 0, (2,), 0)
+        assert key(t2) < key(t1)
+
+    def test_mixed_directions(self):
+        key = make_sort_key(
+            [(X.binding("a"), "desc"), (X.binding("b"), "asc")],
+            {"a": 0, "b": 1},
+        )
+        rows = [(1, "x"), (2, "a"), (2, "b")]
+        travs = [Traverser(0, 0, 0, r, 0) for r in rows]
+        ordered = sorted(travs, key=key)
+        assert [t.payload for t in ordered] == [(2, "a"), (2, "b"), (1, "x")]
+
+    def test_desc_works_for_strings(self):
+        key = make_sort_key([(X.binding("s"), "desc")], {"s": 0})
+        ts = [Traverser(0, 0, 0, (s,), 0) for s in ("apple", "pear", "fig")]
+        ordered = sorted(ts, key=key)
+        assert [t.payload[0] for t in ordered] == ["pear", "fig", "apple"]
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(CompilationError):
+            make_sort_key([(X.binding("a"), "up")], {"a": 0})
+
+    def test_vertex_reading_exprs_rejected(self):
+        with pytest.raises(CompilationError):
+            make_sort_key([(X.prop("w"), "asc")], {})
+
+
+class TestNegKey:
+    def test_ordering_inverted(self):
+        assert _NegKey(2) < _NegKey(1)
+        assert not (_NegKey(1) < _NegKey(2))
+
+    def test_equality(self):
+        assert _NegKey(1) == _NegKey(1)
+        assert not (_NegKey(1) == _NegKey(2))

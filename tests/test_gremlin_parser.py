@@ -1,0 +1,157 @@
+"""Tests for the Gremlin-text frontend, including the paper's Fig 1a query."""
+
+import pytest
+
+from repro.query.exprs import X
+from repro.query.gremlin import GremlinParseError, parse_gremlin, tokenize
+from repro.query.traversal import Traversal
+from repro.runtime.reference import LocalExecutor
+from tests.conftest import build_diamond, random_graph
+
+#: The paper's Fig 1a query, verbatim modulo parameter syntax.
+FIG1A = (
+    "g.V(start).repeat(out('knows')).times(3).dedup()."
+    "filter(it != start).order().by('weight', desc)."
+    "by(id, asc).limit(10)"
+)
+
+
+class TestTokenizer:
+    def test_tokens(self):
+        tokens = tokenize("g.V($s).out('knows')")
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["name", "punct", "name", "punct", "param", "punct",
+                         "punct", "name", "punct", "string", "punct"]
+
+    def test_bad_character_rejected(self):
+        with pytest.raises(GremlinParseError):
+            tokenize("g.V(#)")
+
+    def test_numbers_and_strings(self):
+        tokens = tokenize("limit(10).has('x', 2.5)")
+        texts = [t.text for t in tokens if t.kind in ("number", "string")]
+        assert texts == ["10", "'x'", "2.5"]
+
+
+class TestParsing:
+    def test_must_start_with_g(self):
+        with pytest.raises(GremlinParseError):
+            parse_gremlin("h.V(1)")
+
+    def test_unsupported_step(self):
+        with pytest.raises(GremlinParseError):
+            parse_gremlin("g.V(1).teleport()")
+
+    def test_repeat_requires_times(self):
+        with pytest.raises(GremlinParseError):
+            parse_gremlin("g.V(1).repeat(out('e')).dedup()")
+
+    def test_filter_requires_it(self):
+        with pytest.raises(GremlinParseError):
+            parse_gremlin("g.V(1).filter($x != 3)")
+
+    def test_v_const_and_param(self):
+        t1 = parse_gremlin("g.V(5).out('e')")
+        t2 = parse_gremlin("g.V($start).out('e')")
+        t3 = parse_gremlin("g.V(start).out('e')")  # bare name = param
+        assert isinstance(t1, Traversal)
+        graph = build_diamond()
+        assert t2.compile(graph).param_names == ["start"]
+        assert t3.compile(graph).param_names == ["start"]
+
+
+class TestFig1aEquivalence:
+    def test_parses_and_matches_fluent_builder(self):
+        graph = random_graph(n=150, degree=5, partitions=4, seed=6)
+        parsed_plan = parse_gremlin(FIG1A).compile(graph)
+        fluent = (
+            Traversal("fluent")
+            .v_param("start")
+            .khop("knows", k=3)
+            .filter_(X.vertex().neq(X.param("start")))
+            .values("w", "weight")
+            .as_("vid")
+            .select("vid", "w")
+            .order_by((X.binding("w"), "desc"), (X.binding("vid"), "asc"))
+            .limit(10)
+        ).compile(graph)
+        ex = LocalExecutor(graph)
+        for start in (0, 7, 42):
+            parsed_rows = ex.run(parsed_plan, {"start": start})
+            fluent_rows = ex.run(fluent, {"start": start})
+            # column order differs (vertex first in both, weight second)
+            assert [(v, w) for v, w in parsed_rows] == fluent_rows
+
+
+class TestStepCoverage:
+    @pytest.fixture
+    def graph(self):
+        return build_diamond()
+
+    def run(self, graph, text, **params):
+        return LocalExecutor(graph).run(parse_gremlin(text).compile(graph),
+                                        params)
+
+    def test_out_in_both(self, graph):
+        assert sorted(
+            r for r in self.run(graph, "g.V($s).out('knows')", s=0)
+        ) == [1, 2]
+        assert self.run(graph, "g.V($s).in('knows')", s=4) == [3]
+        assert sorted(
+            self.run(graph, "g.V($s).both('knows')", s=3)
+        ) == [1, 2, 4]
+
+    def test_count_and_sum(self, graph):
+        assert self.run(graph, "g.V($s).out('knows').count()", s=0) == [2]
+        assert self.run(graph, "g.V($s).out('knows').sum('weight')", s=0) == [30]
+
+    def test_has_filters(self, graph):
+        rows = self.run(
+            graph, "g.V($s).out('knows').has('weight', 20).values('name')"
+            ".as('v').select('v')", s=0,
+        )
+        assert rows == [(2,)]
+
+    def test_has_param(self, graph):
+        rows = self.run(
+            graph, "g.V($s).out('knows').has('weight', $w)", s=0, w=10
+        )
+        assert rows == [1]
+
+    def test_haslabel(self, graph):
+        assert self.run(
+            graph, "g.V($s).out('knows').hasLabel('person').count()", s=0
+        ) == [2]
+
+    def test_group_count(self, graph):
+        rows = self.run(
+            graph, "g.V($s).out('knows').out('knows').groupCount()", s=0
+        )
+        assert rows == [(3, 2)]
+
+    def test_dedup_standalone(self, graph):
+        assert self.run(
+            graph, "g.V($s).out('knows').out('knows').dedup().count()", s=0
+        ) == [1]
+
+    def test_repeat_without_dedup_uses_improving(self, graph):
+        # min over distances = shortest path length (IC13 shape)
+        rows = self.run(
+            graph,
+            "g.V($a).repeat(out('knows')).times(4).filter(it == $b).count()",
+            a=0, b=4,
+        )
+        assert rows[0] >= 1
+
+    def test_order_by_property(self, graph):
+        rows = self.run(
+            graph,
+            "g.V($s).out('knows').order().by('weight', desc).limit(2)",
+            s=0,
+        )
+        # rows are (vertex, weight), weight-descending
+        assert [v for v, _w in rows] == [2, 1]
+
+    def test_limit_without_order(self, graph):
+        rows = self.run(graph, "g.V($s).out('knows').limit(1)", s=0)
+        assert len(rows) == 1

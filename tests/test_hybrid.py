@@ -1,0 +1,112 @@
+"""Tests for the PowerSwitch-style hybrid engine (paper §VI extension)."""
+
+import pytest
+
+from repro.query.exprs import X
+from repro.query.planner import GraphStats
+from repro.query.traversal import Traversal
+from repro.runtime.cluster import ClusterConfig
+from repro.runtime.hybrid import HybridEngine, estimate_plan_work
+from repro.runtime.reference import LocalExecutor
+from tests.conftest import random_graph
+
+CLUSTER = ClusterConfig(nodes=2, workers_per_node=2)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_graph(n=200, degree=5, partitions=CLUSTER.num_partitions,
+                        seed=4)
+
+
+def khop_plan(graph, k):
+    return (
+        Traversal(f"khop{k}").v_param("s").khop("knows", k=k)
+        .filter_(X.vertex().neq(X.param("s")))
+        .values("w", "weight").as_("v").select("v", "w")
+        .order_by((X.binding("w"), "desc"), (X.binding("v"), "asc"))
+        .limit(5)
+    ).compile(graph)
+
+
+def one_hop_plan(graph):
+    return (
+        Traversal("one").v_param("s").out("knows").as_("v").select("v")
+    ).compile(graph)
+
+
+class TestWorkEstimation:
+    def test_deeper_khop_estimates_more_work(self, graph):
+        stats = GraphStats.from_partitioned(graph)
+        e2 = estimate_plan_work(khop_plan(graph, 2), stats, graph)
+        e4 = estimate_plan_work(khop_plan(graph, 4), stats, graph)
+        assert e4 > e2 > 1
+
+    def test_khop_estimate_capped_by_graph_size(self, graph):
+        stats = GraphStats.from_partitioned(graph)
+        e = estimate_plan_work(khop_plan(graph, 10), stats, graph)
+        # memo caps each hop's level at |V|: 10 hops ≤ 10·|V| + slack
+        assert e <= 11 * graph.vertex_count + 10
+
+    def test_scan_estimate_counts_label(self, graph):
+        stats = GraphStats.from_partitioned(graph)
+        plan = (Traversal("scan").scan("person").count()).compile(graph)
+        assert estimate_plan_work(plan, stats, graph) >= graph.vertex_count
+
+    def test_one_hop_is_small(self, graph):
+        stats = GraphStats.from_partitioned(graph)
+        e = estimate_plan_work(one_hop_plan(graph), stats, graph)
+        assert e < 20
+
+
+class TestRouting:
+    def test_small_queries_go_async(self, graph):
+        hybrid = HybridEngine(graph, CLUSTER, switch_threshold=1000.0)
+        decision = hybrid.choose(one_hop_plan(graph))
+        assert decision.engine == "async"
+
+    def test_huge_queries_go_bsp(self, graph):
+        hybrid = HybridEngine(graph, CLUSTER, switch_threshold=50.0)
+        decision = hybrid.choose(khop_plan(graph, 4))
+        assert decision.engine == "bsp"
+
+    def test_decisions_recorded(self, graph):
+        hybrid = HybridEngine(graph, CLUSTER, switch_threshold=50.0)
+        hybrid.run(one_hop_plan(graph), {"s": 1})
+        hybrid.run(khop_plan(graph, 4), {"s": 1})
+        engines = [d.engine for d in hybrid.decisions]
+        assert engines == ["async", "bsp"]
+
+
+class TestResultsIdentical:
+    def test_both_routes_return_reference_rows(self, graph):
+        plan = khop_plan(graph, 3)
+        expected = LocalExecutor(graph).run(plan, {"s": 9})
+        async_side = HybridEngine(graph, CLUSTER, switch_threshold=1e12)
+        bsp_side = HybridEngine(graph, CLUSTER, switch_threshold=0.0)
+        assert async_side.run(plan, {"s": 9}).rows == expected
+        assert bsp_side.run(plan, {"s": 9}).rows == expected
+        assert async_side.decisions[0].engine == "async"
+        assert bsp_side.decisions[0].engine == "bsp"
+
+    def test_hybrid_never_loses_to_worst_engine(self, graph):
+        """On a mixed bag of queries, hybrid total time ≤ the worse of the
+        two pure strategies (it can only pick one of them per query)."""
+        plans = [one_hop_plan(graph), khop_plan(graph, 2), khop_plan(graph, 4)]
+        params = {"s": 3}
+
+        def total(engine_factory):
+            total_us = 0.0
+            engine = engine_factory()
+            for plan in plans:
+                total_us += engine.run(plan, dict(params)).latency_us
+            return total_us
+
+        hybrid_total = total(lambda: HybridEngine(graph, CLUSTER))
+        async_total = total(
+            lambda: HybridEngine(graph, CLUSTER, switch_threshold=1e12)
+        )
+        bsp_total = total(
+            lambda: HybridEngine(graph, CLUSTER, switch_threshold=0.0)
+        )
+        assert hybrid_total <= max(async_total, bsp_total) * 1.01

@@ -1,0 +1,124 @@
+"""Tests for the PSTM step executor (weight splitting + routing)."""
+
+import random
+
+import pytest
+
+from repro.core.machine import PSTMMachine, resolve_partition
+from repro.core.steps import StepContext
+from repro.core.traverser import Traverser, make_root
+from repro.core.weight import GROUP_MODULUS, ROOT_WEIGHT
+from repro.errors import ExecutionError
+from repro.query.exprs import X
+from repro.query.traversal import Traversal
+from tests.conftest import ContextFactory, build_diamond
+
+
+@pytest.fixture
+def diamond_plan():
+    graph = build_diamond()
+    plan = (
+        Traversal("t")
+        .v_param("start")
+        .out("knows")
+        .values("w", "weight")
+        .as_("v")
+        .select("v", "w")
+    ).compile(graph)
+    return graph, plan
+
+
+class TestExecute:
+    def test_children_weights_sum_to_parent(self, diamond_plan):
+        graph, plan = diamond_plan
+        factory = ContextFactory(graph, {"start": 0})
+        machine = PSTMMachine(plan, graph.partitioner)
+        rng = random.Random(0)
+        # Expand op (index 1) at vertex 0 → two children.
+        expand_idx = next(i for i, op in enumerate(plan.ops)
+                          if op.name.startswith("Expand"))
+        t = Traverser(0, 0, expand_idx, (None, None), weight=12345)
+        result = machine.execute(factory.ctx_of_vertex(0), t, rng)
+        assert len(result.children) == 2
+        assert result.finished_weight == 0
+        total = sum(c.weight for c, _pid in result.children) % GROUP_MODULUS
+        assert total == 12345
+
+    def test_no_children_finishes_full_weight(self, diamond_plan):
+        graph, plan = diamond_plan
+        factory = ContextFactory(graph, {"start": 4})
+        machine = PSTMMachine(plan, graph.partitioner)
+        expand_idx = next(i for i, op in enumerate(plan.ops)
+                          if op.name.startswith("Expand"))
+        t = Traverser(0, 4, expand_idx, (None, None), weight=777)
+        result = machine.execute(
+            factory.ctx_of_vertex(4), t, random.Random(0)
+        )
+        assert result.children == []
+        assert result.finished_weight == 777
+
+    def test_children_carry_target_partition(self, diamond_plan):
+        graph, plan = diamond_plan
+        factory = ContextFactory(graph, {"start": 0})
+        machine = PSTMMachine(plan, graph.partitioner)
+        expand_idx = next(i for i, op in enumerate(plan.ops)
+                          if op.name.startswith("Expand"))
+        t = Traverser(0, 0, expand_idx, (None, None), weight=1)
+        result = machine.execute(factory.ctx_of_vertex(0), t, random.Random(0))
+        for child, pid in result.children:
+            expected = plan.ops[child.op_idx].routing(graph.partitioner, child)
+            assert pid == expected
+
+    def test_children_stage_follows_target_op(self, diamond_plan):
+        graph, plan = diamond_plan
+        factory = ContextFactory(graph, {"start": 0})
+        machine = PSTMMachine(plan, graph.partitioner)
+        t = make_root(0, 0, plan.stages[0].entry_points[0], plan.payload_width,
+                      ROOT_WEIGHT)
+        result = machine.execute(factory.ctx_of_vertex(0), t, random.Random(0))
+        for child, _pid in result.children:
+            assert child.stage == plan.ops[child.op_idx].stage
+
+    def test_barrier_route_override(self, diamond_plan):
+        graph, plan = diamond_plan
+        machine = PSTMMachine(plan, graph.partitioner, barrier_route=0)
+        barrier_idx = plan.stages[-1].barrier_idx
+        t = Traverser(0, 3, barrier_idx, (None, None), weight=1)
+        assert machine.route(t) == 0
+
+    def test_default_barrier_is_local(self, diamond_plan):
+        graph, plan = diamond_plan
+        machine = PSTMMachine(plan, graph.partitioner)
+        barrier_idx = plan.stages[-1].barrier_idx
+        t = Traverser(0, 3, barrier_idx, (None, None), weight=1)
+        assert machine.route(t) is None
+
+
+class TestResolvePartition:
+    def test_explicit_routing_wins(self, diamond_plan):
+        graph, _ = diamond_plan
+        t = Traverser(0, 3, 0, (), 1)
+        assert resolve_partition(t, graph.partitioner, 2) == 2
+
+    def test_vertex_home_fallback(self, diamond_plan):
+        graph, _ = diamond_plan
+        t = Traverser(0, 3, 0, (), 1)
+        assert resolve_partition(t, graph.partitioner, None) == \
+            graph.partition_of(3)
+
+    def test_broadcast_seed_encoding(self, diamond_plan):
+        graph, _ = diamond_plan
+        for pid in range(graph.num_partitions):
+            t = Traverser(0, -pid - 1, 0, (), 1)
+            assert resolve_partition(t, graph.partitioner, None) == pid
+
+    def test_reseed_vertexless_goes_to_zero(self, diamond_plan):
+        graph, _ = diamond_plan
+        t = Traverser(0, -1, 0, (), 1)
+        assert resolve_partition(t, graph.partitioner, None) == 0
+
+    def test_out_of_range_broadcast_clamped(self, diamond_plan):
+        graph, _ = diamond_plan
+        t = Traverser(0, -999, 0, (), 1)
+        pid = resolve_partition(t, graph.partitioner, None)
+        assert 0 <= pid < graph.num_partitions

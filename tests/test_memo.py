@@ -1,0 +1,148 @@
+"""Tests for query memoranda (paper §III-B): per-partition, query-scoped KV."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.memo import MemoStore, QueryMemo
+from repro.errors import MemoError
+
+
+class TestQueryMemoPrimitives:
+    def test_get_default(self):
+        memo = QueryMemo()
+        assert memo.get("Distance", 1) is None
+        assert memo.get("Distance", 1, default=7) == 7
+
+    def test_put_get_roundtrip(self):
+        memo = QueryMemo()
+        memo.put("Distance", 5, 2)
+        assert memo.get("Distance", 5) == 2
+
+    def test_labels_are_isolated_namespaces(self):
+        memo = QueryMemo()
+        memo.put("A", "k", 1)
+        memo.put("B", "k", 2)
+        assert memo.get("A", "k") == 1
+        assert memo.get("B", "k") == 2
+
+    def test_contains(self):
+        memo = QueryMemo()
+        assert not memo.contains("S", 9)
+        memo.put("S", 9, True)
+        assert memo.contains("S", 9)
+
+    def test_insert_if_absent_first_wins(self):
+        """The incremental Dedup primitive: only the first insert succeeds."""
+        memo = QueryMemo()
+        assert memo.insert_if_absent("dedup", 42) is True
+        assert memo.insert_if_absent("dedup", 42) is False
+        assert memo.insert_if_absent("dedup", 43) is True
+
+    def test_put_if_less_keeps_minimum(self):
+        """The k-hop Distance primitive (paper Fig 5)."""
+        memo = QueryMemo()
+        assert memo.put_if_less("Distance", 7, 3) is True   # first write
+        assert memo.put_if_less("Distance", 7, 5) is False  # worse: pruned
+        assert memo.put_if_less("Distance", 7, 3) is False  # equal: pruned
+        assert memo.put_if_less("Distance", 7, 1) is True   # improvement
+        assert memo.get("Distance", 7) == 1
+
+    def test_append_builds_join_side(self):
+        memo = QueryMemo()
+        memo.append("join/A", "key", ("pathA1",))
+        lst = memo.append("join/A", "key", ("pathA2",))
+        assert lst == [("pathA1",), ("pathA2",)]
+        assert memo.get_list("join/A", "key") == [("pathA1",), ("pathA2",)]
+
+    def test_get_list_missing_is_empty(self):
+        memo = QueryMemo()
+        assert memo.get_list("join/B", "nope") == []
+
+    def test_accumulate(self):
+        memo = QueryMemo()
+        memo.accumulate("sum", "total", 5, lambda a, b: a + b)
+        result = memo.accumulate("sum", "total", 3, lambda a, b: a + b)
+        assert result == 8
+
+    def test_items_and_labels(self):
+        memo = QueryMemo()
+        memo.put("L", 1, "a")
+        memo.put("L", 2, "b")
+        assert dict(memo.items("L")) == {1: "a", 2: "b"}
+        assert memo.labels() == ["L"]
+
+    def test_record_count(self):
+        memo = QueryMemo()
+        memo.put("A", 1, 1)
+        memo.put("A", 2, 1)
+        memo.put("B", 1, 1)
+        assert memo.record_count() == 3
+
+    def test_op_count_tracks_every_operation(self):
+        memo = QueryMemo()
+        memo.put("A", 1, 1)
+        memo.get("A", 1)
+        memo.insert_if_absent("A", 2)
+        assert memo.op_count == 3
+
+    @given(
+        values=st.lists(st.integers(min_value=0, max_value=100), min_size=1),
+    )
+    @settings(max_examples=100)
+    def test_property_put_if_less_converges_to_minimum(self, values):
+        memo = QueryMemo()
+        for v in values:
+            memo.put_if_less("D", "k", v)
+        assert memo.get("D", "k") == min(values)
+
+    @given(keys=st.lists(st.integers(), min_size=1))
+    @settings(max_examples=100)
+    def test_property_insert_if_absent_accepts_each_key_once(self, keys):
+        memo = QueryMemo()
+        accepted = [k for k in keys if memo.insert_if_absent("S", k)]
+        assert sorted(accepted) == sorted(set(keys))
+
+
+class TestMemoStore:
+    def test_for_query_creates_lazily(self):
+        store = MemoStore(0)
+        assert store.peek(1) is None
+        memo = store.for_query(1)
+        assert store.peek(1) is memo
+
+    def test_queries_are_isolated(self):
+        """Paper: every query can only access the memo records it creates."""
+        store = MemoStore(0)
+        store.for_query(1).put("L", "k", "q1")
+        store.for_query(2).put("L", "k", "q2")
+        assert store.for_query(1).get("L", "k") == "q1"
+        assert store.for_query(2).get("L", "k") == "q2"
+
+    def test_clear_query_drops_all_records(self):
+        """Paper: the memo is automatically cleared after the creating
+        query terminates."""
+        store = MemoStore(0)
+        store.for_query(1).put("L", "k", "v")
+        store.clear_query(1)
+        assert store.peek(1) is None
+
+    def test_clear_missing_query_is_noop(self):
+        store = MemoStore(0)
+        store.clear_query(99)  # must not raise
+
+    def test_active_queries(self):
+        store = MemoStore(3)
+        store.for_query(1)
+        store.for_query(5)
+        assert sorted(store.active_queries()) == [1, 5]
+
+    def test_require_raises_for_unknown_query(self):
+        store = MemoStore(2)
+        with pytest.raises(MemoError):
+            store.require(7)
+
+    def test_require_returns_existing(self):
+        store = MemoStore(2)
+        memo = store.for_query(7)
+        assert store.require(7) is memo

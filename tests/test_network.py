@@ -1,0 +1,128 @@
+"""Tests for the two-tier network simulation (paper §IV-B)."""
+
+import pytest
+
+from repro.runtime.costmodel import CostModel
+from repro.runtime.metrics import MsgKind, RunMetrics
+from repro.runtime.network import Message, Network, TRACKER_DST
+from repro.runtime.simclock import SimClock
+
+
+def make_network(node_combining=True, num_nodes=2):
+    clock = SimClock()
+    metrics = RunMetrics()
+    delivered = []
+    net = Network(
+        clock, num_nodes, CostModel(), metrics,
+        deliver=lambda msg: delivered.append((clock.now, msg)),
+        node_combining=node_combining,
+    )
+    return clock, metrics, delivered, net
+
+
+def msg(kind=MsgKind.PROGRESS, dst=0, payload="x", size=16, qid=1):
+    return Message(kind, dst, payload, size, qid)
+
+
+class TestLocalDelivery:
+    def test_same_node_uses_shared_memory(self):
+        clock, metrics, delivered, net = make_network()
+        net.send(0, 0, [msg()], when=0.0)
+        clock.run_until_idle()
+        assert len(delivered) == 1
+        at, _m = delivered[0]
+        assert at == pytest.approx(CostModel().hardware.shm_latency_us)
+        assert metrics.packets_sent == 0
+        assert metrics.local_deliveries == 1
+
+    def test_empty_send_is_noop(self):
+        clock, metrics, delivered, net = make_network()
+        net.send(0, 1, [], when=0.0)
+        clock.run_until_idle()
+        assert delivered == []
+
+
+class TestRemoteDelivery:
+    def test_arrival_includes_tx_and_latency(self):
+        clock, metrics, delivered, net = make_network(node_combining=False)
+        cm = CostModel()
+        net.send(0, 1, [msg(size=25_000)], when=0.0)
+        clock.run_until_idle()
+        at, _m = delivered[0]
+        expected = cm.tx_time_us(25_000) + cm.hardware.network_latency_us
+        assert at == pytest.approx(expected)
+        assert metrics.packets_sent == 1
+        assert metrics.bytes_sent == 25_000
+
+    def test_nic_serializes_packets(self):
+        """Two sends from the same node queue behind each other's tx."""
+        clock, metrics, delivered, net = make_network(node_combining=False)
+        cm = CostModel()
+        big = 25_000  # 1 µs of tx at 200 Gbps
+        net.send(0, 1, [msg(size=big)], when=0.0)
+        net.send(0, 1, [msg(size=big)], when=0.0)
+        clock.run_until_idle()
+        t1, t2 = delivered[0][0], delivered[1][0]
+        assert t2 - t1 == pytest.approx(cm.tx_time_us(big))
+
+    def test_different_source_nodes_do_not_serialize(self):
+        clock, metrics, delivered, net = make_network(
+            node_combining=False, num_nodes=3
+        )
+        net.send(0, 2, [msg(size=25_000)], when=0.0)
+        net.send(1, 2, [msg(size=25_000)], when=0.0)
+        clock.run_until_idle()
+        assert delivered[0][0] == pytest.approx(delivered[1][0])
+
+
+class TestNodeCombining:
+    def test_flushes_within_window_share_one_packet(self):
+        clock, metrics, delivered, net = make_network(node_combining=True)
+        cm = CostModel()
+        net.send(0, 1, [msg()], when=0.0)
+        net.send(0, 1, [msg()], when=cm.nlc_window_us / 2)
+        clock.run_until_idle()
+        assert metrics.packets_sent == 1
+        assert len(delivered) == 2
+
+    def test_window_adds_latency(self):
+        clock, metrics, delivered, net = make_network(node_combining=True)
+        cm = CostModel()
+        net.send(0, 1, [msg(size=16)], when=0.0)
+        clock.run_until_idle()
+        at = delivered[0][0]
+        assert at >= cm.nlc_window_us  # combining delay included
+
+    def test_flushes_after_window_use_new_packet(self):
+        clock, metrics, delivered, net = make_network(node_combining=True)
+        cm = CostModel()
+        net.send(0, 1, [msg()], when=0.0)
+        clock.run_until(cm.nlc_window_us + 1)
+        net.send(0, 1, [msg()], when=clock.now)
+        clock.run_until_idle()
+        assert metrics.packets_sent == 2
+
+    def test_combiner_is_per_node_pair(self):
+        clock, metrics, delivered, net = make_network(
+            node_combining=True, num_nodes=3
+        )
+        net.send(0, 1, [msg()], when=0.0)
+        net.send(0, 2, [msg()], when=0.0)
+        clock.run_until_idle()
+        assert metrics.packets_sent == 2
+
+
+class TestMessageAccounting:
+    def test_logical_message_counts_by_kind(self):
+        clock, metrics, delivered, net = make_network()
+        net.send(0, 1, [msg(MsgKind.PROGRESS), msg(MsgKind.PARTIAL)], when=0.0)
+        clock.run_until_idle()
+        assert metrics.messages[MsgKind.PROGRESS] == 1
+        assert metrics.messages[MsgKind.PARTIAL] == 1
+
+    def test_traverser_batches_count_each_traverser(self):
+        clock, metrics, delivered, net = make_network()
+        batch = Message(MsgKind.TRAVERSER, 3, ["t1", "t2", "t3"], 120, 1)
+        net.send(0, 1, [batch], when=0.0)
+        clock.run_until_idle()
+        assert metrics.messages[MsgKind.TRAVERSER] == 3

@@ -1,0 +1,178 @@
+"""Tests for the cost-based bidirectional join planner (paper Fig 3)."""
+
+import pytest
+
+from repro.errors import PlanningError
+from repro.graph.builder import GraphBuilder
+from repro.graph.partition import PartitionedGraph
+from repro.query.planner import (
+    GraphStats,
+    PatternEdge,
+    build_join_traversal,
+    estimate_expansion_cost,
+    plan_path,
+)
+from repro.runtime.reference import LocalExecutor
+
+
+def make_stats(**fanouts):
+    """fanouts: {"label_out": f, "label_in": f}"""
+    table = {}
+    for key, value in fanouts.items():
+        label, _, direction = key.rpartition("_")
+        table[(label, direction)] = value
+    return GraphStats(table)
+
+
+class TestStats:
+    def test_from_graph_average_fanout(self):
+        b = GraphBuilder()
+        for v in range(4):
+            b.vertex(v)
+        b.edge(0, 1, "knows").edge(0, 2, "knows").edge(1, 2, "likes")
+        stats = GraphStats.from_graph(b.build())
+        assert stats.fanout(PatternEdge("out", "knows")) == pytest.approx(0.5)
+        assert stats.fanout(PatternEdge("in", "likes")) == pytest.approx(0.25)
+
+    def test_unknown_label_defaults_to_one(self):
+        stats = GraphStats({})
+        assert stats.fanout(PatternEdge("out", "ghost")) == 1.0
+
+    def test_from_partitioned_matches_from_graph(self):
+        b = GraphBuilder()
+        for v in range(10):
+            b.vertex(v)
+        for v in range(9):
+            b.edge(v, v + 1, "next")
+        g = b.build()
+        pg = PartitionedGraph.from_graph(g, 4)
+        a = GraphStats.from_graph(g)
+        c = GraphStats.from_partitioned(pg)
+        edge = PatternEdge("out", "next")
+        assert a.fanout(edge) == pytest.approx(c.fanout(edge))
+
+
+class TestPatternEdge:
+    def test_reversed(self):
+        assert PatternEdge("out", "e").reversed() == PatternEdge("in", "e")
+        assert PatternEdge("in", "e").reversed() == PatternEdge("out", "e")
+
+
+class TestCostEstimation:
+    def test_expansion_cost_sums_partial_paths(self):
+        stats = make_stats(knows_out=10.0)
+        edges = [PatternEdge("out", "knows")] * 2
+        # 10 after hop 1, 100 after hop 2
+        assert estimate_expansion_cost(edges, stats) == pytest.approx(110.0)
+
+    def test_empty_chain_is_free(self):
+        assert estimate_expansion_cost([], make_stats()) == 0.0
+
+
+class TestPlanPath:
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(PlanningError):
+            plan_path([], make_stats())
+
+    def test_symmetric_pattern_splits_in_middle(self):
+        stats = make_stats(knows_out=10.0, knows_in=10.0)
+        edges = [PatternEdge("out", "knows")] * 4
+        plan = plan_path(edges, stats)
+        assert plan.split == 2
+        assert plan.is_join
+
+    def test_cheap_forward_direction_wins(self):
+        """If forward fanout is tiny and backward fanout huge, expand
+        forward only (split == len(edges))."""
+        stats = make_stats(follows_out=0.5, follows_in=500.0)
+        edges = [PatternEdge("out", "follows")] * 3
+        plan = plan_path(edges, stats)
+        assert plan.split == 3
+        assert not plan.is_join
+
+    def test_cheap_backward_direction_wins(self):
+        stats = make_stats(follows_out=500.0, follows_in=0.5)
+        edges = [PatternEdge("out", "follows")] * 3
+        plan = plan_path(edges, stats)
+        assert plan.split == 0
+
+    def test_unanchored_right_forces_forward(self):
+        stats = make_stats(knows_out=10.0, knows_in=10.0)
+        edges = [PatternEdge("out", "knows")] * 4
+        plan = plan_path(edges, stats, right_anchored=False)
+        assert plan.split == 4
+
+    def test_asymmetric_labels_shift_split(self):
+        """Fig 3's shape: big fanout on the left path, small on the right
+        path pushes the join key toward the left anchor."""
+        stats = make_stats(knows_out=50.0, knows_in=50.0,
+                           hasCreator_out=1.0, hasCreator_in=2.0,
+                           hasTag_out=2.0, hasTag_in=30.0)
+        edges = [
+            PatternEdge("out", "knows"),
+            PatternEdge("out", "knows"),
+            PatternEdge("in", "hasCreator"),
+            PatternEdge("out", "hasTag"),
+        ]
+        plan = plan_path(edges, stats)
+        assert plan.split in (1, 2)
+        assert plan.is_join
+
+
+class TestBuildJoinTraversal:
+    @pytest.fixture
+    def chain_graph(self):
+        # 0 -> 1 -> 2 -> 3 path (a, b, c labels) partitioned
+        b = GraphBuilder()
+        for v in range(4):
+            b.vertex(v)
+        b.edge(0, 1, "a").edge(1, 2, "b").edge(2, 3, "c")
+        return PartitionedGraph.from_graph(b.build(), 4)
+
+    def test_join_plan_executes_correctly(self, chain_graph):
+        stats = make_stats(a_out=1.0, a_in=1.0, b_out=1.0, b_in=1.0,
+                           c_out=1.0, c_in=1.0)
+        edges = [PatternEdge("out", "a"), PatternEdge("out", "b"),
+                 PatternEdge("out", "c")]
+        # force a middle split by symmetric costs
+        traversal, plan = build_join_traversal("p", edges, stats)
+        compiled = traversal.compile(chain_graph)
+        rows = LocalExecutor(chain_graph).run(
+            compiled, {"left": 0, "right": 3}
+        )
+        assert len(rows) == 1  # the single path matches, meeting once
+
+    def test_forward_only_plan_executes(self, chain_graph):
+        stats = make_stats(a_out=0.1, b_out=0.1, c_out=0.1,
+                           a_in=100.0, b_in=100.0, c_in=100.0)
+        edges = [PatternEdge("out", "a"), PatternEdge("out", "b"),
+                 PatternEdge("out", "c")]
+        traversal, plan = build_join_traversal("p", edges, stats)
+        assert plan.split == 3
+        rows = LocalExecutor(chain_graph).run(
+            traversal.compile(chain_graph), {"left": 0, "right": 3}
+        )
+        assert len(rows) == 1
+
+    def test_backward_only_plan_executes(self, chain_graph):
+        stats = make_stats(a_out=100.0, b_out=100.0, c_out=100.0,
+                           a_in=0.1, b_in=0.1, c_in=0.1)
+        edges = [PatternEdge("out", "a"), PatternEdge("out", "b"),
+                 PatternEdge("out", "c")]
+        traversal, plan = build_join_traversal("p", edges, stats)
+        assert plan.split == 0
+        rows = LocalExecutor(chain_graph).run(
+            traversal.compile(chain_graph), {"left": 0, "right": 3}
+        )
+        assert len(rows) == 1
+
+    def test_no_match_returns_empty(self, chain_graph):
+        stats = make_stats(a_out=1.0, a_in=1.0, b_out=1.0, b_in=1.0,
+                           c_out=1.0, c_in=1.0)
+        edges = [PatternEdge("out", "a"), PatternEdge("out", "b"),
+                 PatternEdge("out", "c")]
+        traversal, _plan = build_join_traversal("p", edges, stats)
+        rows = LocalExecutor(chain_graph).run(
+            traversal.compile(chain_graph), {"left": 1, "right": 3}
+        )
+        assert rows == []

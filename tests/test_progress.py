@@ -1,0 +1,140 @@
+"""Tests for progress tracking and termination detection (§III-B, §IV-A)."""
+
+import random
+
+import pytest
+
+from repro.core.progress import NaiveCounter, ProgressMode, ProgressTracker
+from repro.core.weight import ROOT_WEIGHT, split_weight
+from repro.errors import TerminationError
+
+
+class TestProgressMode:
+    def test_weighted_flags(self):
+        assert ProgressMode.WEIGHTED_COALESCED.is_weighted
+        assert ProgressMode.WEIGHTED_COALESCED.coalesced
+        assert ProgressMode.WEIGHTED_IMMEDIATE.is_weighted
+        assert not ProgressMode.WEIGHTED_IMMEDIATE.coalesced
+        assert not ProgressMode.NAIVE_CENTRAL.is_weighted
+
+
+class TestWeightedTracker:
+    def make(self):
+        completed = []
+        tracker = ProgressTracker(
+            ProgressMode.WEIGHTED_IMMEDIATE,
+            lambda q, s: completed.append((q, s)),
+        )
+        return tracker, completed
+
+    def test_open_then_complete(self):
+        tracker, completed = self.make()
+        tracker.open_stage(1, 0)
+        parts = split_weight(ROOT_WEIGHT, 3, random.Random(0))
+        assert tracker.report_weight(1, 0, parts[0]) is False
+        assert tracker.report_weight(1, 0, parts[1]) is False
+        assert tracker.report_weight(1, 0, parts[2]) is True
+        assert completed == [(1, 0)]
+
+    def test_double_open_rejected(self):
+        tracker, _ = self.make()
+        tracker.open_stage(1, 0)
+        with pytest.raises(TerminationError):
+            tracker.open_stage(1, 0)
+
+    def test_stale_report_after_completion_ignored(self):
+        tracker, completed = self.make()
+        tracker.open_stage(1, 0)
+        tracker.report_weight(1, 0, ROOT_WEIGHT)
+        assert tracker.report_weight(1, 0, 123) is False
+        assert completed == [(1, 0)]
+
+    def test_report_for_unknown_stage_ignored(self):
+        tracker, completed = self.make()
+        assert tracker.report_weight(9, 9, 1) is False
+        assert completed == []
+
+    def test_stages_are_independent(self):
+        tracker, completed = self.make()
+        tracker.open_stage(1, 0)
+        tracker.open_stage(1, 1)
+        tracker.report_weight(1, 1, ROOT_WEIGHT)
+        assert completed == [(1, 1)]
+        tracker.report_weight(1, 0, ROOT_WEIGHT)
+        assert completed == [(1, 1), (1, 0)]
+
+    def test_queries_are_independent(self):
+        tracker, completed = self.make()
+        tracker.open_stage(1, 0)
+        tracker.open_stage(2, 0)
+        tracker.report_weight(2, 0, ROOT_WEIGHT)
+        assert completed == [(2, 0)]
+
+    def test_close_query_drops_state(self):
+        tracker, completed = self.make()
+        tracker.open_stage(1, 0)
+        tracker.close_query(1)
+        assert tracker.report_weight(1, 0, ROOT_WEIGHT) is False
+        assert tracker.ledger(1, 0) is None
+
+    def test_delta_report_rejected_in_weighted_mode(self):
+        tracker, _ = self.make()
+        tracker.open_stage(1, 0)
+        with pytest.raises(TerminationError):
+            tracker.report_delta(1, 0, -1)
+
+    def test_messages_received_counts(self):
+        tracker, _ = self.make()
+        tracker.open_stage(1, 0)
+        parts = split_weight(ROOT_WEIGHT, 5, random.Random(1))
+        for p in parts:
+            tracker.report_weight(1, 0, p)
+        assert tracker.messages_received == 5
+
+
+class TestNaiveTracker:
+    def make(self):
+        completed = []
+        tracker = ProgressTracker(
+            ProgressMode.NAIVE_CENTRAL,
+            lambda q, s: completed.append((q, s)),
+        )
+        return tracker, completed
+
+    def test_seed_then_drain(self):
+        tracker, completed = self.make()
+        tracker.open_stage(1, 0)
+        tracker.add_naive_active(1, 0, 2)
+        assert tracker.report_delta(1, 0, 1) is False   # spawned one more
+        assert tracker.report_delta(1, 0, -1) is False
+        assert tracker.report_delta(1, 0, -1) is False
+        assert tracker.report_delta(1, 0, -1) is True
+        assert completed == [(1, 0)]
+
+    def test_counter_may_go_negative_out_of_order(self):
+        counter = NaiveCounter()
+        assert counter.report(-1) is False
+        assert counter.active == -1
+        assert counter.report(1) is True  # back to zero fires again
+
+    def test_add_naive_active_requires_open_stage(self):
+        tracker, _ = self.make()
+        with pytest.raises(TerminationError):
+            tracker.add_naive_active(1, 0, 1)
+
+    def test_weight_report_rejected_in_naive_mode(self):
+        tracker, _ = self.make()
+        tracker.open_stage(1, 0)
+        with pytest.raises(TerminationError):
+            tracker.report_weight(1, 0, 1)
+
+    def test_zero_recrossing_fires_again(self):
+        """Transient zeros re-fire on_complete; the engine's quiescence
+        check decides which crossing is real."""
+        tracker, completed = self.make()
+        tracker.open_stage(1, 0)
+        tracker.add_naive_active(1, 0, 1)
+        tracker.report_delta(1, 0, -1)   # zero: fires
+        tracker.report_delta(1, 0, 2)    # late spawn report
+        tracker.report_delta(1, 0, -2)   # zero again: fires again
+        assert completed == [(1, 0), (1, 0)]

@@ -1,0 +1,76 @@
+"""Tests for query time limits (paper §II-A: overrunning queries abort)."""
+
+import pytest
+
+from repro.errors import QueryTimeoutError
+from repro.query.exprs import X
+from repro.query.traversal import Traversal
+from repro.runtime.engine import AsyncPSTMEngine
+from tests.conftest import random_graph
+
+NODES, WPN = 2, 2
+
+
+@pytest.fixture
+def graph():
+    return random_graph(n=200, degree=5, partitions=NODES * WPN, seed=9)
+
+
+def khop_plan(graph, k=4):
+    return (
+        Traversal("khop").v_param("s").khop("knows", k=k)
+        .values("w", "weight").as_("v").select("v", "w")
+        .order_by((X.binding("w"), "desc"), (X.binding("v"), "asc"))
+        .limit(5)
+    ).compile(graph)
+
+
+class TestTimeouts:
+    def test_generous_limit_completes_normally(self, graph):
+        engine = AsyncPSTMEngine(graph, NODES, WPN)
+        result = engine.run(khop_plan(graph), {"s": 3}, time_limit_us=1e9)
+        assert result.rows
+
+    def test_tight_limit_aborts(self, graph):
+        engine = AsyncPSTMEngine(graph, NODES, WPN)
+        with pytest.raises(QueryTimeoutError):
+            engine.run(khop_plan(graph), {"s": 3}, time_limit_us=5.0)
+
+    def test_abort_tears_down_all_state(self, graph):
+        engine = AsyncPSTMEngine(graph, NODES, WPN)
+        session = engine.submit(khop_plan(graph), {"s": 3}, time_limit_us=5.0)
+        engine.clock.run_until_idle()
+        assert session.timed_out
+        assert session.query_id not in engine.sessions
+        for runtime in engine.runtimes:
+            assert runtime.memo_store.active_queries() == []
+
+    def test_on_done_fires_for_aborted_queries(self, graph):
+        engine = AsyncPSTMEngine(graph, NODES, WPN)
+        done = []
+        engine.submit(khop_plan(graph), {"s": 3}, on_done=done.append,
+                      time_limit_us=5.0)
+        engine.clock.run_until_idle()
+        assert len(done) == 1
+        assert done[0].timed_out
+
+    def test_other_queries_unaffected_by_an_abort(self, graph):
+        engine = AsyncPSTMEngine(graph, NODES, WPN)
+        plan = khop_plan(graph)
+        doomed = engine.submit(plan, {"s": 3}, time_limit_us=5.0)
+        healthy = engine.submit(plan, {"s": 7})
+        engine.clock.run_until_idle()
+        assert doomed.timed_out
+        assert healthy.qmetrics.done
+        assert healthy.results  # correct rows despite the neighbor's abort
+        # and the surviving result matches an isolated run
+        alone = AsyncPSTMEngine(graph, NODES, WPN).run(plan, {"s": 7})
+        assert healthy.results == alone.rows
+
+    def test_deadline_counts_from_deferred_submission(self, graph):
+        engine = AsyncPSTMEngine(graph, NODES, WPN)
+        session = engine.submit(khop_plan(graph), {"s": 3}, at=1000.0,
+                                time_limit_us=1e9)
+        engine.clock.run_until_idle()
+        assert not session.timed_out
+        assert session.qmetrics.done

@@ -1,0 +1,118 @@
+"""Tests for the reference executor against hand-computed expectations."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.query.exprs import X
+from repro.query.traversal import Traversal
+from repro.runtime.reference import LocalExecutor
+from tests.conftest import build_diamond, random_graph
+
+
+@pytest.fixture
+def diamond():
+    return build_diamond()
+
+
+class TestBasicQueries:
+    def test_one_hop(self, diamond):
+        rows = LocalExecutor(diamond).run(
+            (Traversal("t").v_param("s").out("knows").as_("v").select("v"))
+            .compile(diamond),
+            {"s": 0},
+        )
+        assert sorted(r[0] for r in rows) == [1, 2]
+
+    def test_missing_start_vertex_yields_empty(self, diamond):
+        rows = LocalExecutor(diamond).run(
+            (Traversal("t").v_param("s").out("knows")).compile(diamond),
+            {"s": 999_999},
+        )
+        assert rows == []
+
+    def test_khop_includes_start_at_distance_zero(self, diamond):
+        plan = (
+            Traversal("t").v_param("s").khop("knows", k=2, dist_binding="d")
+            .as_("v").select("v", "d")
+        ).compile(diamond)
+        rows = LocalExecutor(diamond).run(plan, {"s": 0})
+        by_vertex = {v: d for v, d in rows}
+        assert by_vertex[0] == 0
+        assert by_vertex[1] == 1 and by_vertex[2] == 1
+        assert by_vertex[3] == 2
+        assert 4 not in by_vertex  # three hops away
+
+    def test_khop_distinct_emits_each_vertex_once(self, diamond):
+        plan = (
+            Traversal("t").v_param("s").khop("knows", k=4).as_("v").select("v")
+        ).compile(diamond)
+        rows = LocalExecutor(diamond).run(plan, {"s": 0})
+        vertices = [r[0] for r in rows]
+        assert len(vertices) == len(set(vertices))
+        assert sorted(vertices) == [0, 1, 2, 3, 4]
+
+    def test_fig1_top_k(self, diamond):
+        plan = (
+            Traversal("t").v_param("s").khop("knows", k=3)
+            .filter_(X.vertex().neq(X.param("s")))
+            .values("w", "weight").as_("v").select("v", "w")
+            .order_by((X.binding("w"), "desc"), (X.binding("v"), "asc"))
+            .limit(2)
+        ).compile(diamond)
+        rows = LocalExecutor(diamond).run(plan, {"s": 0})
+        assert rows == [(4, 40), (3, 30)]
+
+    def test_count(self, diamond):
+        plan = (Traversal("t").v_param("s").out("knows").count()).compile(diamond)
+        assert LocalExecutor(diamond).run(plan, {"s": 0}) == [2]
+
+    def test_scan_source(self, diamond):
+        plan = (
+            Traversal("t").scan("person").count()
+        ).compile(diamond)
+        assert LocalExecutor(diamond).run(plan, {}) == [5]
+
+    def test_group_count_by_vertex(self, diamond):
+        plan = (
+            Traversal("t").scan("person").out("knows").group_count()
+        ).compile(diamond)
+        rows = LocalExecutor(diamond).run(plan, {})
+        assert dict(rows) == {3: 2, 1: 1, 2: 1, 4: 1}
+
+
+class TestWeightInvariant:
+    def test_queue_drain_coincides_with_termination(self):
+        """The reference executor asserts the weight invariant internally:
+        a drained queue without stage termination raises."""
+        graph = random_graph(n=80, degree=3, partitions=4, seed=5)
+        plan = (
+            Traversal("t").v_param("s").khop("knows", k=3).as_("v").select("v")
+        ).compile(graph)
+        ex = LocalExecutor(graph)
+        for start in (0, 17, 42):
+            ex.run(plan, {"s": start})  # no ExecutionError
+
+    def test_stats_recorded(self, diamond):
+        ex = LocalExecutor(diamond)
+        plan = (Traversal("t").v_param("s").out("knows")).compile(diamond)
+        ex.run(plan, {"s": 0})
+        assert ex.last_steps_executed > 0
+        assert ex.last_traversers_spawned > 0
+
+    def test_memos_cleared_after_query(self, diamond):
+        ex = LocalExecutor(diamond)
+        plan = (
+            Traversal("t").v_param("s").khop("knows", k=2)
+        ).compile(diamond)
+        ex.run(plan, {"s": 0})
+        for store in ex.memo_stores:
+            assert store.active_queries() == []
+
+    def test_sequential_queries_are_isolated(self, diamond):
+        ex = LocalExecutor(diamond)
+        plan = (
+            Traversal("t").v_param("s").khop("knows", k=2).as_("v").select("v")
+        ).compile(diamond)
+        first = ex.run(plan, {"s": 0})
+        second = ex.run(plan, {"s": 0})
+        assert first == second

@@ -1,0 +1,85 @@
+"""Tests for the discrete-event simulation core."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.runtime.simclock import SimClock
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        clock = SimClock()
+        order = []
+        clock.schedule_at(5.0, lambda: order.append("b"))
+        clock.schedule_at(1.0, lambda: order.append("a"))
+        clock.schedule_at(9.0, lambda: order.append("c"))
+        clock.run_until_idle()
+        assert order == ["a", "b", "c"]
+        assert clock.now == 9.0
+
+    def test_ties_run_in_schedule_order(self):
+        clock = SimClock()
+        order = []
+        clock.schedule_at(1.0, lambda: order.append(1))
+        clock.schedule_at(1.0, lambda: order.append(2))
+        clock.run_until_idle()
+        assert order == [1, 2]
+
+    def test_relative_schedule(self):
+        clock = SimClock()
+        clock.schedule_at(10.0, lambda: clock.schedule(5.0, lambda: None))
+        clock.run_until_idle()
+        assert clock.now == 15.0
+
+    def test_negative_delay_rejected(self):
+        clock = SimClock()
+        with pytest.raises(SimulationError):
+            clock.schedule(-1.0, lambda: None)
+
+    def test_past_schedule_clamped_to_now(self):
+        clock = SimClock()
+        times = []
+        def late():
+            clock.schedule_at(0.0, lambda: times.append(clock.now))
+        clock.schedule_at(10.0, late)
+        clock.run_until_idle()
+        assert times == [10.0]
+
+    def test_events_scheduled_during_event_run(self):
+        clock = SimClock()
+        seen = []
+        def first():
+            seen.append("first")
+            clock.schedule(1.0, lambda: seen.append("second"))
+        clock.schedule_at(1.0, first)
+        clock.run_until_idle()
+        assert seen == ["first", "second"]
+        assert clock.events_run == 2
+
+    def test_step_returns_false_when_empty(self):
+        assert SimClock().step() is False
+
+
+class TestRunBounds:
+    def test_max_events_guard(self):
+        clock = SimClock()
+        def forever():
+            clock.schedule(1.0, forever)
+        clock.schedule(0.0, forever)
+        with pytest.raises(SimulationError):
+            clock.run_until_idle(max_events=100)
+
+    def test_run_until_time(self):
+        clock = SimClock()
+        seen = []
+        for t in (1.0, 2.0, 3.0):
+            clock.schedule_at(t, lambda t=t: seen.append(t))
+        clock.run_until(2.0)
+        assert seen == [1.0, 2.0]
+        assert clock.pending == 1
+        assert clock.now == 2.0
+
+    def test_run_until_advances_clock_even_without_events(self):
+        clock = SimClock()
+        clock.run_until(7.0)
+        assert clock.now == 7.0

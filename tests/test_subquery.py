@@ -1,0 +1,114 @@
+"""Tests for stage/subquery lifecycle (paper §III-C, Fig 6)."""
+
+import random
+
+import pytest
+
+from repro.core.memo import MemoStore
+from repro.core.steps import StepContext
+from repro.core.subquery import GatheredPartial, StageCursor, gather_partials
+from repro.core.traverser import Traverser
+from repro.core.weight import GROUP_MODULUS, ROOT_WEIGHT
+from repro.errors import ExecutionError
+from repro.query.exprs import X
+from repro.query.traversal import Traversal
+from tests.conftest import build_diamond
+
+
+@pytest.fixture
+def two_stage_plan():
+    """count() mid-plan forces a reseeded second stage."""
+    graph = build_diamond()
+    t = (
+        Traversal("two-stage")
+        .v_param("start")
+        .out("knows")
+        .count()
+        # stage 1: the count value arrives as binding "count"
+        .filter_(X.binding("count").ge(0))
+        .select("count")
+    )
+    return graph, t.compile(graph)
+
+
+class TestGatherPartials:
+    def test_only_touched_partitions_contribute(self, two_stage_plan):
+        graph, plan = two_stage_plan
+        stores = [MemoStore(p) for p in range(graph.num_partitions)]
+        barrier = plan.barrier_of(0)
+        # absorb two traversers on partition 1 only
+        ctx = StepContext(graph.stores[1], stores[1].for_query(0),
+                          graph.partitioner, {})
+        barrier.apply(ctx, Traverser(0, 1, barrier.idx, (None,), 0))
+        barrier.apply(ctx, Traverser(0, 1, barrier.idx, (None,), 0))
+        partials = gather_partials(plan, 0, 0, stores)
+        assert len(partials) == 1
+        assert partials[0].pid == 1
+        assert partials[0].value == 2
+        assert partials[0].size_bytes > 0
+
+    def test_empty_when_no_memos(self, two_stage_plan):
+        graph, plan = two_stage_plan
+        stores = [MemoStore(p) for p in range(graph.num_partitions)]
+        assert gather_partials(plan, 0, 0, stores) == []
+
+
+class TestStageCursor:
+    def test_final_stage_finalizes(self):
+        graph = build_diamond()
+        plan = (
+            Traversal("one").v_param("s").out("knows").count()
+        ).compile(graph)
+        cursor = StageCursor(plan, query_id=0)
+        seeds = cursor.complete_stage(
+            [GatheredPartial(0, 3, 8), GatheredPartial(1, 4, 8)],
+            random.Random(0),
+        )
+        assert seeds == []
+        assert cursor.finished
+        assert cursor.results == [7]
+
+    def test_mid_plan_barrier_reseeds_next_stage(self, two_stage_plan):
+        graph, plan = two_stage_plan
+        assert plan.num_stages == 2
+        cursor = StageCursor(plan, 0)
+        seeds = cursor.complete_stage([GatheredPartial(0, 5, 8)], random.Random(0))
+        assert not cursor.finished
+        assert cursor.current == 1
+        assert len(seeds) == 1
+        seed = seeds[0]
+        assert seed.stage == 1
+        assert seed.op_idx == plan.stage(1).entry_points[0]
+        # reseed payload carries the count in slot 0, padded to plan width
+        assert seed.payload[0] == 5
+        assert len(seed.payload) == plan.payload_width
+
+    def test_reseed_weights_sum_to_root(self):
+        graph = build_diamond()
+        plan = (
+            Traversal("g").v_param("s").out("knows").as_("v")
+            .group_count("v")
+            .filter_(X.binding("count").ge(0))
+            .select("key", "count")
+        ).compile(graph)
+        cursor = StageCursor(plan, 0)
+        seeds = cursor.complete_stage(
+            [GatheredPartial(0, {1: 2, 2: 1, 3: 4}, 8)], random.Random(0)
+        )
+        assert len(seeds) == 3
+        assert sum(s.weight for s in seeds) % GROUP_MODULUS == ROOT_WEIGHT
+
+    def test_completing_finished_cursor_raises(self):
+        graph = build_diamond()
+        plan = (Traversal("c").v_param("s").out("knows").count()).compile(graph)
+        cursor = StageCursor(plan, 0)
+        cursor.complete_stage([], random.Random(0))
+        with pytest.raises(ExecutionError):
+            cursor.complete_stage([], random.Random(0))
+
+    def test_empty_partials_give_empty_aggregate(self):
+        graph = build_diamond()
+        plan = (Traversal("c").v_param("s").out("knows").count()).compile(graph)
+        cursor = StageCursor(plan, 0)
+        cursor.complete_stage([], random.Random(0))
+        assert cursor.results == [0]

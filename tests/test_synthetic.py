@@ -1,0 +1,109 @@
+"""Tests for synthetic graph generators."""
+
+import pytest
+
+from repro.datasets.synthetic import (
+    FRIENDSTER_LIKE,
+    LIVEJOURNAL_LIKE,
+    PowerLawConfig,
+    degree_histogram,
+    powerlaw_graph,
+    rmat_graph,
+    uniform_random_graph,
+)
+from repro.errors import ConfigurationError
+
+SMALL = PowerLawConfig("test", num_vertices=500, avg_degree=6.0)
+
+
+class TestPowerLaw:
+    def test_deterministic(self):
+        a = powerlaw_graph(SMALL, seed=1)
+        b = powerlaw_graph(SMALL, seed=1)
+        assert a.vertex_count == b.vertex_count
+        assert a.edge_count == b.edge_count
+        assert a.out_neighbors(0) == b.out_neighbors(0)
+
+    def test_seed_changes_graph(self):
+        a = powerlaw_graph(SMALL, seed=1)
+        b = powerlaw_graph(SMALL, seed=2)
+        assert any(
+            a.out_neighbors(v) != b.out_neighbors(v) for v in range(50)
+        )
+
+    def test_size_close_to_config(self):
+        g = powerlaw_graph(SMALL, seed=1)
+        assert g.vertex_count == 500
+        # self-loop rejection drops a small fraction
+        assert 0.8 * 500 * 6 <= g.edge_count <= 500 * 6
+
+    def test_no_self_loops(self):
+        g = powerlaw_graph(SMALL, seed=1)
+        assert all(e.src != e.dst for e in g.edges())
+
+    def test_degree_skew_is_heavy_tailed(self):
+        g = powerlaw_graph(SMALL, seed=1)
+        degrees = sorted(
+            (g.degree(v, "out") for v in g.vertices()), reverse=True
+        )
+        avg = sum(degrees) / len(degrees)
+        # the hottest vertex is far above average — skew exists
+        assert degrees[0] > 4 * avg
+
+    def test_weights_assigned_in_range(self):
+        g = powerlaw_graph(SMALL, seed=1)
+        lo, hi = SMALL.weight_range
+        for v in list(g.vertices())[:100]:
+            w = g.get_vertex_property(v, "weight")
+            assert lo <= w <= hi
+
+    def test_labels_from_config(self):
+        g = powerlaw_graph(SMALL, seed=1)
+        assert g.vertex_label(0) == "person"
+        assert next(g.edges()).label == "knows"
+
+    def test_tiny_graph_rejected(self):
+        with pytest.raises(ConfigurationError):
+            powerlaw_graph(PowerLawConfig("bad", 1, 1.0))
+
+    def test_named_configs_preserve_paper_ratios(self):
+        assert FRIENDSTER_LIKE.avg_degree > LIVEJOURNAL_LIKE.avg_degree
+        assert FRIENDSTER_LIKE.num_vertices > LIVEJOURNAL_LIKE.num_vertices
+        assert FRIENDSTER_LIKE.gamma < LIVEJOURNAL_LIKE.gamma  # heavier tail
+
+
+class TestUniformRandom:
+    def test_shape(self):
+        g = uniform_random_graph(200, 3.0, seed=4)
+        assert g.vertex_count == 200
+        assert g.edge_count <= 600
+
+    def test_deterministic(self):
+        a = uniform_random_graph(100, 2.0, seed=9)
+        b = uniform_random_graph(100, 2.0, seed=9)
+        assert a.edge_count == b.edge_count
+
+
+class TestRMAT:
+    def test_shape(self):
+        g = rmat_graph(scale=8, edge_factor=4, seed=3)
+        assert g.vertex_count == 256
+        assert g.edge_count <= 4 * 256
+
+    def test_skew_toward_low_ids(self):
+        """The (a) quadrant bias concentrates edges on low vertex ids."""
+        g = rmat_graph(scale=9, edge_factor=8, seed=3)
+        low = sum(g.degree(v, "out") for v in range(64))
+        high = sum(g.degree(v, "out") for v in range(448, 512))
+        assert low > 3 * high
+
+    def test_invalid_probabilities_rejected(self):
+        with pytest.raises(ConfigurationError):
+            rmat_graph(4, a=0.6, b=0.3, c=0.3)
+
+
+class TestDegreeHistogram:
+    def test_histogram_sums_to_vertices(self):
+        g = uniform_random_graph(100, 2.0, seed=1)
+        hist = degree_histogram(g)
+        assert sum(hist.values()) == 100

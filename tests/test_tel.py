@@ -1,0 +1,142 @@
+"""Tests for the transactional edge log (TEL) — paper §IV-C."""
+
+import pytest
+
+from repro.graph.tel import INF_TS, EdgeLog, EdgeVersion, TELStore
+
+
+class TestEdgeVersion:
+    def test_visible_window(self):
+        v = EdgeVersion(neighbor=2, eid=0, create_ts=10)
+        assert not v.visible_at(9)
+        assert v.visible_at(10)
+        assert v.visible_at(10**9)
+
+    def test_deleted_version_invisible_after_delete(self):
+        v = EdgeVersion(neighbor=2, eid=0, create_ts=10, delete_ts=20)
+        assert v.visible_at(19)
+        assert not v.visible_at(20)
+        assert not v.visible_at(21)
+
+
+class TestEdgeLog:
+    def test_scan_is_single_pass_snapshot(self):
+        log = EdgeLog()
+        log.append(EdgeVersion(1, 0, create_ts=1))
+        log.append(EdgeVersion(2, 1, create_ts=5))
+        log.append(EdgeVersion(3, 2, create_ts=9))
+        assert [v.neighbor for v in log.scan(5)] == [1, 2]
+        assert [v.neighbor for v in log.scan(100)] == [1, 2, 3]
+        assert list(log.scan(0)) == []
+
+    def test_mark_deleted_tombstones_in_place(self):
+        log = EdgeLog()
+        log.append(EdgeVersion(1, 0, create_ts=1))
+        assert log.mark_deleted(1, 0, delete_ts=10) is True
+        assert [v.neighbor for v in log.scan(5)] == [1]
+        assert list(log.scan(10)) == []
+
+    def test_mark_deleted_missing_edge(self):
+        log = EdgeLog()
+        assert log.mark_deleted(1, 0, 10) is False
+
+    def test_mark_deleted_targets_latest_live_version(self):
+        # insert, delete, re-insert the same logical edge
+        log = EdgeLog()
+        log.append(EdgeVersion(1, 0, create_ts=1, delete_ts=5))
+        log.append(EdgeVersion(1, 0, create_ts=8))
+        assert log.mark_deleted(1, 0, delete_ts=12) is True
+        assert [v.neighbor for v in log.scan(3)] == [1]
+        assert [v.neighbor for v in log.scan(9)] == [1]
+        assert list(log.scan(12)) == []
+
+    def test_live_count(self):
+        log = EdgeLog()
+        log.append(EdgeVersion(1, 0, create_ts=1))
+        log.append(EdgeVersion(2, 1, create_ts=1, delete_ts=4))
+        assert log.live_count(2) == 2
+        assert log.live_count(4) == 1
+
+    def test_trim_after_drops_uncommitted_inserts(self):
+        log = EdgeLog()
+        log.append(EdgeVersion(1, 0, create_ts=1))
+        log.append(EdgeVersion(2, 1, create_ts=10))
+        touched = log.trim_after(lct=5)
+        assert touched == 1
+        assert [v.neighbor for v in log.scan(100)] == [1]
+
+    def test_trim_after_rolls_back_uncommitted_deletes(self):
+        log = EdgeLog()
+        log.append(EdgeVersion(1, 0, create_ts=1, delete_ts=10))
+        touched = log.trim_after(lct=5)
+        assert touched == 1
+        assert [v.neighbor for v in log.scan(100)] == [1]
+        assert log._versions[0].delete_ts == INF_TS
+
+    def test_trim_is_idempotent(self):
+        log = EdgeLog()
+        log.append(EdgeVersion(1, 0, create_ts=1))
+        log.append(EdgeVersion(2, 1, create_ts=9))
+        log.trim_after(5)
+        assert log.trim_after(5) == 0
+
+
+class TestTELStore:
+    def test_insert_and_snapshot_neighbors(self):
+        store = TELStore()
+        store.insert_edge(1, 2, "knows", eid=0, create_ts=5)
+        assert store.neighbors(1, "out", "knows", ts=5) == [2]
+        assert store.neighbors(2, "in", "knows", ts=5) == [1]
+        assert store.neighbors(1, "out", "knows", ts=4) == []
+
+    def test_partition_ownership_splits_logs(self):
+        """A cross-partition edge appears in the source partition's out-log
+        and the destination partition's in-log only."""
+        src_store = TELStore()
+        dst_store = TELStore()
+        src_store.insert_edge(1, 2, "e", 0, 1, owns_src=True, owns_dst=False)
+        dst_store.insert_edge(1, 2, "e", 0, 1, owns_src=False, owns_dst=True)
+        assert src_store.neighbors(1, "out", "e", 1) == [2]
+        assert src_store.neighbors(2, "in", "e", 1) == []
+        assert dst_store.neighbors(2, "in", "e", 1) == [1]
+
+    def test_delete_edge(self):
+        store = TELStore()
+        store.insert_edge(1, 2, "e", 0, create_ts=1)
+        assert store.delete_edge(1, 2, "e", 0, delete_ts=5) is True
+        assert store.neighbors(1, "out", "e", 4) == [2]
+        assert store.neighbors(1, "out", "e", 5) == []
+        assert store.neighbors(2, "in", "e", 5) == []
+
+    def test_delete_missing_edge(self):
+        store = TELStore()
+        assert store.delete_edge(1, 2, "e", 0, 5) is False
+
+    def test_edges_returns_versions_with_properties(self):
+        store = TELStore()
+        store.insert_edge(1, 2, "likes", 0, 3, properties={"d": 9})
+        versions = store.edges(1, "out", "likes", ts=3)
+        assert len(versions) == 1
+        assert versions[0].properties == {"d": 9}
+
+    def test_trim_after_covers_all_logs(self):
+        store = TELStore()
+        store.insert_edge(1, 2, "e", 0, create_ts=1)
+        store.insert_edge(1, 3, "e", 1, create_ts=9)
+        store.delete_edge(1, 2, "e", 0, delete_ts=8)
+        # lct = 5: insert@9 dropped (2 logs), delete@8 rolled back (2 logs)
+        touched = store.trim_after(5)
+        assert touched == 4
+        assert sorted(store.neighbors(1, "out", "e", 100)) == [2]
+
+    def test_version_count(self):
+        store = TELStore()
+        store.insert_edge(1, 2, "e", 0, 1)
+        assert store.version_count() == 2  # out-log + in-log
+
+    def test_labels_are_separate_logs(self):
+        store = TELStore()
+        store.insert_edge(1, 2, "a", 0, 1)
+        store.insert_edge(1, 3, "b", 1, 1)
+        assert store.neighbors(1, "out", "a", 1) == [2]
+        assert store.neighbors(1, "out", "b", 1) == [3]

@@ -1,0 +1,83 @@
+"""Tests for the traverser 4-tuple (v, ψ, π, w)."""
+
+from repro.core.traverser import Traverser, make_root
+
+
+class TestTraverser:
+    def test_fields(self):
+        t = Traverser(query_id=1, vertex=5, op_idx=2, payload=(None, 3),
+                      weight=100, stage=1, loops=4)
+        assert (t.query_id, t.vertex, t.op_idx) == (1, 5, 2)
+        assert t.payload == (None, 3)
+        assert (t.weight, t.stage, t.loops) == (100, 1, 4)
+
+    def test_defaults(self):
+        t = Traverser(0, 1, 2, (), 3)
+        assert t.stage == 0
+        assert t.loops == 0
+
+    def test_evolve_replaces_selected_fields(self):
+        t = Traverser(0, 1, 2, ("a",), 3)
+        u = t.evolve(vertex=9, weight=7)
+        assert (u.vertex, u.weight) == (9, 7)
+        assert (u.query_id, u.op_idx, u.payload) == (0, 2, ("a",))
+        # original untouched
+        assert (t.vertex, t.weight) == (1, 3)
+
+    def test_equality(self):
+        a = Traverser(0, 1, 2, ("x",), 3)
+        b = Traverser(0, 1, 2, ("x",), 3)
+        c = Traverser(0, 1, 2, ("y",), 3)
+        assert a == b
+        assert a != c
+        assert a != "not a traverser"
+
+    def test_with_slot(self):
+        t = Traverser(0, 1, 2, (None, None, None), 3)
+        assert t.with_slot(1, "mid") == (None, "mid", None)
+        assert t.payload == (None, None, None)  # immutable by convention
+
+    def test_slots_prevent_arbitrary_attributes(self):
+        t = Traverser(0, 1, 2, (), 3)
+        try:
+            t.extra = 1
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised
+
+
+class TestSizeEstimate:
+    def test_header_only(self):
+        assert Traverser(0, 1, 2, (), 3).estimated_size_bytes() == 40
+
+    def test_int_slots(self):
+        t = Traverser(0, 1, 2, (7, 9), 3)
+        assert t.estimated_size_bytes() == 40 + 16
+
+    def test_none_slots_are_cheap(self):
+        t = Traverser(0, 1, 2, (None, None), 3)
+        assert t.estimated_size_bytes() == 42
+
+    def test_string_slots_use_length(self):
+        t = Traverser(0, 1, 2, ("hello",), 3)
+        assert t.estimated_size_bytes() == 45
+
+    def test_nested_tuples(self):
+        t = Traverser(0, 1, 2, ((1, 2),), 3)
+        assert t.estimated_size_bytes() == 40 + 16
+
+    def test_bool_and_float(self):
+        t = Traverser(0, 1, 2, (True, 1.5), 3)
+        assert t.estimated_size_bytes() == 40 + 1 + 8
+
+
+class TestMakeRoot:
+    def test_payload_width(self):
+        t = make_root(1, 2, 0, payload_width=4, weight=1)
+        assert t.payload == (None, None, None, None)
+
+    def test_stage(self):
+        t = make_root(1, 2, 3, 1, 1, stage=2)
+        assert t.stage == 2
+        assert t.op_idx == 3

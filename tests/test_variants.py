@@ -1,0 +1,164 @@
+"""Tests for the baseline engine variants (§V) and the cluster config."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph.partition import PartitionedGraph
+from repro.query.exprs import X
+from repro.query.traversal import Traversal
+from repro.runtime.cluster import ClusterConfig, PAPER_CLUSTER, SMALL_CLUSTER
+from repro.runtime.costmodel import LEGACY_CORES_8
+from repro.runtime.reference import LocalExecutor
+from repro.runtime.variants import (
+    GRAPHSCOPE_CPU_SCALE,
+    SWAP_PENALTY,
+    make_banyan,
+    make_bsp,
+    make_gaia,
+    make_graphdance,
+    make_graphscope,
+    make_non_partitioned,
+)
+from tests.conftest import random_graph
+
+
+CLUSTER = ClusterConfig(nodes=2, workers_per_node=2)
+
+
+def build_raw(seed=3):
+    import random
+
+    from repro.graph.builder import GraphBuilder
+
+    rng = random.Random(seed)
+    b = GraphBuilder("person")
+    for v in range(150):
+        b.vertex(v, "person", weight=rng.randint(1, 100))
+    for v in range(150):
+        for _ in range(4):
+            u = rng.randrange(150)
+            if u != v:
+                b.edge(v, u, "knows")
+    return b.build()
+
+
+def khop_plan(graph, k=3):
+    return (
+        Traversal("khop").v_param("s").khop("knows", k=k)
+        .filter_(X.vertex().neq(X.param("s")))
+        .values("w", "weight").as_("v").select("v", "w")
+        .order_by((X.binding("w"), "desc"), (X.binding("v"), "asc"))
+        .limit(5)
+    ).compile(graph)
+
+
+class TestClusterConfig:
+    def test_paper_cluster_shape(self):
+        assert PAPER_CLUSTER.nodes == 8
+        assert PAPER_CLUSTER.num_partitions == 8 * 16
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(nodes=1, workers_per_node=9, hardware=LEGACY_CORES_8)
+
+    def test_with_helpers(self):
+        c = SMALL_CLUSTER.with_nodes(4).with_workers(2)
+        assert c.nodes == 4 and c.workers_per_node == 2
+        assert c.hardware == SMALL_CLUSTER.hardware
+
+    def test_partition_helpers(self):
+        raw = build_raw()
+        assert CLUSTER.partition(raw).num_partitions == 4
+        assert CLUSTER.partition_per_node(raw).num_partitions == 2
+
+
+class TestVariantEquivalence:
+    """Every variant executes the same plans and returns the same rows."""
+
+    def test_all_variants_agree(self):
+        raw = build_raw()
+        reference_graph = CLUSTER.partition(raw)
+        plan = khop_plan(reference_graph)
+        expected = LocalExecutor(reference_graph).run(plan, {"s": 5})
+
+        engines = [
+            make_graphdance(CLUSTER.partition(raw), CLUSTER),
+            make_bsp(CLUSTER.partition(raw), CLUSTER),
+            make_banyan(CLUSTER.partition(raw), CLUSTER),
+            make_gaia(CLUSTER.partition(raw), CLUSTER),
+        ]
+        for engine in engines:
+            assert engine.run(khop_plan(engine.graph), {"s": 5}).rows == expected
+
+        np_graph = CLUSTER.partition_per_node(raw)
+        np_engine = make_non_partitioned(np_graph, CLUSTER)
+        assert np_engine.run(khop_plan(np_graph), {"s": 5}).rows == expected
+
+        single = PartitionedGraph.from_graph(raw, CLUSTER.workers_per_node)
+        gs = make_graphscope(single, CLUSTER, raw.estimated_raw_size())
+        assert gs.run(khop_plan(single), {"s": 5}).rows == expected
+
+
+class TestVariantBehaviors:
+    def test_dataflow_variants_pay_query_setup(self):
+        raw = build_raw()
+        plan_graph = CLUSTER.partition(raw)
+        plan = khop_plan(plan_graph)
+        gd = make_graphdance(CLUSTER.partition(raw), CLUSTER)
+        banyan = make_banyan(CLUSTER.partition(raw), CLUSTER)
+        t_gd = gd.run(khop_plan(gd.graph), {"s": 5}).latency_us
+        t_banyan = banyan.run(khop_plan(banyan.graph), {"s": 5}).latency_us
+        # On a tiny graph, instantiation dominates: Banyan-like is slower.
+        assert t_banyan > t_gd
+
+    def test_gaia_routes_barriers_to_partition_zero(self):
+        raw = build_raw()
+        gaia = make_gaia(CLUSTER.partition(raw), CLUSTER)
+        session = gaia.submit(khop_plan(gaia.graph), {"s": 5})
+        gaia.clock.run_until_idle()
+        assert session.machine.barrier_route == 0
+        assert session.results  # completed
+
+    def test_non_partitioned_is_slower_than_partitioned(self):
+        raw = build_raw()
+        gd = make_graphdance(CLUSTER.partition(raw), CLUSTER)
+        np_engine = make_non_partitioned(CLUSTER.partition_per_node(raw), CLUSTER)
+        t_gd = gd.run(khop_plan(gd.graph), {"s": 5}).latency_us
+        t_np = np_engine.run(khop_plan(np_engine.graph), {"s": 5}).latency_us
+        assert t_np > t_gd
+
+    def test_graphscope_fits_flag(self):
+        raw = build_raw()
+        single = PartitionedGraph.from_graph(raw, CLUSTER.workers_per_node)
+        small = make_graphscope(single, CLUSTER, dataset_bytes=10)
+        assert small.fits_in_memory
+        huge = make_graphscope(
+            PartitionedGraph.from_graph(raw, CLUSTER.workers_per_node),
+            CLUSTER,
+            dataset_bytes=int(CLUSTER.hardware.ram_gb * 1e9 * 2),
+        )
+        assert not huge.fits_in_memory
+
+    def test_graphscope_swap_penalty_slows_queries(self):
+        raw = build_raw()
+        plan_single = PartitionedGraph.from_graph(raw, CLUSTER.workers_per_node)
+        fits = make_graphscope(plan_single, CLUSTER, dataset_bytes=10)
+        swapped = make_graphscope(
+            PartitionedGraph.from_graph(raw, CLUSTER.workers_per_node),
+            CLUSTER,
+            dataset_bytes=int(CLUSTER.hardware.ram_gb * 1e9 * 2),
+        )
+        t_fit = fits.run(khop_plan(fits.engine.graph), {"s": 5}).latency_us
+        t_swap = swapped.run(khop_plan(swapped.engine.graph), {"s": 5}).latency_us
+        assert t_swap > 5 * t_fit
+
+    def test_graphscope_has_zero_network_packets(self):
+        raw = build_raw()
+        single = PartitionedGraph.from_graph(raw, CLUSTER.workers_per_node)
+        gs = make_graphscope(single, CLUSTER, raw.estimated_raw_size())
+        gs.run(khop_plan(single), {"s": 5})
+        assert gs.metrics.packets_sent == 0
+
+    def test_constants_sane(self):
+        assert 0 < GRAPHSCOPE_CPU_SCALE < 1
+        assert SWAP_PENALTY > 10

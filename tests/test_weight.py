@@ -1,0 +1,206 @@
+"""Unit + property tests for progression weights (paper §III-B, §IV-A, Thm 1)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.weight import (
+    GROUP_MODULUS,
+    ROOT_WEIGHT,
+    WeightAccumulator,
+    WeightLedger,
+    add_weights,
+    normalize_weight,
+    split_weight,
+    sub_weights,
+)
+from repro.errors import TerminationError
+
+
+class TestGroupArithmetic:
+    def test_modulus_is_2_64(self):
+        assert GROUP_MODULUS == 2**64
+
+    def test_add_wraps(self):
+        assert add_weights(GROUP_MODULUS - 1, 1) == 0
+
+    def test_sub_wraps(self):
+        assert sub_weights(0, 1) == GROUP_MODULUS - 1
+
+    def test_normalize_negative(self):
+        assert normalize_weight(-1) == GROUP_MODULUS - 1
+
+    def test_normalize_large(self):
+        assert normalize_weight(GROUP_MODULUS + 5) == 5
+
+    def test_add_sub_inverse(self):
+        a, b = 123456789, 987654321
+        assert sub_weights(add_weights(a, b), b) == a
+
+
+class TestSplitWeight:
+    def test_single_part_identity(self):
+        rng = random.Random(0)
+        assert split_weight(42, 1, rng) == [42]
+
+    def test_parts_sum_to_parent(self):
+        rng = random.Random(1)
+        parts = split_weight(ROOT_WEIGHT, 5, rng)
+        assert len(parts) == 5
+        total = 0
+        for p in parts:
+            total = add_weights(total, p)
+        assert total == ROOT_WEIGHT
+
+    def test_zero_parts_rejected(self):
+        with pytest.raises(ValueError):
+            split_weight(1, 0, random.Random(0))
+
+    def test_deterministic_with_same_rng_seed(self):
+        a = split_weight(1, 4, random.Random(7))
+        b = split_weight(1, 4, random.Random(7))
+        assert a == b
+
+    def test_parts_in_group_range(self):
+        parts = split_weight(ROOT_WEIGHT, 100, random.Random(3))
+        assert all(0 <= p < GROUP_MODULUS for p in parts)
+
+    @given(
+        w=st.integers(min_value=0, max_value=GROUP_MODULUS - 1),
+        n=st.integers(min_value=1, max_value=64),
+        seed=st.integers(min_value=0, max_value=2**32),
+    )
+    @settings(max_examples=200)
+    def test_property_sum_invariant(self, w, n, seed):
+        """∑ split(w, n) ≡ w (mod 2^64) — the invariant Theorem 1 rests on."""
+        parts = split_weight(w, n, random.Random(seed))
+        assert len(parts) == n
+        assert sum(parts) % GROUP_MODULUS == w
+
+
+class TestWeightLedger:
+    def test_starts_unterminated(self):
+        ledger = WeightLedger()
+        assert not ledger.terminated
+        assert ledger.received == 0
+
+    def test_single_report_completes(self):
+        ledger = WeightLedger()
+        assert ledger.report(ROOT_WEIGHT) is True
+        assert ledger.terminated
+
+    def test_split_then_report_all(self):
+        ledger = WeightLedger()
+        parts = split_weight(ROOT_WEIGHT, 10, random.Random(2))
+        for part in parts[:-1]:
+            assert ledger.report(part) is False
+        assert ledger.report(parts[-1]) is True
+
+    def test_report_after_termination_raises(self):
+        ledger = WeightLedger()
+        ledger.report(ROOT_WEIGHT)
+        with pytest.raises(TerminationError):
+            ledger.report(1)
+
+    def test_report_count(self):
+        ledger = WeightLedger()
+        parts = split_weight(ROOT_WEIGHT, 4, random.Random(5))
+        for part in parts:
+            ledger.report(part)
+        assert ledger.report_count == 4
+
+    def test_false_positive_bound(self):
+        ledger = WeightLedger()
+        parts = split_weight(ROOT_WEIGHT, 3, random.Random(6))
+        for part in parts:
+            ledger.report(part)
+        # Theorem 1: (n-1)/|G|
+        assert ledger.false_positive_bound() == pytest.approx(2 / GROUP_MODULUS)
+
+    def test_false_positive_bound_zero_for_single_report(self):
+        ledger = WeightLedger()
+        assert ledger.false_positive_bound() == 0.0
+
+    def test_reset(self):
+        ledger = WeightLedger()
+        ledger.report(ROOT_WEIGHT)
+        ledger.reset()
+        assert not ledger.terminated
+        assert ledger.received == 0
+        assert ledger.report(ROOT_WEIGHT) is True
+
+    @given(
+        n=st.integers(min_value=1, max_value=200),
+        seed=st.integers(min_value=0, max_value=2**32),
+    )
+    @settings(max_examples=100)
+    def test_property_recursive_splits_terminate_exactly_once(self, n, seed):
+        """Recursively splitting and reporting in random order terminates
+        exactly at the last report — never early (with overwhelming
+        probability), never late."""
+        rng = random.Random(seed)
+        live = [ROOT_WEIGHT]
+        for _ in range(n):
+            idx = rng.randrange(len(live))
+            w = live.pop(idx)
+            parts = split_weight(w, rng.randint(1, 4), rng)
+            live.extend(parts)
+        rng.shuffle(live)
+        ledger = WeightLedger()
+        for i, w in enumerate(live):
+            done = ledger.report(w)
+            assert done == (i == len(live) - 1)
+
+
+class TestWeightAccumulator:
+    def test_empty_flush_returns_none(self):
+        acc = WeightAccumulator()
+        assert acc.flush() is None
+        assert acc.flush_count == 0
+
+    def test_absorb_and_flush(self):
+        acc = WeightAccumulator()
+        acc.absorb(10)
+        acc.absorb(20)
+        assert acc.pending_count == 2
+        assert acc.flush() == 30
+        assert acc.pending_count == 0
+        assert acc.flush_count == 1
+
+    def test_flush_resets_pending(self):
+        acc = WeightAccumulator()
+        acc.absorb(5)
+        acc.flush()
+        assert acc.flush() is None
+
+    def test_absorbed_count_is_cumulative(self):
+        acc = WeightAccumulator()
+        for _ in range(5):
+            acc.absorb(1)
+        acc.flush()
+        acc.absorb(1)
+        assert acc.absorbed_count == 6
+
+    def test_group_wraparound(self):
+        acc = WeightAccumulator()
+        acc.absorb(GROUP_MODULUS - 1)
+        acc.absorb(2)
+        assert acc.flush() == 1
+
+    def test_coalescing_preserves_ledger_invariant(self):
+        """Coalesced reporting detects termination exactly like
+        per-traverser reporting (paper §IV-A(a))."""
+        rng = random.Random(11)
+        parts = split_weight(ROOT_WEIGHT, 50, rng)
+        workers = [WeightAccumulator() for _ in range(4)]
+        for i, part in enumerate(parts):
+            workers[i % 4].absorb(part)
+        ledger = WeightLedger()
+        done = False
+        for worker in workers:
+            combined = worker.flush()
+            assert not done
+            done = ledger.report(combined)
+        assert done
