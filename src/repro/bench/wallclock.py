@@ -1,0 +1,233 @@
+"""Wall-clock benchmark: scalar vs batched traverser execution.
+
+Unlike the rest of the benchmark suite — which reports *simulated* time —
+this module measures real wall-clock seconds of the simulator process
+itself. It exists to quantify the batched-kernel hot path: both execution
+modes produce bit-for-bit identical simulated results (the bench asserts
+this on every run), so the only difference worth measuring is how fast the
+simulation itself executes.
+
+Workloads:
+
+* ``khop3_count`` — the acceptance microbenchmark: a 3-hop neighborhood
+  count over the LiveJournal-like power-law graph. Almost all work is the
+  Expand/Dedup/Count hot path, i.e. the code the batch kernels vectorize.
+* ``khop3_fig1``  — the paper's Fig 1 query (3-hop, filter, order-by,
+  top-10) over the same graph; exercises property access and the bounded
+  top-k aggregation.
+* ``ic_mix``      — a short LDBC IC interactive-complex mix (IC2/IC6/IC9)
+  over the simulated SNB SF300 dataset.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.bench.wallclock --out BENCH_PR1.json
+    PYTHONPATH=src python -m repro.bench.wallclock --quick   # CI smoke
+
+The JSON report records, per workload: wall-clock seconds for each path
+(best of ``--repeats``), the speedup ratio, and whether the simulated
+outputs (rows and per-query latencies) matched exactly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from functools import lru_cache
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.bench.harness import (
+    BENCH_CLUSTER,
+    khop_plan,
+    khop_starts,
+    powerlaw_partitioned,
+    snb_dataset,
+    snb_graph,
+)
+from repro.ldbc.queries import IC_QUERIES
+from repro.query.plan import PhysicalPlan
+from repro.query.traversal import Traversal
+from repro.runtime.engine import AsyncPSTMEngine, EngineConfig
+from repro.runtime.variants import make_graphdance
+
+IC_MIX_NUMBERS = (2, 6, 9)
+IC_PARAM_SEED = 4242
+
+#: Worker drain budget used by this benchmark. The EngineConfig default (64)
+#: is tuned for latency fairness under concurrency and is what the ablation
+#: studies sweep; this throughput microbenchmark uses a larger budget so
+#: per-run scheduling overhead does not drown the kernel cost being
+#: measured. Both execution paths run with the same value, so the
+#: equivalence check is unaffected.
+BENCH_BATCH_SIZE = 256
+
+
+def khop_count_traversal(k: int, edge_label: str = "knows") -> Traversal:
+    """Pure k-hop neighborhood count (the traversal-dominated microbench)."""
+    return Traversal(f"khop{k}count").v_param("start").khop(edge_label, k=k).count()
+
+
+@lru_cache(maxsize=None)
+def khop_count_plan(name: str, partitions: int, k: int) -> PhysicalPlan:
+    graph = powerlaw_partitioned(name, partitions)
+    return khop_count_traversal(k).compile(graph)
+
+
+def _build_engine(scalar: bool, dataset: str, dataset_kind: str) -> AsyncPSTMEngine:
+    config = EngineConfig(
+        scalar_execution=scalar, batch_size=BENCH_BATCH_SIZE
+    )
+    if dataset_kind == "snb":
+        graph = snb_graph(dataset, BENCH_CLUSTER.num_partitions)
+    else:
+        graph = powerlaw_partitioned(dataset, BENCH_CLUSTER.num_partitions)
+    return make_graphdance(graph, BENCH_CLUSTER, config=config)
+
+
+def _run_khop_queries(
+    engine: AsyncPSTMEngine, plan: PhysicalPlan, starts: List[int]
+) -> List[Tuple[Any, float]]:
+    out = []
+    for start in starts:
+        result = engine.run(plan, {"start": start})
+        out.append((result.rows, result.latency_us))
+    return out
+
+
+def _workload_khop(
+    name: str, k: int, num_starts: int, plan_fn: Callable[[str, int, int], PhysicalPlan]
+) -> Callable[[bool], List[Tuple[Any, float]]]:
+    def run(scalar: bool) -> List[Tuple[Any, float]]:
+        engine = _build_engine(scalar, name, "powerlaw")
+        plan = plan_fn(name, BENCH_CLUSTER.num_partitions, k)
+        starts = khop_starts(name, num_starts)
+        return _run_khop_queries(engine, plan, starts)
+
+    return run
+
+
+def _workload_ic_mix(queries_per_ic: int) -> Callable[[bool], List[Tuple[Any, float]]]:
+    def run(scalar: bool) -> List[Tuple[Any, float]]:
+        engine = _build_engine(scalar, "sf300", "snb")
+        dataset = snb_dataset("sf300")
+        out = []
+        for number in IC_MIX_NUMBERS:
+            qdef = IC_QUERIES[number]
+            plan = qdef.build().compile(engine.graph)
+            # Same seed for both paths → same parameter sequence.
+            rng = random.Random(IC_PARAM_SEED + number)
+            for _ in range(queries_per_ic):
+                params = qdef.make_params(dataset, rng)
+                result = engine.run(plan, params)
+                out.append((result.rows, result.latency_us))
+        return out
+
+    return run
+
+
+def _measure(
+    run: Callable[[bool], List[Tuple[Any, float]]], scalar: bool, repeats: int
+) -> Tuple[float, List[Tuple[Any, float]]]:
+    """Best-of-``repeats`` wall-clock seconds plus the simulated outputs."""
+    best = float("inf")
+    outputs: List[Tuple[Any, float]] = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        outputs = run(scalar)
+        best = min(best, time.perf_counter() - t0)
+    return best, outputs
+
+
+def run_workload(
+    label: str,
+    run: Callable[[bool], List[Tuple[Any, float]]],
+    repeats: int,
+) -> Dict[str, Any]:
+    """Time one workload in both modes and check output equivalence."""
+    # Warm-up (uncounted): builds the lru-cached graph + plan, and warms
+    # allocator/caches so neither timed path pays one-time costs.
+    run(False)
+    scalar_s, scalar_out = _measure(run, True, repeats)
+    batched_s, batched_out = _measure(run, False, repeats)
+    identical = scalar_out == batched_out
+    speedup = scalar_s / batched_s if batched_s > 0 else float("inf")
+    row = {
+        "workload": label,
+        "queries": len(batched_out),
+        "scalar_wall_s": round(scalar_s, 4),
+        "batched_wall_s": round(batched_s, 4),
+        "speedup": round(speedup, 2),
+        "identical_simulated_output": identical,
+    }
+    print(
+        f"{label:<12} scalar {scalar_s:7.3f}s  batched {batched_s:7.3f}s  "
+        f"speedup {speedup:5.2f}x  identical={identical}"
+    )
+    return row
+
+
+def main(argv: List[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=None, help="write a JSON report here")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: tiny workloads, no speedup floor enforced",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=2, help="best-of-N wall-clock timing"
+    )
+    parser.add_argument(
+        "--workloads",
+        default=None,
+        help="comma-separated subset (khop3_count,khop3_fig1,ic_mix)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        workloads = {
+            "khop3_count": _workload_khop("lj", 3, 2, khop_count_plan),
+            "khop3_fig1": _workload_khop("lj", 3, 1, khop_plan),
+        }
+        repeats = 1
+    else:
+        workloads = {
+            "khop3_count": _workload_khop("lj", 3, 12, khop_count_plan),
+            "khop3_fig1": _workload_khop("lj", 3, 6, khop_plan),
+            "ic_mix": _workload_ic_mix(3),
+        }
+        repeats = args.repeats
+    if args.workloads:
+        wanted = args.workloads.split(",")
+        workloads = {k: v for k, v in workloads.items() if k in wanted}
+
+    rows = [run_workload(label, run, repeats) for label, run in workloads.items()]
+
+    report = {
+        "benchmark": "wallclock scalar-vs-batched",
+        "cluster": {
+            "nodes": BENCH_CLUSTER.nodes,
+            "workers_per_node": BENCH_CLUSTER.workers_per_node,
+        },
+        "batch_size": BENCH_BATCH_SIZE,
+        "quick": args.quick,
+        "results": rows,
+    }
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+
+    failures = [r for r in rows if not r["identical_simulated_output"]]
+    if failures:
+        print("ERROR: simulated outputs diverged between paths", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

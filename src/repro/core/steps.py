@@ -138,6 +138,50 @@ class StepOutcome:
         self.children.append((vertex, op_idx, payload, loops))
 
 
+#: One child traverser spec: ``(vertex, op_idx, payload, loops)``.
+ChildSpec = Tuple[int, int, Tuple[Any, ...], int]
+
+#: Shared empty cost tuple / children row for batch kernels.
+_NO_CHILDREN: List[ChildSpec] = []
+
+#: Shared ``(base, edges, memo_ops, props)`` tuples for small expansion
+#: degrees. Reusing one tuple object per degree lets batched callers
+#: detect repeated costs by identity instead of recomputing the price.
+_EXPAND_COSTS: List[Tuple[int, int, int, int]] = [
+    (1, d, 0, 0) for d in range(128)
+]
+
+#: Sentinel distinguishing "no partial yet" from a stored ``None`` partial.
+_MISSING = object()
+
+
+class BatchOutcome:
+    """Result of applying one operator to a homogeneous run of traversers.
+
+    Parallel lists, one entry per input traverser:
+
+    * ``children[i]`` — child specs of traverser ``i`` (may be empty);
+    * ``costs[i]`` — ``(base, edges, memo_ops, props)`` event counts, the
+      same numbers the scalar path would have put in an :class:`OpCost`.
+
+    Costs are plain tuples rather than :class:`OpCost` instances because the
+    batch path exists to avoid per-traverser allocations; the runtime prices
+    the tuples with the identical arithmetic
+    (:meth:`~repro.runtime.costmodel.CostModel.op_cost_fields_us`), so
+    simulated times match the scalar path bit for bit.
+    """
+
+    __slots__ = ("children", "costs")
+
+    def __init__(
+        self,
+        children: List[List[ChildSpec]],
+        costs: List[Tuple[int, int, int, int]],
+    ) -> None:
+        self.children = children
+        self.costs = costs
+
+
 #: Expression: a function of (context, traverser) producing a value.
 Expr = Callable[[StepContext, Traverser], Any]
 #: Predicate: a function of (context, traverser) producing a bool.
@@ -153,6 +197,11 @@ class PhysicalOp:
     is_barrier: bool = False
     #: True for source ops seeded once per partition by the engine.
     is_source: bool = False
+    #: How :meth:`routing` behaves, so batch kernels can route children
+    #: without a per-child method call: ``"free"`` (always ``None``),
+    #: ``"vertex"`` (always ``partitioner(trav.vertex)``), or ``"custom"``
+    #: (call :meth:`routing`). Must be consistent with :meth:`routing`.
+    routing_mode: str = "free"
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -168,12 +217,36 @@ class PhysicalOp:
         """Execute this op for one traverser (operator contract)."""
         raise NotImplementedError
 
+    def apply_batch(self, ctx: StepContext, travs: Sequence[Traverser]) -> BatchOutcome:
+        """Execute this op for a homogeneous run of traversers.
+
+        The default implementation falls back to :meth:`apply` per
+        traverser, so every operator is batch-executable; hot operators
+        override this with kernels that amortize lookups and skip the
+        per-traverser :class:`StepOutcome`/:class:`OpCost` allocations.
+
+        Implementations must be *observationally identical* to the scalar
+        path: same children in the same order, same per-traverser event
+        counts, same memo access sequence.
+        """
+        children: List[List[ChildSpec]] = []
+        costs: List[Tuple[int, int, int, int]] = []
+        apply = self.apply
+        for trav in travs:
+            out = apply(ctx, trav)
+            children.append(out.children)
+            c = out.cost
+            costs.append((c.base, c.edges, c.memo_ops, c.props))
+        return BatchOutcome(children, costs)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} #{self.idx} {self.name!r} -> {self.next_idx}>"
 
 
 class VertexRoutedOp(PhysicalOp):
     """Mixin base for ops that must run where the current vertex lives."""
+
+    routing_mode = "vertex"
 
     def routing(self, partitioner: HashPartitioner, trav: Traverser) -> Optional[int]:
         return partitioner(trav.vertex)
@@ -199,6 +272,7 @@ class FixedVertexSource(SourceOp):
     """``g.V(id)``: start at one vertex given by a parameter or constant."""
 
     broadcast = False
+    routing_mode = "custom"
 
     def __init__(self, vertex_param: str, const: Optional[int] = None) -> None:
         super().__init__(f"V(${vertex_param})" if const is None else f"V({const})")
@@ -326,6 +400,81 @@ class ExpandOp(VertexRoutedOp):
             out.child(nbr, self.next_idx, p, trav.loops + 1)
         return out
 
+    def apply_batch(self, ctx: StepContext, travs: Sequence[Traverser]) -> BatchOutcome:
+        """Batched expansion: one CSR slice per traverser, no per-traverser
+        outcome objects. The single-(direction, label) no-binding case reads
+        the CSR arrays directly; other shapes share the generic loop over
+        :meth:`PartitionStore.neighbors` so child order matches the scalar
+        path exactly."""
+        if self.edge_slot is not None or self.edge_prop is not None:
+            return PhysicalOp.apply_batch(self, ctx, travs)
+        children: List[List[ChildSpec]] = []
+        costs: List[Tuple[int, int, int, int]] = []
+        next_idx = self.next_idx
+        dist_slot = self.dist_slot
+        store = ctx.store
+        direction = self.direction
+        label = self.edge_label
+        csr = None
+        if label is not None and direction != BOTH:
+            # Only plain PartitionStores expose raw CSR arrays; snapshot
+            # views and other wrapper stores merge deltas in neighbors(),
+            # so they must take the generic path below.
+            adjacency = getattr(store, "adjacency", None)
+            if adjacency is not None:
+                csr = adjacency(direction, label)
+        if csr is not None:
+            local_ix = store.local_index_map()
+            offsets, targets = csr.arrays()
+            cappend = children.append
+            costappend = costs.append
+            cost_cache = _EXPAND_COSTS
+            n_cached = len(cost_cache)
+            for trav in travs:
+                payload = trav.payload
+                if dist_slot is not None:
+                    dist = payload[dist_slot]
+                    dist = 1 if dist is None else dist + 1
+                    payload = (
+                        payload[:dist_slot] + (dist,) + payload[dist_slot + 1 :]
+                    )
+                li = local_ix[trav.vertex]
+                lo = offsets[li]
+                hi = offsets[li + 1]
+                deg = hi - lo
+                loops = trav.loops + 1
+                # Degree-specialized rows: power-law graphs make degree 0/1
+                # the common case, where slice + listcomp overhead dominates.
+                if deg == 1:
+                    cappend([(targets[lo], next_idx, payload, loops)])
+                elif deg == 0:
+                    cappend(_NO_CHILDREN)
+                else:
+                    cappend(
+                        [
+                            (nbr, next_idx, payload, loops)
+                            for nbr in targets[lo:hi]
+                        ]
+                    )
+                # Shared small-degree cost tuples let the worker's identity
+                # fast path hit when consecutive traversers share a degree.
+                costappend(
+                    cost_cache[deg] if deg < n_cached else (1, deg, 0, 0)
+                )
+            return BatchOutcome(children, costs)
+        neighbors = store.neighbors
+        for trav in travs:
+            payload = trav.payload
+            if dist_slot is not None:
+                dist = payload[dist_slot]
+                dist = 1 if dist is None else dist + 1
+                payload = payload[:dist_slot] + (dist,) + payload[dist_slot + 1 :]
+            nbrs = neighbors(trav.vertex, direction, label)
+            loops = trav.loops + 1
+            children.append([(nbr, next_idx, payload, loops) for nbr in nbrs])
+            costs.append((1, len(nbrs), 0, 0))
+        return BatchOutcome(children, costs)
+
 
 class GotoOp(PhysicalOp):
     """Relocate the traverser to a vertex held in a payload slot.
@@ -349,6 +498,17 @@ class GotoOp(PhysicalOp):
         out.child(vertex, self.next_idx, trav.payload, trav.loops)
         return out
 
+    def apply_batch(self, ctx: StepContext, travs: Sequence[Traverser]) -> BatchOutcome:
+        children: List[List[ChildSpec]] = []
+        slot = self.slot
+        next_idx = self.next_idx
+        for trav in travs:
+            vertex = trav.payload[slot]
+            if vertex is None:
+                raise ExecutionError(f"{self.name}: binding slot {slot} is unset")
+            children.append([(vertex, next_idx, trav.payload, trav.loops)])
+        return BatchOutcome(children, [(1, 0, 0, 0)] * len(travs))
+
 
 class FilterOp(VertexRoutedOp):
     """Keep traversers satisfying a predicate (Gremlin ``has`` / ``where``).
@@ -361,6 +521,7 @@ class FilterOp(VertexRoutedOp):
         super().__init__(f"Filter({name})")
         self.predicate = predicate
         self.needs_vertex = needs_vertex
+        self.routing_mode = "vertex" if needs_vertex else "free"
 
     def routing(self, partitioner: HashPartitioner, trav: Traverser) -> Optional[int]:
         if not self.needs_vertex:
@@ -375,6 +536,17 @@ class FilterOp(VertexRoutedOp):
             out.child(trav.vertex, self.next_idx, trav.payload, trav.loops)
         return out
 
+    def apply_batch(self, ctx: StepContext, travs: Sequence[Traverser]) -> BatchOutcome:
+        children: List[List[ChildSpec]] = []
+        predicate = self.predicate
+        next_idx = self.next_idx
+        for trav in travs:
+            if predicate(ctx, trav):
+                children.append([(trav.vertex, next_idx, trav.payload, trav.loops)])
+            else:
+                children.append(_NO_CHILDREN)
+        return BatchOutcome(children, [(1, 0, 0, 1)] * len(travs))
+
 
 class ProjectOp(VertexRoutedOp):
     """Evaluate expressions into payload slots (Gremlin ``values``/``as``)."""
@@ -388,6 +560,7 @@ class ProjectOp(VertexRoutedOp):
         super().__init__(f"Project({name})")
         self.assignments = list(assignments)
         self.needs_vertex = needs_vertex
+        self.routing_mode = "vertex" if needs_vertex else "free"
 
     def routing(self, partitioner: HashPartitioner, trav: Traverser) -> Optional[int]:
         if not self.needs_vertex:
@@ -404,6 +577,17 @@ class ProjectOp(VertexRoutedOp):
         out.child(trav.vertex, self.next_idx, tuple(payload), trav.loops)
         return out
 
+    def apply_batch(self, ctx: StepContext, travs: Sequence[Traverser]) -> BatchOutcome:
+        children: List[List[ChildSpec]] = []
+        assignments = self.assignments
+        next_idx = self.next_idx
+        for trav in travs:
+            payload = list(trav.payload)
+            for slot, expr in assignments:
+                payload[slot] = expr(ctx, trav)
+            children.append([(trav.vertex, next_idx, tuple(payload), trav.loops)])
+        return BatchOutcome(children, [(1, 0, 0, len(assignments))] * len(travs))
+
 
 class DedupOp(PhysicalOp):
     """Incremental deduplication via a memo set (§III-A).
@@ -414,6 +598,8 @@ class DedupOp(PhysicalOp):
     traverser with a given key passes; later ones finish.
     """
 
+    routing_mode = "custom"
+
     def __init__(
         self,
         key_fn: Optional[KeyFn] = None,
@@ -423,6 +609,12 @@ class DedupOp(PhysicalOp):
         super().__init__(f"Dedup({name})")
         self.key_fn = key_fn or (lambda trav: trav.vertex)
         self.memo_label = memo_label
+        if key_fn is None:
+            # The default routing key IS the vertex: key_partition(v) and
+            # the vertex partition function compute the same mix64 hash, so
+            # vertex-mode routing yields identical partition ids and lets
+            # the batched path use the memoized vertex→pid cache.
+            self.routing_mode = "vertex"
 
     def routing(self, partitioner: HashPartitioner, trav: Traverser) -> Optional[int]:
         return partitioner.key_partition(self.key_fn(trav))
@@ -434,6 +626,22 @@ class DedupOp(PhysicalOp):
         if ctx.memo.insert_if_absent(self.memo_label, self.key_fn(trav)):
             out.child(trav.vertex, self.next_idx, trav.payload, trav.loops)
         return out
+
+    def apply_batch(self, ctx: StepContext, travs: Sequence[Traverser]) -> BatchOutcome:
+        children: List[List[ChildSpec]] = []
+        append = children.append
+        key_fn = self.key_fn
+        # Inlined memo.insert_if_absent: one table fetch per run.
+        tbl = ctx.memo.table(self.memo_label)
+        next_idx = self.next_idx
+        for trav in travs:
+            key = key_fn(trav)
+            if key in tbl:
+                append(_NO_CHILDREN)
+            else:
+                tbl[key] = True
+                append([(trav.vertex, next_idx, trav.payload, trav.loops)])
+        return BatchOutcome(children, [(1, 0, 1, 0)] * len(travs))
 
 
 class MinDistBranchOp(VertexRoutedOp):
@@ -479,6 +687,35 @@ class MinDistBranchOp(VertexRoutedOp):
             out.child(trav.vertex, self.loop_idx, trav.payload, trav.loops)
         return out
 
+    def apply_batch(self, ctx: StepContext, travs: Sequence[Traverser]) -> BatchOutcome:
+        children: List[List[ChildSpec]] = []
+        append = children.append
+        # Inlined memo.put_if_less: one table fetch per run.
+        tbl = ctx.memo.table(self.memo_label)
+        tbl_get = tbl.get
+        dist_slot = self.dist_slot
+        max_dist = self.max_dist
+        exit_idx = self.exit_idx
+        loop_idx = self.loop_idx
+        for trav in travs:
+            dist = trav.payload[dist_slot]
+            vertex = trav.vertex
+            old = tbl_get(vertex)
+            if old is not None and dist >= old:
+                append(_NO_CHILDREN)
+                continue
+            tbl[vertex] = dist
+            if dist < max_dist:
+                append(
+                    [
+                        (vertex, exit_idx, trav.payload, trav.loops),
+                        (vertex, loop_idx, trav.payload, trav.loops),
+                    ]
+                )
+            else:
+                append([(vertex, exit_idx, trav.payload, trav.loops)])
+        return BatchOutcome(children, [(1, 0, 1, 0)] * len(travs))
+
 
 class ForkOp(PhysicalOp):
     """Clone the traverser onto several branch entry points (``union``)."""
@@ -494,6 +731,14 @@ class ForkOp(PhysicalOp):
             out.child(trav.vertex, target, trav.payload, trav.loops)
         return out
 
+    def apply_batch(self, ctx: StepContext, travs: Sequence[Traverser]) -> BatchOutcome:
+        targets = self.targets
+        children = [
+            [(trav.vertex, target, trav.payload, trav.loops) for target in targets]
+            for trav in travs
+        ]
+        return BatchOutcome(children, [(1, 0, 0, 0)] * len(travs))
+
 
 class JumpOp(PhysicalOp):
     """Unconditional jump (branch convergence point plumbing)."""
@@ -507,6 +752,13 @@ class JumpOp(PhysicalOp):
         out.cost.base = 0  # pure plumbing: free
         out.child(trav.vertex, self.next_idx, trav.payload, trav.loops)
         return out
+
+    def apply_batch(self, ctx: StepContext, travs: Sequence[Traverser]) -> BatchOutcome:
+        next_idx = self.next_idx
+        children = [
+            [(trav.vertex, next_idx, trav.payload, trav.loops)] for trav in travs
+        ]
+        return BatchOutcome(children, [(0, 0, 0, 0)] * len(travs))
 
 
 class JoinOp(PhysicalOp):
@@ -524,6 +776,8 @@ class JoinOp(PhysicalOp):
     traverser with key ``k`` meets at partition ``H(k)``, so matches are
     found exactly once, incrementally, with no barrier.
     """
+
+    routing_mode = "custom"
 
     def __init__(
         self,
@@ -560,6 +814,36 @@ class JoinOp(PhysicalOp):
             out.child(trav.vertex, self.next_idx, merged, trav.loops)
         return out
 
+    def apply_batch(self, ctx: StepContext, travs: Sequence[Traverser]) -> BatchOutcome:
+        key_fn = self.key_fn
+        merge_fn = self.merge_fn
+        next_idx = self.next_idx
+        a_side = self.side == "A"
+        own = f"{self.join_label}/{self.side}"
+        other = f"{self.join_label}/{'B' if a_side else 'A'}"
+        memo_append = ctx.memo.append
+        memo_get_list = ctx.memo.get_list
+        children: List[List[ChildSpec]] = []
+        for trav in travs:
+            key = key_fn(trav)
+            payload = trav.payload
+            memo_append(own, key, payload)
+            matches = memo_get_list(other, key)
+            if matches:
+                vertex = trav.vertex
+                loops = trav.loops
+                if a_side:
+                    children.append(
+                        [(vertex, next_idx, merge_fn(payload, m), loops) for m in matches]
+                    )
+                else:
+                    children.append(
+                        [(vertex, next_idx, merge_fn(m, payload), loops) for m in matches]
+                    )
+            else:
+                children.append(_NO_CHILDREN)
+        return BatchOutcome(children, [(1, 0, 2, 0)] * len(travs))
+
 
 # ---------------------------------------------------------------------------
 # aggregation operators (stage barriers)
@@ -595,6 +879,13 @@ class AggregateOp(PhysicalOp):
         out.cost.memo_ops += 1
         self.absorb(ctx, trav)
         return out  # no children: the traverser's weight is finished
+
+    def apply_batch(self, ctx: StepContext, travs: Sequence[Traverser]) -> BatchOutcome:
+        absorb = self.absorb
+        for trav in travs:
+            absorb(ctx, trav)
+        n = len(travs)
+        return BatchOutcome([_NO_CHILDREN] * n, [(1, 0, 1, 0)] * n)
 
     # subclass API ------------------------------------------------------
 
@@ -641,6 +932,12 @@ class CountAgg(AggregateOp):
         """Fold one traverser into the partition-local partial."""
         ctx.memo.accumulate(self.memo_label(), "partial", 1, lambda a, b: a + b)
 
+    def apply_batch(self, ctx: StepContext, travs: Sequence[Traverser]) -> BatchOutcome:
+        n = len(travs)
+        tbl = ctx.memo.table(self.memo_label())
+        tbl["partial"] = tbl.get("partial", 0) + n
+        return BatchOutcome([_NO_CHILDREN] * n, [(1, 0, 1, 0)] * n)
+
     def combine(self, partials: List[Any]) -> int:
         """Merge partition partials into the global aggregate."""
         return sum(p for p in partials if p is not None)
@@ -663,6 +960,19 @@ class SumAgg(AggregateOp):
         """Fold one traverser into the partition-local partial."""
         value = trav.payload[self.value_slot]
         ctx.memo.accumulate(self.memo_label(), "partial", value, lambda a, b: a + b)
+
+    def apply_batch(self, ctx: StepContext, travs: Sequence[Traverser]) -> BatchOutcome:
+        n = len(travs)
+        tbl = ctx.memo.table(self.memo_label())
+        slot = self.value_slot
+        # Fold left-to-right from the stored partial, matching the scalar
+        # accumulate sequence (float addition is order-sensitive).
+        part = tbl.get("partial", _MISSING)
+        for trav in travs:
+            value = trav.payload[slot]
+            part = value if part is _MISSING else part + value
+        tbl["partial"] = part
+        return BatchOutcome([_NO_CHILDREN] * n, [(1, 0, 1, 0)] * n)
 
     def combine(self, partials: List[Any]) -> Any:
         """Merge partition partials into the global aggregate."""
@@ -688,6 +998,17 @@ class MaxAgg(AggregateOp):
         value = trav.payload[self.value_slot]
         ctx.memo.accumulate(self.memo_label(), "partial", value, max)
 
+    def apply_batch(self, ctx: StepContext, travs: Sequence[Traverser]) -> BatchOutcome:
+        n = len(travs)
+        tbl = ctx.memo.table(self.memo_label())
+        slot = self.value_slot
+        part = tbl.get("partial", _MISSING)
+        for trav in travs:
+            value = trav.payload[slot]
+            part = value if part is _MISSING else max(part, value)
+        tbl["partial"] = part
+        return BatchOutcome([_NO_CHILDREN] * n, [(1, 0, 1, 0)] * n)
+
     def combine(self, partials: List[Any]) -> Any:
         """Merge partition partials into the global aggregate."""
         values = [p for p in partials if p is not None]
@@ -708,6 +1029,17 @@ class MinAgg(AggregateOp):
         """Fold one traverser into the partition-local partial."""
         value = trav.payload[self.value_slot]
         ctx.memo.accumulate(self.memo_label(), "partial", value, min)
+
+    def apply_batch(self, ctx: StepContext, travs: Sequence[Traverser]) -> BatchOutcome:
+        n = len(travs)
+        tbl = ctx.memo.table(self.memo_label())
+        slot = self.value_slot
+        part = tbl.get("partial", _MISSING)
+        for trav in travs:
+            value = trav.payload[slot]
+            part = value if part is _MISSING else min(part, value)
+        tbl["partial"] = part
+        return BatchOutcome([_NO_CHILDREN] * n, [(1, 0, 1, 0)] * n)
 
     def combine(self, partials: List[Any]) -> Any:
         """Merge partition partials into the global aggregate."""
@@ -764,6 +1096,33 @@ class TopKAgg(AggregateOp):
             heapq.heappush(heap, entry)
         if len(heap) > self.k:
             heapq.heappop(heap)
+
+    def apply_batch(self, ctx: StepContext, travs: Sequence[Traverser]) -> BatchOutcome:
+        n = len(travs)
+        memo = ctx.memo
+        label = self.memo_label()
+        partial = memo.get(label, "partial")
+        if partial is None:
+            partial = {"n": 0, "heap": []}
+            memo.put(label, "partial", partial)
+        heap = partial["heap"]
+        count = partial["n"]
+        sort_key = self.sort_key
+        row_fn = self.row_fn
+        ascending = self.ascending
+        k = self.k
+        push = heapq.heappush
+        pop = heapq.heappop
+        # Tied sort keys resolve by the heap's internal list order, so the
+        # push/pop sequence must match absorb() exactly (no heappushpop).
+        for trav in travs:
+            count += 1
+            entry = (sort_key(trav), count, row_fn(trav))
+            push(heap, _neg_entry3(entry) if ascending else entry)
+            if len(heap) > k:
+                pop(heap)
+        partial["n"] = count
+        return BatchOutcome([_NO_CHILDREN] * n, [(1, 0, 1, 0)] * n)
 
     def combine(self, partials: List[Any]) -> List[Tuple[Any, Any]]:
         """Merge partition partials into the global aggregate."""
@@ -824,6 +1183,21 @@ class GroupCountAgg(AggregateOp):
             ctx.memo.put(label, "partial", partial)
         key = self.key_fn(trav)
         partial[key] = partial.get(key, 0) + 1
+
+    def apply_batch(self, ctx: StepContext, travs: Sequence[Traverser]) -> BatchOutcome:
+        n = len(travs)
+        memo = ctx.memo
+        label = self.memo_label()
+        partial = memo.get(label, "partial")
+        if partial is None:
+            partial = {}
+            memo.put(label, "partial", partial)
+        key_fn = self.key_fn
+        get = partial.get
+        for trav in travs:
+            key = key_fn(trav)
+            partial[key] = get(key, 0) + 1
+        return BatchOutcome([_NO_CHILDREN] * n, [(1, 0, 1, 0)] * n)
 
     def combine(self, partials: List[Any]) -> Dict[Any, int]:
         """Merge partition partials into the global aggregate."""
@@ -893,6 +1267,40 @@ class CollectAgg(AggregateOp):
                 heapq.heappop(heap)
         else:
             partial.append(row)
+
+    def apply_batch(self, ctx: StepContext, travs: Sequence[Traverser]) -> BatchOutcome:
+        n = len(travs)
+        memo = ctx.memo
+        label = self.memo_label()
+        bounded = self._bounded()
+        partial = memo.get(label, "partial")
+        if partial is None:
+            partial = {"n": 0, "heap": []} if bounded else []
+            memo.put(label, "partial", partial)
+        row_fn = self.row_fn
+        if bounded:
+            heap = partial["heap"]
+            count = partial["n"]
+            order_key = self.order_key
+            ascending = self.ascending
+            limit = self.limit
+            push = heapq.heappush
+            pop = heapq.heappop
+            # Same push/pop sequence as absorb(): tied order keys resolve by
+            # the heap's internal list order.
+            for trav in travs:
+                row = row_fn(trav)
+                count += 1
+                entry = (order_key(row), count, row)
+                push(heap, _neg_entry3(entry) if ascending else entry)
+                if len(heap) > limit:
+                    pop(heap)
+            partial["n"] = count
+        else:
+            append = partial.append
+            for trav in travs:
+                append(row_fn(trav))
+        return BatchOutcome([_NO_CHILDREN] * n, [(1, 0, 1, 0)] * n)
 
     def combine(self, partials: List[Any]) -> List[Any]:
         """Merge partition partials into the global aggregate."""

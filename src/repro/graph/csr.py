@@ -6,12 +6,20 @@ is convenient for construction but slow and memory-hungry for scans. Each
 partition therefore builds one :class:`CSRIndex` per (direction, edge label)
 over its local vertices.
 
+The three flat arrays are ``array('q')`` typed arrays (signed 64-bit): a
+Python list of ``n`` small ints costs ~28 bytes per element in object
+headers plus 8 bytes per pointer, while the typed array stores 8 bytes per
+element contiguously — a 4–5× memory saving on the largest data structure in
+the system, with C-speed slicing for the batch Expand kernel
+(:meth:`CSRIndex.arrays` / :meth:`CSRIndex.neighbors_slice`).
+
 Vertex ids inside a CSR index are *local dense indexes*; the owning partition
 store keeps the global↔local mapping.
 """
 
 from __future__ import annotations
 
+from array import array
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 
@@ -34,9 +42,9 @@ class CSRIndex:
             raise ValueError("targets and edge_ids must be parallel arrays")
         if not offsets or offsets[0] != 0 or offsets[-1] != len(targets):
             raise ValueError("malformed CSR offsets")
-        self._offsets = list(offsets)
-        self._targets = list(targets)
-        self._edge_ids = list(edge_ids)
+        self._offsets = array("q", offsets)
+        self._targets = array("q", targets)
+        self._edge_ids = array("q", edge_ids)
 
     @classmethod
     def from_adjacency(
@@ -74,11 +82,28 @@ class CSRIndex:
         """Number of edges of a local source index."""
         return self._offsets[local_src + 1] - self._offsets[local_src]
 
+    def arrays(self) -> Tuple[array, array]:
+        """The raw ``(offsets, targets)`` typed arrays (read-only contract).
+
+        The batch Expand kernel reads these directly: one bounds lookup and
+        one C-level slice per traverser, instead of a method call chain per
+        neighbor list.
+        """
+        return self._offsets, self._targets
+
+    def slice_bounds(self, local_src: int) -> Tuple[int, int]:
+        """The ``[lo, hi)`` range of ``local_src``'s edges in the arrays."""
+        return self._offsets[local_src], self._offsets[local_src + 1]
+
+    def neighbors_slice(self, lo: int, hi: int) -> array:
+        """Bulk accessor: target gids in ``[lo, hi)`` as a typed array."""
+        return self._targets[lo:hi]
+
     def neighbors(self, local_src: int) -> List[int]:
         """Target global vertex ids of ``local_src``'s edges."""
         lo = self._offsets[local_src]
         hi = self._offsets[local_src + 1]
-        return self._targets[lo:hi]
+        return self._targets[lo:hi].tolist()
 
     def edges(self, local_src: int) -> List[Tuple[int, int]]:
         """``(target_gid, edge_id)`` pairs of ``local_src``'s edges."""

@@ -152,6 +152,27 @@ class PartitionStore:
 
     # -- adjacency ------------------------------------------------------
 
+    def local_of(self, vid: int) -> int:
+        """The dense local index of an owned vertex (raises if not owned)."""
+        return self._local_of(vid)
+
+    def local_index_map(self) -> Dict[int, int]:
+        """The vid → dense local index mapping for owned vertices.
+
+        Batch kernels index this dict directly, skipping two method calls
+        per traverser. Callers must not mutate it; a missing vertex raises
+        ``KeyError`` instead of :class:`PartitionError`.
+        """
+        return self._local_index
+
+    def adjacency(self, direction: str, label: str) -> Optional[CSRIndex]:
+        """The CSR index for one (direction, label), or ``None``.
+
+        Batch kernels use this to get the raw arrays once per run instead of
+        paying a dict lookup per traverser.
+        """
+        return self._csr.get((direction, label))
+
     def neighbors(
         self, vid: int, direction: str, label: Optional[str] = None
     ) -> List[int]:

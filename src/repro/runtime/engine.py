@@ -67,6 +67,12 @@ class EngineConfig:
     centralized_agg: bool = False
     #: compute scaling (hand-optimized single-node plugins use < 1)
     cpu_scale: float = 1.0
+    #: True → run the reference one-traverser-at-a-time worker loop instead
+    #: of the batched kernels. Simulated results are identical either way
+    #: (the equivalence suite asserts it); scalar exists for verification
+    #: and debugging, batched is the default because it is much faster in
+    #: wall-clock terms.
+    scalar_execution: bool = False
 
     def __post_init__(self) -> None:
         if self.io_mode not in (IO_SYNC, IO_TLC, IO_TLC_NLC):
@@ -347,6 +353,7 @@ class AsyncPSTMEngine:
         self.sessions.pop(session.query_id, None)
         for runtime in self.runtimes:
             runtime.memo_store.clear_query(session.query_id)
+            runtime.drop_query(session.query_id)
         self._inflight.pop(session.query_id, None)
         self.progress.close_query(session.query_id)
         self.completed[session.query_id] = session
@@ -535,6 +542,7 @@ class AsyncPSTMEngine:
         session.qmetrics.result_rows = len(session.results)
         for runtime in self.runtimes:
             runtime.memo_store.clear_query(session.query_id)
+            runtime.drop_query(session.query_id)
         self._inflight.pop(session.query_id, None)
         self.progress.close_query(session.query_id)
         self.sessions.pop(session.query_id, None)

@@ -79,14 +79,18 @@ class Network:
         """
         if not messages:
             return
+        counters = self.metrics.messages
+        traverser_kind = MsgKind.TRAVERSER
+        total = 0
         for msg in messages:
+            total += msg.size_bytes
             # A traverser batch is many logical messages packed into one
             # buffer flush; Fig 11 counts logical messages.
-            if msg.kind is MsgKind.TRAVERSER and isinstance(msg.payload, list):
-                self.metrics.messages[msg.kind] += len(msg.payload)
+            kind = msg.kind
+            if kind is traverser_kind and isinstance(msg.payload, list):
+                counters[kind] += len(msg.payload)
             else:
-                self.metrics.messages[msg.kind] += 1
-        total = sum(m.size_bytes for m in messages)
+                counters[kind] += 1
         if src_node == dst_node:
             self.metrics.local_deliveries += len(messages)
             arrival = when + self.cost.hardware.shm_latency_us

@@ -14,13 +14,14 @@ finished-weight coalescing piggybacked on flushes (paper §IV-A(a), §IV-B).
 
 from __future__ import annotations
 
-from collections import Counter, deque
+from collections import deque
 from typing import TYPE_CHECKING, Deque, Dict, List, Tuple
 
 from repro.core.memo import MemoStore
 from repro.core.progress import ProgressMode
 from repro.core.traverser import Traverser
-from repro.core.weight import WeightAccumulator
+from repro.core.weight import GROUP_MODULUS, WeightAccumulator
+from repro.errors import ExecutionError
 from repro.graph.partition import PartitionStore
 from repro.runtime.metrics import MsgKind
 from repro.runtime.network import TRACKER_DST, Message
@@ -40,16 +41,53 @@ class PartitionRuntime:
         self.store = store
         self.memo_store = memo_store
         self.queue: Deque[Traverser] = deque()
-        # local traversers per (query, stage): drives weight-flush decisions
-        self.stage_counts: Counter = Counter()
+        # Local traversers per (query, stage): drives weight-flush decisions.
+        # A plain dict whose keys are removed on decrement-to-zero and on
+        # session teardown — a Counter here leaks one entry per (query,
+        # stage) ever seen, which grows without bound under long mixed
+        # workloads.
+        self.stage_counts: Dict[Tuple[int, int], int] = {}
         self.workers: List["Worker"] = []
 
     def enqueue(self, travs: List[Traverser], now: float) -> None:
         """Queue traversers and wake an idle worker."""
+        counts = self.stage_counts
+        append = self.queue.append
+        # Traversers in one batch message overwhelmingly share one (query,
+        # stage); counting per contiguous key run replaces a tuple build and
+        # a dict update per traverser with one of each per run.
+        last_q = last_s = -1
+        key = None
+        kcount = 0
         for trav in travs:
-            self.queue.append(trav)
-            self.stage_counts[(trav.query_id, trav.stage)] += 1
+            append(trav)
+            if trav.query_id != last_q or trav.stage != last_s:
+                if kcount:
+                    counts[key] = counts.get(key, 0) + kcount
+                last_q = trav.query_id
+                last_s = trav.stage
+                key = (last_q, last_s)
+                kcount = 1
+            else:
+                kcount += 1
+        if kcount:
+            counts[key] = counts.get(key, 0) + kcount
         self.wake(now)
+
+    def dec_stage_count(self, key: Tuple[int, int], n: int = 1) -> None:
+        """Decrement a (query, stage) count, dropping the key at zero."""
+        counts = self.stage_counts
+        left = counts.get(key, 0) - n
+        if left > 0:
+            counts[key] = left
+        else:
+            counts.pop(key, None)
+
+    def drop_query(self, query_id: int) -> None:
+        """Purge all stage counts of a finished/aborted query."""
+        counts = self.stage_counts
+        for key in [k for k in counts if k[0] == query_id]:
+            del counts[key]
 
     def wake(self, now: float) -> None:
         """Wake one idle worker (the least busy) to process the queue."""
@@ -105,9 +143,21 @@ class Worker:
     # -- main loop -----------------------------------------------------------
 
     def _run(self) -> None:
+        if self.engine.config.scalar_execution:
+            self._run_scalar()
+        else:
+            self._run_batched()
+
+    def _run_scalar(self) -> None:
+        """Reference execution loop: one traverser per kernel call.
+
+        Kept behind ``EngineConfig.scalar_execution`` so the equivalence
+        suite can assert the batched loop reproduces it bit for bit.
+        """
         self.scheduled = False
         t = self.engine.clock.now
         queue = self.runtime.queue
+        stage_counts = self.runtime.stage_counts
         cm = self.engine.cost
         config = self.engine.config
         metrics = self.engine.metrics
@@ -118,7 +168,7 @@ class Worker:
             if not queue:
                 break
             trav = queue.popleft()
-            self.runtime.stage_counts[(trav.query_id, trav.stage)] -= 1
+            self.runtime.dec_stage_count((trav.query_id, trav.stage))
             session = self.engine.sessions.get(trav.query_id)
             if session is None:
                 continue  # query already finished/cancelled
@@ -151,7 +201,8 @@ class Worker:
                 pid = self.engine.resolve_target(child, routed)
                 if pid == self.runtime.pid:
                     queue.append(child)
-                    self.runtime.stage_counts[(child.query_id, child.stage)] += 1
+                    key = (child.query_id, child.stage)
+                    stage_counts[key] = stage_counts.get(key, 0) + 1
                 else:
                     cpu += cm.serialize_us * cm.cpu_scale
                     cpu += self._buffer_traverser(
@@ -205,6 +256,464 @@ class Worker:
             self.busy_until = t + cpu
             self.scheduled = True
             self.engine.clock.schedule_at(self.busy_until, self._run)
+        else:
+            # Idle: flush every buffer (tier-1 idle rule).
+            cpu += self._flush_all(t + cpu)
+            self.busy_until = t + cpu
+
+    def _run_batched(self) -> None:
+        """Batched execution loop: drain homogeneous runs through one kernel
+        call each (the default path).
+
+        Pops contiguous runs of traversers sharing ``(query_id, op_idx)``
+        and hands each run to :meth:`PSTMMachine.execute_batch`. Locally
+        spawned children append to the queue *end*, so run-draining visits
+        traversers in exactly the order the scalar loop would; cost pricing,
+        RNG draws, buffer-flush times, and progress reports all replay the
+        scalar sequence, making simulated time bit-for-bit identical. The
+        wall-clock win comes from amortizing dispatch: one kernel call, one
+        session/context lookup, and one metrics update per run instead of
+        per traverser.
+        """
+        self.scheduled = False
+        engine = self.engine
+        t = engine.clock.now
+        runtime = self.runtime
+        queue = runtime.queue
+        queue_append = queue.append
+        stage_counts = runtime.stage_counts
+        cm = engine.cost
+        config = engine.config
+        sessions = engine.sessions
+        sharers = len(runtime.workers)
+        cpu = 0.0
+        budget = config.batch_size
+
+        cpu_scale = cm.cpu_scale
+        step_base_us = cm.step_base_us
+        edge_us = cm.edge_us
+        memo_op_us = cm.memo_op_us
+        prop_us = cm.prop_us
+        serialize_us = cm.serialize_us * cpu_scale
+        shared = sharers > 1
+        if shared:
+            # All workers' scheduled flags are frozen while this run executes
+            # (the event loop is serial), so the scalar loop's per-traverser
+            # busy count is a per-run constant.
+            busy = 1 + sum(
+                1 for w in runtime.workers if w is not self and w.scheduled
+            )
+            locality = cm.shared_locality_factor
+            per_access = cm.latch_us + cm.latch_contention * max(busy - 1, 0)
+        mode = config.progress_mode
+        naive = mode is ProgressMode.NAIVE_CENTRAL
+        coalesced = mode.coalesced
+        self_pid = runtime.pid
+        ppn = engine.partitions_per_node
+        tracker_node = engine.tracker_node
+        modulus = GROUP_MODULUS
+
+        # Inlined _buffer_traverser state (hot path).
+        track_inflight = engine.track_inflight
+        note_outbound = engine.note_outbound
+        trav_buffers = self._trav_buffers
+        buffer_bytes = self._buffer_bytes
+        flush_threshold = engine.flush_threshold_bytes
+        flush = self._flush
+        # estimated_size_bytes() depends only on the payload tuple, and every
+        # payload referenced during this _run stays reachable (run list,
+        # queue, buffers), so ids are stable for the cache's lifetime.
+        size_cache: Dict[int, int] = {}
+        size_cache_get = size_cache.get
+        # Siblings share their parent's payload reference, so one identity
+        # compare usually replaces the id()+dict lookup.
+        last_payload = object()
+        last_size = 0
+        # Node-indexed mirrors of the per-destination traverser buffers:
+        # a list index replaces three dict operations per remote child. The
+        # byte counts are written back to the dict around every _flush /
+        # _buffer_message call (their only other readers during this _run)
+        # and once after the drain loop.
+        num_nodes = engine.nodes
+        local_bufs: List = [None] * num_nodes
+        local_bytes = [0] * num_nodes
+
+        def sync_bufs() -> None:
+            for nd in range(num_nodes):
+                if local_bufs[nd] is not None:
+                    buffer_bytes[nd] = local_bytes[nd]
+                    local_bufs[nd] = None
+
+        dec_stage_count = runtime.dec_stage_count
+
+        steps = 0
+        edges_scanned = 0
+        memo_ops_total = 0
+        spawned_total = 0
+
+        # Per-query hoisted machine state; refreshed when a run's query
+        # differs from the previous run's. The loop below fuses
+        # PSTMMachine.execute_batch (kernel + weight split + child routing)
+        # with the enqueue/buffer/progress handling: with short runs the
+        # per-run call overhead and intermediate (child, pid) materialization
+        # are a measurable slice of the hot path. machine.execute_batch stays
+        # the reference implementation of exactly this sequence.
+        cur_qid = None
+        session = None
+
+        while budget > 0 and queue:
+            head = queue.popleft()
+            budget -= 1
+            query_id = head.query_id
+            op_idx = head.op_idx
+            run = [head]
+            while budget > 0 and queue:
+                nxt = queue[0]
+                if nxt.query_id != query_id or nxt.op_idx != op_idx:
+                    break
+                run.append(queue.popleft())
+                budget -= 1
+            n_run = len(run)
+            stage = head.stage
+            dec_stage_count((query_id, stage), n_run)
+            if query_id != cur_qid:
+                cur_qid = query_id
+                session = sessions.get(query_id)
+                if session is not None:
+                    machine = session.machine
+                    ctx = session.context(self_pid)
+                    getrandbits = session.rng.getrandbits
+                    ops = machine.plan.ops
+                    num_ops = len(ops)
+                    route_info = machine.route_info()
+                    partitioner = machine.partitioner
+                    pcache = getattr(partitioner, "_cache", None)
+                    pcache_get = None if pcache is None else pcache.get
+                    num_partitions = partitioner.num_partitions
+                    barrier_route = machine.barrier_route
+                    op_steps = session.op_steps
+                    op_spawned = session.op_spawned
+                    qmetrics = session.qmetrics
+            if session is None:
+                continue  # query already finished/cancelled
+            op = ops[op_idx]
+            outcome = op.apply_batch(ctx, run)
+            spec_rows = outcome.children
+            costs = outcome.costs
+            steps += n_run
+            qmetrics.steps_executed += n_run
+            op_steps[op_idx] = op_steps.get(op_idx, 0) + n_run
+            run_spawned = 0
+            fin_total = 0
+            fin_count = 0
+            prev_tuple = None
+            prev_cost_us = 0.0
+            prev_edges = 0
+            prev_memo_ops = 0
+            last_idx = -1
+            c_stage = c_mode = child_op = c_key = None
+            lkey = None
+            lcount = 0
+            for trav, specs, ct in zip(run, spec_rows, costs):
+                # Non-Expand kernels share one cost tuple across the run
+                # ([t] * n), so an identity hit replays the exact float
+                # computed for the previous traverser.
+                if ct is prev_tuple:
+                    cost_us = prev_cost_us
+                    edges = prev_edges
+                    memo_ops = prev_memo_ops
+                else:
+                    base, edges, memo_ops, props = ct
+                    # Same expression shape/order as CostModel.op_cost_us —
+                    # float addition is not associative, so the term order is
+                    # part of the equivalence contract.
+                    cost_us = cpu_scale * (
+                        base * step_base_us
+                        + edges * edge_us
+                        + memo_ops * memo_op_us
+                        + props * prop_us
+                    )
+                    if shared:
+                        cost_us = cost_us * locality
+                        cost_us += (memo_ops + props + edges * 0.25) * per_access
+                    prev_tuple = ct
+                    prev_cost_us = cost_us
+                    prev_edges = edges
+                    prev_memo_ops = memo_ops
+                cpu += cost_us
+                edges_scanned += edges
+                memo_ops_total += memo_ops
+                if specs:
+                    nc = len(specs)
+                    run_spawned += nc
+                    if nc == 1:
+                        # Single-child fast path (filter passes, dedup
+                        # admits, loop continues): no RNG draw — the child
+                        # inherits the parent weight — and no zip machinery.
+                        # The block below is textually duplicated in the
+                        # multi-child loop; keep the two in sync.
+                        vertex, c_idx, payload, loops = specs[0]
+                        weight = trav.weight % modulus
+                        if c_idx != last_idx:
+                            if c_idx < 0 or c_idx >= num_ops:
+                                raise ExecutionError(
+                                    f"op {op.name} produced child with bad "
+                                    f"target index {c_idx}"
+                                )
+                            c_stage, c_mode, child_op = route_info[c_idx]
+                            c_key = (query_id, c_stage)
+                            last_idx = c_idx
+                        child = Traverser(
+                            query_id, vertex, c_idx, payload, weight,
+                            c_stage, loops,
+                        )
+                        # Routing: same mode dispatch as execute_batch.
+                        if c_mode == "vertex":
+                            if pcache_get is None or (
+                                pid := pcache_get(vertex)
+                            ) is None:
+                                pid = partitioner(vertex)
+                        elif c_mode == "free":
+                            if vertex >= 0:
+                                if pcache_get is None or (
+                                    pid := pcache_get(vertex)
+                                ) is None:
+                                    pid = partitioner(vertex)
+                            else:
+                                pid = min(-vertex - 1, num_partitions - 1)
+                        elif c_mode == "fixed":
+                            pid = barrier_route
+                        else:
+                            # Inlined resolve_partition.
+                            routed = child_op.routing(partitioner, child)
+                            if routed is not None:
+                                pid = routed
+                            elif vertex >= 0:
+                                if pcache_get is None or (
+                                    pid := pcache_get(vertex)
+                                ) is None:
+                                    pid = partitioner(vertex)
+                            else:
+                                pid = min(-vertex - 1, num_partitions - 1)
+                        if pid == self_pid:
+                            queue_append(child)
+                            # Deferred stage-count increment: contiguous
+                            # local children mostly share one stage key, so
+                            # batch the dict update. Flushed at run end —
+                            # before the next run's dec_stage_count (the only
+                            # reader during this _run) can observe the map.
+                            if c_key is lkey:
+                                lcount += 1
+                            else:
+                                if lcount:
+                                    stage_counts[lkey] = (
+                                        stage_counts.get(lkey, 0) + lcount
+                                    )
+                                lkey = c_key
+                                lcount = 1
+                        else:
+                            cpu += serialize_us
+                            # Inlined _buffer_traverser (hot path).
+                            if track_inflight:
+                                note_outbound(query_id)
+                            dst_node = pid // ppn
+                            buf = local_bufs[dst_node]
+                            if buf is None:
+                                buf = trav_buffers.get(dst_node)
+                                if buf is None:
+                                    buf = trav_buffers[dst_node] = []
+                                local_bufs[dst_node] = buf
+                                local_bytes[dst_node] = buffer_bytes.get(
+                                    dst_node, 0
+                                )
+                            if payload is last_payload:
+                                size = last_size
+                            else:
+                                last_payload = payload
+                                pk = id(payload)
+                                size = size_cache_get(pk)
+                                if size is None:
+                                    size = child.estimated_size_bytes()
+                                    size_cache[pk] = size
+                                last_size = size
+                            buf.append((pid, child, size))
+                            nbytes = local_bytes[dst_node] + size
+                            local_bytes[dst_node] = nbytes
+                            if nbytes >= flush_threshold:
+                                buffer_bytes[dst_node] = nbytes
+                                local_bufs[dst_node] = None
+                                cpu += flush(dst_node, t + cpu)
+                    else:
+                        # Inlined split_weight: same RNG draw sequence as the
+                        # scalar path (ops never consume the RNG, so drawing
+                        # after apply_batch instead of per apply is
+                        # invisible).
+                        parts = [getrandbits(64) for _ in range(nc - 1)]
+                        last = trav.weight % modulus
+                        for p in parts:
+                            last = (last - p) % modulus
+                        parts.append(last)
+                        for (vertex, c_idx, payload, loops), weight in zip(
+                            specs, parts
+                        ):
+                            if c_idx != last_idx:
+                                if c_idx < 0 or c_idx >= num_ops:
+                                    raise ExecutionError(
+                                        f"op {op.name} produced child with "
+                                        f"bad target index {c_idx}"
+                                    )
+                                c_stage, c_mode, child_op = route_info[c_idx]
+                                c_key = (query_id, c_stage)
+                                last_idx = c_idx
+                            child = Traverser(
+                                query_id, vertex, c_idx, payload, weight,
+                                c_stage, loops,
+                            )
+                            # Routing: same mode dispatch as execute_batch.
+                            if c_mode == "vertex":
+                                if pcache_get is None or (
+                                    pid := pcache_get(vertex)
+                                ) is None:
+                                    pid = partitioner(vertex)
+                            elif c_mode == "free":
+                                if vertex >= 0:
+                                    if pcache_get is None or (
+                                        pid := pcache_get(vertex)
+                                    ) is None:
+                                        pid = partitioner(vertex)
+                                else:
+                                    pid = min(-vertex - 1, num_partitions - 1)
+                            elif c_mode == "fixed":
+                                pid = barrier_route
+                            else:
+                                # Inlined resolve_partition.
+                                routed = child_op.routing(partitioner, child)
+                                if routed is not None:
+                                    pid = routed
+                                elif vertex >= 0:
+                                    if pcache_get is None or (
+                                        pid := pcache_get(vertex)
+                                    ) is None:
+                                        pid = partitioner(vertex)
+                                else:
+                                    pid = min(-vertex - 1, num_partitions - 1)
+                            if pid == self_pid:
+                                queue_append(child)
+                                if c_key is lkey:
+                                    lcount += 1
+                                else:
+                                    if lcount:
+                                        stage_counts[lkey] = (
+                                            stage_counts.get(lkey, 0) + lcount
+                                        )
+                                    lkey = c_key
+                                    lcount = 1
+                            else:
+                                cpu += serialize_us
+                                # Inlined _buffer_traverser (hot path).
+                                if track_inflight:
+                                    note_outbound(query_id)
+                                dst_node = pid // ppn
+                                buf = local_bufs[dst_node]
+                                if buf is None:
+                                    buf = trav_buffers.get(dst_node)
+                                    if buf is None:
+                                        buf = trav_buffers[dst_node] = []
+                                    local_bufs[dst_node] = buf
+                                    local_bytes[dst_node] = buffer_bytes.get(
+                                        dst_node, 0
+                                    )
+                                if payload is last_payload:
+                                    size = last_size
+                                else:
+                                    last_payload = payload
+                                    pk = id(payload)
+                                    size = size_cache_get(pk)
+                                    if size is None:
+                                        size = child.estimated_size_bytes()
+                                        size_cache[pk] = size
+                                    last_size = size
+                                buf.append((pid, child, size))
+                                nbytes = local_bytes[dst_node] + size
+                                local_bytes[dst_node] = nbytes
+                                if nbytes >= flush_threshold:
+                                    buffer_bytes[dst_node] = nbytes
+                                    local_bufs[dst_node] = None
+                                    cpu += flush(dst_node, t + cpu)
+                    if naive:
+                        sync_bufs()
+                        cpu += self._buffer_message(
+                            Message(
+                                MsgKind.PROGRESS,
+                                TRACKER_DST,
+                                ("delta", query_id, stage, len(specs) - 1),
+                                PROGRESS_MSG_BYTES,
+                                query_id,
+                            ),
+                            tracker_node,
+                            t + cpu,
+                        )
+                elif naive:
+                    sync_bufs()
+                    cpu += self._buffer_message(
+                        Message(
+                            MsgKind.PROGRESS,
+                            TRACKER_DST,
+                            ("delta", query_id, stage, -1),
+                            PROGRESS_MSG_BYTES,
+                            query_id,
+                        ),
+                        tracker_node,
+                        t + cpu,
+                    )
+                else:
+                    weight = trav.weight
+                    if weight:
+                        if coalesced:
+                            # Deferred to one absorb_many below: addition in
+                            # Z_{2^64} is associative and the accumulator is
+                            # only observed at flush time (end of _run).
+                            fin_total += weight
+                            fin_count += 1
+                        else:
+                            sync_bufs()
+                            cpu += self._buffer_message(
+                                Message(
+                                    MsgKind.PROGRESS,
+                                    TRACKER_DST,
+                                    ("weight", query_id, stage, weight),
+                                    PROGRESS_MSG_BYTES,
+                                    query_id,
+                                ),
+                                tracker_node,
+                                t + cpu,
+                            )
+            if lcount:
+                stage_counts[lkey] = stage_counts.get(lkey, 0) + lcount
+            if fin_count:
+                self._accum(query_id, stage).absorb_many(fin_total, fin_count)
+            spawned_total += run_spawned
+            if run_spawned:
+                op_spawned[op_idx] = op_spawned.get(op_idx, 0) + run_spawned
+
+        sync_bufs()
+        metrics = engine.metrics
+        metrics.steps_executed += steps
+        metrics.edges_scanned += edges_scanned
+        metrics.memo_ops += memo_ops_total
+        metrics.traversers_spawned += spawned_total
+
+        # End of batch: flush coalesced weights of stages with no local work
+        # left (same rule as the scalar loop).
+        if coalesced:
+            cpu += self._flush_idle_accums(t + cpu)
+
+        cpu *= self.slowdown
+        self.busy_total += cpu
+        if queue:
+            self.busy_until = t + cpu
+            self.scheduled = True
+            engine.clock.schedule_at(self.busy_until, self._run)
         else:
             # Idle: flush every buffer (tier-1 idle rule).
             cpu += self._flush_all(t + cpu)
@@ -267,8 +776,13 @@ class Worker:
             by_pid: Dict[int, List[Traverser]] = {}
             sizes: Dict[int, int] = {}
             for pid, child, size in pairs:
-                by_pid.setdefault(pid, []).append(child)
-                sizes[pid] = sizes.get(pid, 0) + size
+                lst = by_pid.get(pid)
+                if lst is None:
+                    by_pid[pid] = [child]
+                    sizes[pid] = size
+                else:
+                    lst.append(child)
+                    sizes[pid] += size
             msgs = list(msgs)
             for pid, travs in by_pid.items():
                 msgs.append(
