@@ -35,10 +35,12 @@ from repro.runtime import (
     BSPEngine,
     ClusterConfig,
     EngineConfig,
+    FaultPlan,
     LocalExecutor,
     PAPER_CLUSTER,
     QueryResult,
     SMALL_CLUSTER,
+    WorkerFault,
     make_banyan,
     make_bsp,
     make_gaia,
@@ -54,6 +56,7 @@ __all__ = [
     "BSPEngine",
     "ClusterConfig",
     "EngineConfig",
+    "FaultPlan",
     "GraphBuilder",
     "LocalExecutor",
     "PAPER_CLUSTER",
@@ -64,6 +67,7 @@ __all__ = [
     "ReproError",
     "SMALL_CLUSTER",
     "Traversal",
+    "WorkerFault",
     "X",
     "__version__",
     "make_banyan",

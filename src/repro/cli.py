@@ -7,6 +7,7 @@ Usage::
     python -m repro run table2 fig12     # several experiments
     python -m repro demo                 # the Fig 1 quickstart query
     python -m repro explain khop3        # show a compiled plan
+    python -m repro faults --drop-rate 0.01 --seed 1   # fault-injection demo
 
 Experiment names map to the functions in :mod:`repro.bench.experiments`;
 heavyweight experiments accept their default (benchmark-suite) parameters.
@@ -153,6 +154,92 @@ def cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    """Run a k-hop batch fault-free and under an injected FaultPlan.
+
+    The worked example of docs/FAULTS.md: the same queries are executed
+    twice on the same graph — once on a healthy cluster, once with message
+    drops (and optionally duplications, delays, and a worker crash) — and
+    the rows are compared. Exit code 0 means every faulted query returned
+    the fault-free answer.
+    """
+    import random as _random
+
+    from repro.datasets.synthetic import PowerLawConfig, powerlaw_graph
+    from repro.graph.partition import PartitionedGraph
+    from repro.query.traversal import Traversal
+    from repro.runtime.engine import AsyncPSTMEngine, EngineConfig
+    from repro.runtime.faults import FaultPlan, WorkerFault
+
+    nodes, wpn = 4, 2
+    config = PowerLawConfig("faults-demo", 400, 6.0)
+    graph = PartitionedGraph.from_graph(
+        powerlaw_graph(config, seed=7), nodes * wpn
+    )
+    plan = (
+        Traversal("khop3_count")
+        .v_param("start")
+        .khop(config.edge_label, k=3)
+        .count()
+        .compile(graph)
+    )
+    rng = _random.Random(42)
+    starts = [rng.randrange(config.num_vertices) for _ in range(args.queries)]
+
+    def run_batch(engine_config: EngineConfig):
+        engine = AsyncPSTMEngine(graph, nodes, wpn, config=engine_config)
+        sessions = [engine.submit(plan, {"start": s}) for s in starts]
+        engine.clock.run_until_idle()
+        return engine, sessions
+
+    def describe(engine, sessions, label: str) -> None:
+        done = sum(1 for s in sessions if s.qmetrics.done and not s.failed)
+        mean_lat = sum(s.qmetrics.latency_us for s in sessions) / len(sessions)
+        m = engine.metrics
+        print(
+            f"{label:<11} {done}/{len(sessions)} queries ok, "
+            f"mean latency {mean_lat:8.1f} us, {m.packets_sent} packets, "
+            f"{m.retransmits} retransmits, {m.query_retries} retries"
+        )
+
+    worker_faults = ()
+    if args.crash:
+        fields = args.crash.split(":")
+        if len(fields) not in (2, 3):
+            print("--crash expects WID:AT_US[:DOWN_US]", file=sys.stderr)
+            return 2
+        worker_faults = (
+            WorkerFault(
+                wid=int(fields[0]),
+                at_us=float(fields[1]),
+                down_us=float(fields[2]) if len(fields) == 3 else None,
+            ),
+        )
+    fault_plan = FaultPlan(
+        seed=args.seed,
+        drop_rate=args.drop_rate,
+        dup_rate=args.dup_rate,
+        delay_rate=args.delay_rate,
+        worker_faults=worker_faults,
+    )
+
+    base_engine, base = run_batch(EngineConfig())
+    describe(base_engine, base, "fault-free")
+    faulted_engine, faulted = run_batch(EngineConfig(fault_plan=fault_plan))
+    describe(faulted_engine, faulted, "faulted")
+    counts = faulted_engine.faults.counts
+    print(
+        f"injected    drops={counts['drops']} dups={counts['duplicates']} "
+        f"delays={counts['delays']} crashes={counts['crashes']} "
+        f"stalls={counts['stalls']}"
+    )
+    identical = all(
+        f.results == b.results and not f.failed for f, b in zip(faulted, base)
+    )
+    print(f"rows identical to fault-free run: {'yes' if identical else 'NO'}")
+    return 0 if identical else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command-line parser."""
     parser = argparse.ArgumentParser(
@@ -176,6 +263,23 @@ def build_parser() -> argparse.ArgumentParser:
     explain = sub.add_parser("explain", help="print a compiled plan")
     explain.add_argument("query", metavar="QUERY", help="e.g. khop3")
     explain.set_defaults(fn=cmd_explain)
+    faults = sub.add_parser(
+        "faults", help="fault-injection demo: same queries, lossy cluster"
+    )
+    faults.add_argument("--drop-rate", type=float, default=0.01,
+                        help="per-packet drop probability (default 0.01)")
+    faults.add_argument("--dup-rate", type=float, default=0.0,
+                        help="per-packet duplication probability")
+    faults.add_argument("--delay-rate", type=float, default=0.0,
+                        help="per-packet delay probability")
+    faults.add_argument("--seed", type=int, default=1,
+                        help="fault-plan RNG seed (default 1)")
+    faults.add_argument("--queries", type=int, default=24,
+                        help="k-hop queries per batch (default 24)")
+    faults.add_argument("--crash", metavar="WID:AT_US[:DOWN_US]", default="",
+                        help="also crash worker WID at AT_US (recovering "
+                             "after DOWN_US if given)")
+    faults.set_defaults(fn=cmd_faults)
     return parser
 
 

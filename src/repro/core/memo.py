@@ -167,6 +167,21 @@ class MemoStore:
         """Ids of queries holding memo records here."""
         return list(self._memos)
 
+    def invalidate_all(self) -> List[int]:
+        """Drop *every* query's records, returning the affected query ids.
+
+        Models the memory loss of a worker crash under fault injection: the
+        partition's entire ``M_p`` vanishes at once. The returned ids let
+        the engine force-retry the affected queries — memo loss (unlike
+        traverser loss) carries no progression weight, so without an
+        explicit retry a query could terminate "successfully" with wrong
+        results (e.g. a Dedup set forgetting what it has seen). See
+        docs/FAULTS.md.
+        """
+        affected = list(self._memos)
+        self._memos.clear()
+        return affected
+
     def require(self, query_id: int) -> QueryMemo:
         """The query's memo; raises MemoError if absent."""
         memo = self._memos.get(query_id)

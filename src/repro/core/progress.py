@@ -104,14 +104,42 @@ class ProgressTracker:
             # The stage's root traverser is accounted at open time.
             self._counters[key] = NaiveCounter(active=0)
 
+    def close_stage(self, query_id: int, stage: int) -> None:
+        """Drop one stage's ledger/counter once the engine consumed it.
+
+        Called at every stage boundary so terminated ledgers do not pile up
+        for the life of a long query, and so late weight reports for the
+        stage (e.g. retransmitted duplicates under fault injection) resolve
+        to the "unknown stage" path in :meth:`report_weight` rather than
+        touching a terminated ledger. After this call :meth:`ledger`
+        returns ``None`` for the stage.
+        """
+        key = (query_id, stage)
+        self._ledgers.pop(key, None)
+        self._counters.pop(key, None)
+
     def close_query(self, query_id: int) -> None:
-        """Drop all state of a finished query."""
+        """Drop *all* state of a finished/aborted/retried query.
+
+        Every per-stage ledger and naive counter belonging to ``query_id``
+        is removed — after this call :meth:`ledger` returns ``None`` for
+        every stage of the query and late reports are silently ignored, so
+        a closed query can never re-fire ``on_complete`` or leak ledgers.
+        """
         for store in (self._ledgers, self._counters):
             for key in [k for k in store if k[0] == query_id]:
                 del store[key]
 
     def report_weight(self, query_id: int, stage: int, weight: int) -> bool:
-        """Weighted-mode report. Returns True when the stage terminated."""
+        """Fold one finished-weight report into a stage's ledger.
+
+        Returns ``True`` exactly when this report completes the stage (the
+        ledger's group sum reaches the root weight — Theorem 1), in which
+        case ``on_complete(query_id, stage)`` has fired. Reports for
+        unknown or already-terminated stages — late arrivals from closed
+        queries, stale retransmits — are counted but otherwise ignored and
+        return ``False``.
+        """
         if not self.mode.is_weighted:
             raise TerminationError("weight report in naive mode")
         self._messages_received += 1
@@ -146,5 +174,11 @@ class ProgressTracker:
         return False
 
     def ledger(self, query_id: int, stage: int) -> Optional[WeightLedger]:
-        """The weighted ledger of a stage (None if absent)."""
+        """The weighted ledger of one *open* stage.
+
+        Returns ``None`` for stages that were never opened or whose state
+        was dropped by :meth:`close_stage` / :meth:`close_query` — callers
+        (e.g. the engine's fault watchdog reading ``ledger().received`` as
+        a progress fingerprint) must handle the ``None`` case.
+        """
         return self._ledgers.get((query_id, stage))

@@ -68,6 +68,24 @@ class TerminationError(ExecutionError):
     """Progress tracking reached an inconsistent state."""
 
 
+class RetryBudgetExceededError(ExecutionError):
+    """A query kept losing work to injected faults and ran out of retries.
+
+    Raised by the async engine's crash-recovery path when the watchdog has
+    re-executed a query ``retry_budget`` times and the latest attempt is
+    still stuck (e.g. its start vertex lives on a permanently crashed
+    worker). See docs/FAULTS.md.
+    """
+
+    def __init__(self, query_id: object, retries: int) -> None:
+        super().__init__(
+            f"query {query_id!r} still stuck after {retries} recovery "
+            f"retries; giving up"
+        )
+        self.query_id = query_id
+        self.retries = retries
+
+
 class MemoError(ExecutionError):
     """Invalid memo access (e.g. cross-query or cross-partition access)."""
 

@@ -17,6 +17,7 @@ from repro.runtime.engine import (
     QueryProfile,
     QueryResult,
 )
+from repro.runtime.faults import FaultInjector, FaultPlan, WorkerFault
 from repro.runtime.hybrid import HybridEngine, estimate_plan_work
 from repro.runtime.metrics import LatencyRecorder, MsgKind, QueryMetrics, RunMetrics
 from repro.runtime.reference import LocalExecutor
@@ -38,6 +39,8 @@ __all__ = [
     "CostModel",
     "DEFAULT_COST_MODEL",
     "EngineConfig",
+    "FaultInjector",
+    "FaultPlan",
     "HardwareProfile",
     "HybridEngine",
     "IO_SYNC",
@@ -55,6 +58,7 @@ __all__ = [
     "SMALL_CLUSTER",
     "SimClock",
     "SingleNodeEngine",
+    "WorkerFault",
     "estimate_plan_work",
     "make_banyan",
     "make_bsp",

@@ -26,6 +26,14 @@ overload at TCR 0.03.
 BSP needs no termination detection — a stage is done when the query's
 frontier is empty at a barrier — so progression weights are unused (all
 traversers carry weight 0).
+
+**Fault injection is out of scope here.** The fault/recovery subsystem
+(:mod:`repro.runtime.faults`, docs/FAULTS.md) targets the *asynchronous*
+engine, whose weight ledger doubles as a loss detector; BSP's barrier-based
+completion has no such ledger, and its bulk exchanges bypass
+``Network.send``'s ack/retransmit path. This engine deliberately takes no
+``EngineConfig``, so a :class:`~repro.runtime.faults.FaultPlan` cannot be
+attached to it.
 """
 
 from __future__ import annotations

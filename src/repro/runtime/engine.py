@@ -29,7 +29,12 @@ from repro.core.steps import FixedVertexSource, StepContext
 from repro.core.subquery import GatheredPartial, StageCursor
 from repro.core.traverser import Traverser, make_root
 from repro.core.weight import ROOT_WEIGHT, split_weight
-from repro.errors import ConfigurationError, ExecutionError, QueryTimeoutError
+from repro.errors import (
+    ConfigurationError,
+    ExecutionError,
+    QueryTimeoutError,
+    RetryBudgetExceededError,
+)
 from repro.graph.partition import PartitionedGraph
 from repro.query.plan import PhysicalPlan
 from repro.runtime.costmodel import (
@@ -39,6 +44,7 @@ from repro.runtime.costmodel import (
     MODERN,
     validate_cluster,
 )
+from repro.runtime.faults import CRASH, FaultInjector, FaultPlan, WorkerFault
 from repro.runtime.metrics import LatencyRecorder, MsgKind, QueryMetrics, RunMetrics
 from repro.runtime.network import TRACKER_DST, Message, Network
 from repro.runtime.simclock import SimClock
@@ -73,10 +79,38 @@ class EngineConfig:
     #: and debugging, batched is the default because it is much faster in
     #: wall-clock terms.
     scalar_execution: bool = False
+    #: fault schedule for chaos runs (None → perfect network, immortal
+    #: workers, and a send path bit-identical to the pre-fault engine).
+    #: Arming a plan also arms the ack/retransmit layer and the watchdog.
+    fault_plan: Optional[FaultPlan] = None
+    #: how many times the watchdog may re-execute a stuck query before the
+    #: engine gives up with RetryBudgetExceededError
+    retry_budget: int = 3
+    #: a query showing zero progress for this long is declared stuck and
+    #: recovered (only armed when fault_plan is set)
+    watchdog_timeout_us: float = 100_000.0
 
     def __post_init__(self) -> None:
         if self.io_mode not in (IO_SYNC, IO_TLC, IO_TLC_NLC):
             raise ConfigurationError(f"unknown io_mode {self.io_mode!r}")
+        if self.fault_plan is not None:
+            if self.progress_mode is ProgressMode.NAIVE_CENTRAL:
+                # Naive active counters cannot survive loss: a dropped
+                # delta corrupts the count forever, and the weight ledger
+                # the recovery protocol leans on does not exist.
+                raise ConfigurationError(
+                    "fault injection requires a weighted progress mode; "
+                    "NAIVE_CENTRAL counters cannot detect lost work"
+                )
+            if self.retry_budget < 0:
+                raise ConfigurationError(
+                    f"retry_budget must be >= 0, got {self.retry_budget}"
+                )
+            if self.watchdog_timeout_us <= 0:
+                raise ConfigurationError(
+                    f"watchdog_timeout_us must be > 0, "
+                    f"got {self.watchdog_timeout_us}"
+                )
 
 
 @dataclass
@@ -91,6 +125,15 @@ class QueryResult:
     def latency_ms(self) -> float:
         """Simulated latency in milliseconds."""
         return self.latency_us / 1000.0
+
+    @property
+    def degraded(self) -> bool:
+        """True when the rows come from a crash-recovery re-execution.
+
+        The answer is still exact (the retry starts from invalidated
+        memos), but the latency includes the lost attempt(s).
+        """
+        return self.metrics.degraded
 
 
 @dataclass
@@ -160,6 +203,8 @@ class QuerySession:
         self.partials: List[GatheredPartial] = []
         #: set when the query was aborted by its time limit (§II-A)
         self.timed_out = False
+        #: set when crash recovery exhausted the retry budget
+        self.failed = False
         #: per-operator execution counts (op index → traversers executed),
         #: the EXPLAIN ANALYZE data behind :meth:`AsyncPSTMEngine.profile`
         self.op_steps: Dict[int, int] = {}
@@ -223,6 +268,11 @@ class AsyncPSTMEngine:
 
         self.clock = SimClock()
         self.metrics = RunMetrics()
+        #: fault source (None → no faults, no reliability layer, no watchdog)
+        self.faults: Optional[FaultInjector] = (
+            FaultInjector(config.fault_plan) if config.fault_plan is not None
+            else None
+        )
         self.network = Network(
             self.clock,
             nodes,
@@ -230,6 +280,9 @@ class AsyncPSTMEngine:
             self.metrics,
             self._deliver,
             node_combining=(config.io_mode == IO_TLC_NLC),
+            faults=self.faults,
+            on_retransmit=self._note_retransmit,
+            on_packet_fault=self._note_packet_fault,
         )
         # Effective tier-1 flush threshold: IO_SYNC flushes every message.
         self._flush_threshold = (
@@ -265,6 +318,16 @@ class AsyncPSTMEngine:
         # bookkeeping entirely.
         self._inflight: Dict[int, int] = {}
         self.track_inflight = config.progress_mode is ProgressMode.NAIVE_CENTRAL
+        if config.fault_plan is not None:
+            for wf in config.fault_plan.worker_faults:
+                if not 0 <= wf.wid < len(self.workers):
+                    raise ConfigurationError(
+                        f"worker fault targets wid {wf.wid}, but this "
+                        f"cluster has {len(self.workers)} workers"
+                    )
+                self.clock.schedule_at(
+                    wf.at_us, lambda f=wf: self._inject_worker_fault(f)
+                )
 
     # -- topology -----------------------------------------------------------
 
@@ -302,6 +365,154 @@ class AsyncPSTMEngine:
             runtime.stage_counts.get((query_id, stage), 0) <= 0
             for runtime in self.runtimes
         )
+
+    # -- fault injection & recovery ------------------------------------------
+
+    def _inject_worker_fault(self, wf: WorkerFault) -> None:
+        """Fire one scheduled worker crash/stall from the fault plan.
+
+        A crash loses the worker's core-resident state (run queue, tier-1
+        buffers, weight accumulators) and invalidates the partition's memos,
+        so every query holding state there is immediately forced through
+        :meth:`_recover_query` — waiting for the watchdog would risk a query
+        completing with corrupted memo state (e.g. a Dedup set silently
+        reset). A stall just freezes the worker; its state and weights
+        survive, so no recovery is needed.
+        """
+        worker = self.workers[wf.wid]
+        now = self.clock.now
+        self.faults.note_worker_fault(wf.kind)
+        if wf.kind == CRASH:
+            self.metrics.worker_crashes += 1
+            runtime = worker.runtime
+            affected = set(runtime.memo_store.invalidate_all())
+            affected.update(t.query_id for t in runtime.queue)
+            affected.update(key[0] for key in worker._accums)
+            for pairs in worker._trav_buffers.values():
+                affected.update(t.query_id for _pid, t, _size in pairs)
+            for msgs in worker._buffers.values():
+                affected.update(m.query_id for m in msgs if m.query_id >= 0)
+            worker.crash()
+            for query_id in affected:
+                session = self.sessions.get(query_id)
+                if session is not None and session.query_id == query_id:
+                    # Defer so one crash handler never recurses into seed
+                    # dispatch while still iterating engine state.
+                    self.clock.schedule_at(
+                        now,
+                        lambda s=session, q=query_id: self._recover_if_current(s, q),
+                    )
+        else:
+            self.metrics.worker_stalls += 1
+            worker.stall()
+        if wf.down_us is not None:
+            self.clock.schedule_at(
+                now + wf.down_us, lambda w=worker: w.recover(self.clock.now)
+            )
+
+    def _recover_if_current(self, session: QuerySession, query_id: int) -> None:
+        """Run recovery only if this attempt is still the live one."""
+        if self.sessions.get(query_id) is session and session.query_id == query_id:
+            self._recover_query(session)
+
+    def _note_retransmit(self, messages: List[Message]) -> None:
+        """Attribute one packet retransmission to its queries' metrics."""
+        for query_id in {m.query_id for m in messages if m.query_id >= 0}:
+            session = self.sessions.get(query_id)
+            if session is not None:
+                session.qmetrics.retransmits += 1
+
+    def _note_packet_fault(self, kind: str, messages: List[Message]) -> None:
+        """Attribute one injected packet fault to its queries' metrics."""
+        for query_id in {m.query_id for m in messages if m.query_id >= 0}:
+            session = self.sessions.get(query_id)
+            if session is not None:
+                session.qmetrics.faults_injected += 1
+
+    def _arm_watchdog(self, session: QuerySession) -> None:
+        """Schedule the next stuck-query check for one attempt.
+
+        The watchdog is the loss detector of docs/FAULTS.md: if a query's
+        progress fingerprint — current stage, the stage ledger's received
+        weight sum, executed steps, gathered partials — is unchanged after
+        a full timeout window, some progression weight has left the system
+        (crashed worker, exhausted transport) and the stage ledger can
+        never reach the root weight. Only armed when a fault plan exists.
+        """
+        if self.faults is None:
+            return
+        snapshot = self._progress_snapshot(session)
+        self.clock.schedule_at(
+            self.clock.now + self.config.watchdog_timeout_us,
+            lambda s=session, snap=snapshot: self._watchdog_check(s, snap),
+        )
+
+    def _progress_snapshot(self, session: QuerySession) -> Tuple:
+        """Fingerprint of a query attempt's observable progress."""
+        query_id = session.query_id
+        stage = session.cursor.current if not session.cursor.finished else -1
+        ledger = self.progress.ledger(query_id, stage)
+        return (
+            query_id,
+            stage,
+            None if ledger is None else ledger.received,
+            session.qmetrics.steps_executed,
+            len(session.partials),
+        )
+
+    def _watchdog_check(self, session: QuerySession, snapshot: Tuple) -> None:
+        """Compare fingerprints; recover the query if nothing moved."""
+        query_id = snapshot[0]
+        if self.sessions.get(query_id) is not session or session.query_id != query_id:
+            return  # finished, aborted, or already retried under a new id
+        fresh = self._progress_snapshot(session)
+        if fresh != snapshot:
+            self.clock.schedule_at(
+                self.clock.now + self.config.watchdog_timeout_us,
+                lambda s=session, snap=fresh: self._watchdog_check(s, snap),
+            )
+            return
+        self._recover_query(session)
+
+    def _recover_query(self, session: QuerySession) -> None:
+        """Re-execute a stuck query under a fresh query id (bounded).
+
+        The abandoned attempt is torn down completely — per-partition memos
+        invalidated, queued traversers purged, progress state closed — and
+        the query restarts from its stage-0 seeds. The fresh attempt gets a
+        **new query id**, so anything of the old attempt still in flight
+        (buffered traversers, retransmitted packets, stale weight reports)
+        resolves to a dead session on arrival and is discarded instead of
+        contaminating the retry. Budget exhaustion marks the session failed;
+        :meth:`run` surfaces that as RetryBudgetExceededError.
+        """
+        old_query_id = session.query_id
+        for runtime in self.runtimes:
+            runtime.memo_store.clear_query(old_query_id)
+            runtime.purge_query(old_query_id)
+        self._inflight.pop(old_query_id, None)
+        self.progress.close_query(old_query_id)
+        self.sessions.pop(old_query_id, None)
+        if session.qmetrics.retries >= self.config.retry_budget:
+            session.failed = True
+            self.completed[old_query_id] = session
+            if session.on_done is not None:
+                session.on_done(session)
+            return
+        session.qmetrics.retries += 1
+        self.metrics.query_retries += 1
+        new_query_id = self._next_query_id
+        self._next_query_id += 1
+        session.query_id = new_query_id
+        session.cursor = StageCursor(session.plan, new_query_id)
+        session.rng = random.Random((self.seed << 20) ^ new_query_id)
+        session._contexts = [None] * self.num_partitions
+        session.partials = []
+        session.expected_partials = 0
+        self.sessions[new_query_id] = session
+        self.progress.open_stage(new_query_id, 0)
+        self._dispatch_seeds(session, self._stage0_seeds(session), self.clock.now)
+        self._arm_watchdog(session)
 
     # Worker-facing config shims -----------------------------------------------
 
@@ -388,6 +599,7 @@ class AsyncPSTMEngine:
             )
         else:
             self._dispatch_seeds(session, seeds, now)
+        self._arm_watchdog(session)
 
     def _stage0_seeds(self, session: QuerySession) -> List[Traverser]:
         plan = session.plan
@@ -527,6 +739,10 @@ class AsyncPSTMEngine:
     def _complete_stage(self, session: QuerySession, stage: int) -> None:
         if session.cursor.current != stage or session.cursor.finished:
             return
+        # The stage's ledger has served its purpose; drop it so late
+        # (retransmitted / stale) weight reports resolve to "unknown stage"
+        # instead of accumulating terminated ledgers for the query's life.
+        self.progress.close_stage(session.query_id, stage)
         seeds = session.cursor.complete_stage(session.partials, session.rng)
         # Vacuously-empty intermediate stages terminate immediately.
         while not seeds and not session.cursor.finished:
@@ -568,6 +784,10 @@ class AsyncPSTMEngine:
         self.clock.run_until_idle(max_events)
         if session.timed_out:
             raise QueryTimeoutError(session.query_id, (time_limit_us or 0) / 1e3)
+        if session.failed:
+            raise RetryBudgetExceededError(
+                session.qmetrics.query_id, session.qmetrics.retries
+            )
         if not session.qmetrics.done:
             raise ExecutionError(
                 f"query {session.query_id} did not complete (plan "

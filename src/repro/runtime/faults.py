@@ -1,0 +1,181 @@
+"""Deterministic fault injection for the simulated cluster.
+
+The async engine's weight invariant (``Σ active weights + finished weight
+= 1``, paper Theorem 1) is exactly the bookkeeping needed to *detect* lost
+work: a dropped traverser message silently subtracts its weight from the
+ledger's eventual total, so the stage's :class:`~repro.core.weight.WeightLedger`
+never reaches the root weight and the query visibly hangs instead of
+silently returning partial results. This module supplies the faults; the
+recovery machinery that turns a hang back into a correct answer lives in
+:mod:`repro.runtime.network` (ack/retransmit) and
+:mod:`repro.runtime.engine` (watchdog + bounded query retry). The failure
+model is documented end to end in ``docs/FAULTS.md``.
+
+Everything here is **deterministic**: all fault decisions are drawn from one
+``random.Random(plan.seed)`` in simulated-event order, so a given
+``(workload, cluster, FaultPlan)`` triple always injects the same faults at
+the same simulated instants. Chaos runs are therefore exactly replayable —
+a failing seed in CI reproduces locally bit for bit.
+
+Fault taxonomy (see ``docs/FAULTS.md`` for the full model):
+
+* **drop** — a NIC packet leaves the wire and never arrives;
+* **duplicate** — the network delivers a second copy of a packet;
+* **delay** — a packet takes an extra detour before arriving;
+* **ack drop** — the receiver's acknowledgement is lost (forces a
+  spurious retransmit, which duplicate suppression then absorbs);
+* **worker crash** — a worker dies at a simulated instant, losing its run
+  queue, tier-1 buffers, and coalescing accumulators (and, for the
+  shared-nothing configuration, the partition's memos);
+* **worker stall** — a worker freezes but loses no state (a long GC pause
+  or scheduler hiccup); it resumes where it left off.
+
+Faults only apply to *remote* NIC packets: same-node traffic rides shared
+memory, which this failure model treats as reliable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Worker-fault kinds.
+CRASH = "crash"
+STALL = "stall"
+
+
+@dataclass(frozen=True)
+class WorkerFault:
+    """One scheduled worker failure.
+
+    Args:
+        wid: index of the worker (== partition id in the shared-nothing
+            configuration) to fail.
+        at_us: absolute simulated time of the failure.
+        kind: :data:`CRASH` (state lost) or :data:`STALL` (state kept).
+        down_us: how long the worker stays down; ``None`` means it never
+            recovers (a permanent crash — the scenario that exhausts the
+            engine's retry budget).
+    """
+
+    wid: int
+    at_us: float
+    kind: str = CRASH
+    down_us: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in (CRASH, STALL):
+            raise ConfigurationError(f"unknown worker fault kind {self.kind!r}")
+        if self.at_us < 0:
+            raise ConfigurationError(f"fault time must be >= 0, got {self.at_us}")
+        if self.down_us is not None and self.down_us <= 0:
+            raise ConfigurationError(f"down_us must be > 0, got {self.down_us}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, deterministic fault schedule for one engine run.
+
+    Passed via :attr:`repro.runtime.engine.EngineConfig.fault_plan`. With no
+    plan configured the engine's fault machinery is entirely disarmed and
+    the simulated output is bit-for-bit identical to an engine built before
+    this subsystem existed (the equivalence suite asserts it).
+
+    Rates are per-packet probabilities in ``[0, 1)`` evaluated independently
+    at each NIC transmission; ``worker_faults`` are scheduled at absolute
+    simulated times.
+    """
+
+    seed: int = 0
+    drop_rate: float = 0.0
+    dup_rate: float = 0.0
+    delay_rate: float = 0.0
+    #: extra one-way latency added to a delayed packet
+    delay_us: float = 500.0
+    #: probability an acknowledgement is lost
+    ack_drop_rate: float = 0.0
+    worker_faults: Tuple[WorkerFault, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "dup_rate", "delay_rate", "ack_drop_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate < 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1), got {rate}")
+        if self.delay_us < 0:
+            raise ConfigurationError(f"delay_us must be >= 0, got {self.delay_us}")
+
+    @property
+    def injects_packet_faults(self) -> bool:
+        """True when any network-level fault can actually fire."""
+        return (
+            self.drop_rate > 0
+            or self.dup_rate > 0
+            or self.delay_rate > 0
+            or self.ack_drop_rate > 0
+        )
+
+
+@dataclass
+class PacketFate:
+    """The injector's verdict for one packet transmission."""
+
+    drop: bool = False
+    duplicate: bool = False
+    delay_us: float = 0.0
+
+
+class FaultInjector:
+    """Runtime fault source: draws every decision from one seeded RNG.
+
+    Decisions are drawn in a fixed order per packet (drop, duplicate,
+    delay) so the sequence of faults depends only on the plan's seed and
+    the deterministic simulated event order.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._rng = random.Random(plan.seed)
+        #: aggregate injection counters, keyed by fault kind
+        self.counts: Dict[str, int] = {
+            "drops": 0,
+            "duplicates": 0,
+            "delays": 0,
+            "ack_drops": 0,
+            "crashes": 0,
+            "stalls": 0,
+        }
+
+    def packet_fate(self) -> PacketFate:
+        """Decide the fate of one NIC packet transmission."""
+        plan = self.plan
+        rng = self._rng
+        fate = PacketFate()
+        if plan.drop_rate > 0 and rng.random() < plan.drop_rate:
+            fate.drop = True
+            self.counts["drops"] += 1
+        if plan.dup_rate > 0 and rng.random() < plan.dup_rate:
+            fate.duplicate = True
+            self.counts["duplicates"] += 1
+        if plan.delay_rate > 0 and rng.random() < plan.delay_rate:
+            fate.delay_us = plan.delay_us
+            self.counts["delays"] += 1
+        return fate
+
+    def drop_ack(self) -> bool:
+        """Decide whether one acknowledgement frame is lost."""
+        if self.plan.ack_drop_rate > 0 and self._rng.random() < self.plan.ack_drop_rate:
+            self.counts["ack_drops"] += 1
+            return True
+        return False
+
+    def note_worker_fault(self, kind: str) -> None:
+        """Record one injected worker crash/stall (scheduled by the engine)."""
+        self.counts["crashes" if kind == CRASH else "stalls"] += 1
+
+    @property
+    def total_injected(self) -> int:
+        """Total faults of all kinds injected so far."""
+        return sum(self.counts.values())

@@ -46,6 +46,17 @@ class RunMetrics:
     flushes: int = 0  # thread-level buffer flushes
     local_deliveries: int = 0  # same-node shared-memory deliveries
     supersteps: int = 0  # BSP only
+    # Fault-injection / reliability-layer counters (all stay 0 when no
+    # FaultPlan is configured; see docs/FAULTS.md).
+    retransmits: int = 0  # packet retransmissions after ack timeout
+    packets_dropped: int = 0  # transmissions lost to injected drops
+    packets_duplicated: int = 0  # network-minted duplicate copies
+    packets_delayed: int = 0  # transmissions given extra wire latency
+    duplicates_suppressed: int = 0  # receiver-side seq-filtered arrivals
+    acks_sent: int = 0  # reliability-layer acknowledgement frames
+    worker_crashes: int = 0  # injected crashes (state lost)
+    worker_stalls: int = 0  # injected stalls (state kept)
+    query_retries: int = 0  # watchdog-triggered query re-executions
     # BSP only: per-superstep compute totals vs barrier-idle time. Idle is
     # Σ_s (P·max_p - Σ_p) compute — worker-time wasted waiting at barriers
     # because the superstep's frontier was imbalanced (the paper's
@@ -83,6 +94,15 @@ class RunMetrics:
             "flushes": self.flushes,
             "local_deliveries": self.local_deliveries,
             "supersteps": self.supersteps,
+            "retransmits": self.retransmits,
+            "packets_dropped": self.packets_dropped,
+            "packets_duplicated": self.packets_duplicated,
+            "packets_delayed": self.packets_delayed,
+            "duplicates_suppressed": self.duplicates_suppressed,
+            "acks_sent": self.acks_sent,
+            "worker_crashes": self.worker_crashes,
+            "worker_stalls": self.worker_stalls,
+            "query_retries": self.query_retries,
         }
         for kind in MsgKind:
             out[f"messages_{kind.value}"] = self.message_count(kind)
@@ -99,6 +119,10 @@ class QueryMetrics:
     completed_at_us: Optional[float] = None
     steps_executed: int = 0
     result_rows: int = 0
+    # Fault-recovery accounting (all stay 0 without a FaultPlan).
+    retries: int = 0  # watchdog-triggered re-executions of this query
+    retransmits: int = 0  # packet retransmits carrying this query's traffic
+    faults_injected: int = 0  # injected faults that hit this query's packets
 
     @property
     def latency_us(self) -> float:
@@ -109,6 +133,16 @@ class QueryMetrics:
     @property
     def done(self) -> bool:
         return self.completed_at_us is not None
+
+    @property
+    def degraded(self) -> bool:
+        """True when the result was produced by a crash-recovery retry.
+
+        The rows are still exact — re-execution starts from invalidated
+        memos — but the latency includes the lost attempt(s) and the
+        per-operator profile mixes both executions.
+        """
+        return self.retries > 0
 
 
 class LatencyRecorder:

@@ -14,24 +14,56 @@ This module implements tier 2 plus the NIC: per-node serial egress with
 per-packet overhead, bandwidth-proportional serialization time, and one-way
 wire latency. Message-kind counters feed Fig 11; packet counters feed
 Fig 12.
+
+**Reliability layer.** When the engine is configured with a
+:class:`~repro.runtime.faults.FaultPlan`, every remote NIC packet carries a
+per-``(src, dst)`` channel sequence number and is held by the sender until
+acknowledged (:meth:`Network._nic_send` → :meth:`Network._transmit` →
+:meth:`Network._receive_packet` → :meth:`Network._receive_ack`). Unacked
+packets are retransmitted after a timeout with exponential backoff
+(:meth:`Network._check_retransmit`); the receiver suppresses duplicate
+sequence numbers, so drops and duplications injected by the fault plan
+never lose or double-count a traverser's progression weight. With no fault
+plan the layer is entirely disarmed and the send path is byte-identical to
+the unreliable one. See ``docs/FAULTS.md`` for the full protocol.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.runtime.costmodel import CostModel
+from repro.runtime.faults import FaultInjector
 from repro.runtime.metrics import MsgKind, RunMetrics
 from repro.runtime.simclock import SimClock
 
 #: destination pid used for the tracker/coordinator actor
 TRACKER_DST = -1
 
+#: retransmit timeout = RTO_RTT_MULTIPLIER × estimated round-trip time
+RTO_RTT_MULTIPLIER = 4.0
+#: exponential-backoff cap: retransmit interval never exceeds base × this
+MAX_BACKOFF_FACTOR = 16.0
+
 
 @dataclass
 class Message:
-    """One logical message (traverser pack, progress report, partial, ...)."""
+    """One logical message (traverser pack, progress report, partial, ...).
+
+    Attributes:
+        kind: wire category (:class:`~repro.runtime.metrics.MsgKind`);
+            decides how the engine dispatches the delivery.
+        dst_pid: destination worker partition id, or :data:`TRACKER_DST`
+            for the tracker/coordinator actor.
+        payload: kind-specific body (a list of traversers, a progress
+            tuple, a gathered partial, ...).
+        size_bytes: estimated wire size, used for NIC serialization time
+            and tier-1 flush accounting.
+        query_id: owning query (``-1`` for query-less control traffic);
+            used by the reliability layer to attribute retransmits and
+            injected faults to :class:`~repro.runtime.metrics.QueryMetrics`.
+    """
 
     kind: MsgKind
     dst_pid: int  # worker partition id, or TRACKER_DST
@@ -43,8 +75,67 @@ class Message:
 DeliverFn = Callable[[Message], None]
 
 
+@dataclass
+class _Packet:
+    """Sender-side record of one unacknowledged reliable packet."""
+
+    src: int
+    dst: int
+    seq: int
+    messages: List[Message]
+    total: int
+    attempts: int = 0
+
+
+class _DupFilter:
+    """Receiver-side duplicate suppression for one ``(src, dst)`` channel.
+
+    Tracks a contiguous watermark plus the out-of-order residue so memory
+    stays bounded by the retransmit window, not the packet count.
+    """
+
+    __slots__ = ("_watermark", "_ahead")
+
+    def __init__(self) -> None:
+        self._watermark = -1  # every seq <= watermark has been delivered
+        self._ahead: Set[int] = set()
+
+    def admit(self, seq: int) -> bool:
+        """Record ``seq``; True when it is new (first delivery)."""
+        if seq <= self._watermark or seq in self._ahead:
+            return False
+        self._ahead.add(seq)
+        while self._watermark + 1 in self._ahead:
+            self._watermark += 1
+            self._ahead.discard(self._watermark)
+        return True
+
+
 class Network:
-    """Simulated cluster interconnect with optional node-level combining."""
+    """Simulated cluster interconnect with optional node-level combining.
+
+    The engine owns one instance; workers hand it flushed tier-1 buffers
+    via :meth:`send` and it schedules deliveries on the shared
+    :class:`~repro.runtime.simclock.SimClock`. When ``faults`` is given,
+    remote packets additionally go through the ack/retransmit layer
+    described in the module docstring.
+
+    Args:
+        clock: the run's discrete-event clock.
+        num_nodes: cluster node count (NIC egress is serial per node).
+        cost: calibrated cost model (tx time, latencies).
+        metrics: run-wide counters to update.
+        deliver: callback invoked for every arriving :class:`Message`.
+        node_combining: enable tier-2 (NLC) packing of same-destination
+            buffers into one packet per window.
+        faults: arm the reliability layer and draw packet fates from this
+            injector; ``None`` (default) keeps the classic lossless NIC.
+        on_retransmit: called with a packet's messages each time it is
+            retransmitted (the engine attributes these to per-query
+            metrics).
+        on_packet_fault: called with ``(kind, messages)`` when the injector
+            drops/duplicates/delays a packet.
+    """
 
     def __init__(
         self,
@@ -54,6 +145,9 @@ class Network:
         metrics: RunMetrics,
         deliver: DeliverFn,
         node_combining: bool = True,
+        faults: Optional[FaultInjector] = None,
+        on_retransmit: Optional[Callable[[List[Message]], None]] = None,
+        on_packet_fault: Optional[Callable[[str, List[Message]], None]] = None,
     ) -> None:
         self.clock = clock
         self.num_nodes = num_nodes
@@ -67,6 +161,20 @@ class Network:
         self._combiner: Dict[Tuple[int, int], List[Message]] = {}
         self._combiner_bytes: Dict[Tuple[int, int], int] = {}
         self._combiner_armed: Dict[Tuple[int, int], bool] = {}
+        # -- reliability layer (armed only when a FaultPlan is configured) --
+        self.faults = faults
+        self.on_retransmit = on_retransmit
+        self.on_packet_fault = on_packet_fault
+        if faults is not None:
+            self._next_seq: Dict[Tuple[int, int], int] = {}
+            self._unacked: Dict[Tuple[int, int, int], _Packet] = {}
+            self._dup_filters: Dict[Tuple[int, int], _DupFilter] = {}
+            # Base retransmit timeout: a few round trips, where one round
+            # trip is two wire latencies plus serializing a full tier-1
+            # buffer. Comfortably above the lossless ack delay, so a
+            # zero-rate plan never fires a spurious retransmit.
+            rtt = 2.0 * cost.hardware.network_latency_us + cost.tx_time_us(8192)
+            self.rto_us = RTO_RTT_MULTIPLIER * rtt
 
     # -- public API ---------------------------------------------------------
 
@@ -74,8 +182,10 @@ class Network:
         """Transmit a flushed buffer from ``src_node`` toward ``dst_node``.
 
         ``when`` is the flush instant. Same-node traffic takes the
-        shared-memory shortcut; remote traffic goes through the NIC, with
-        node-level combining when enabled.
+        shared-memory shortcut (reliable by definition — the failure model
+        only injects faults on the wire); remote traffic goes through the
+        NIC, with node-level combining when enabled, and through the
+        ack/retransmit layer when a fault plan is armed.
         """
         if not messages:
             return
@@ -111,6 +221,7 @@ class Network:
         total: int,
         when: float,
     ) -> None:
+        """Stage messages in the per-``(src, dst)`` combiner window."""
         key = (src, dst)
         self._combiner.setdefault(key, []).extend(messages)
         self._combiner_bytes[key] = self._combiner_bytes.get(key, 0) + total
@@ -120,6 +231,7 @@ class Network:
             self.clock.schedule_at(fire_at, lambda k=key: self._fire_combiner(k))
 
     def _fire_combiner(self, key: Tuple[int, int]) -> None:
+        """Window expiry: hand the combined pack to the NIC."""
         messages = self._combiner.pop(key, [])
         total = self._combiner_bytes.pop(key, 0)
         self._combiner_armed[key] = False
@@ -136,14 +248,121 @@ class Network:
         total: int,
         when: float,
     ) -> None:
-        start = max(when, self._nic_free_at[src])
-        tx = self.cost.tx_time_us(total)
-        self._nic_free_at[src] = start + tx
+        """One NIC packet: serialize on the egress port, then fly.
+
+        Lossless path when no fault plan is armed; otherwise the packet is
+        sequenced, tracked until acked, and handed to :meth:`_transmit`.
+        """
+        if self.faults is None:
+            start = max(when, self._nic_free_at[src])
+            tx = self.cost.tx_time_us(total)
+            self._nic_free_at[src] = start + tx
+            arrival = start + tx + self.cost.hardware.network_latency_us
+            self.metrics.packets_sent += 1
+            self.metrics.bytes_sent += total
+            self.clock.schedule_at(arrival, lambda ms=messages: self._deliver_all(ms))
+            return
+        key = (src, dst)
+        seq = self._next_seq.get(key, 0)
+        self._next_seq[key] = seq + 1
+        packet = _Packet(src, dst, seq, messages, total)
+        self._unacked[(src, dst, seq)] = packet
+        self._transmit(packet, when)
+
+    # -- reliability layer -------------------------------------------------------
+
+    def _transmit(self, packet: _Packet, when: float) -> None:
+        """(Re)transmit one reliable packet and arm its retransmit timer.
+
+        Every attempt occupies the NIC and is counted in ``packets_sent``;
+        the fault injector then decides whether this copy is dropped,
+        duplicated, or delayed on the wire.
+        """
+        start = max(when, self._nic_free_at[packet.src])
+        tx = self.cost.tx_time_us(packet.total)
+        self._nic_free_at[packet.src] = start + tx
         arrival = start + tx + self.cost.hardware.network_latency_us
         self.metrics.packets_sent += 1
-        self.metrics.bytes_sent += total
-        self.clock.schedule_at(arrival, lambda ms=messages: self._deliver_all(ms))
+        self.metrics.bytes_sent += packet.total
+        packet.attempts += 1
+        fate = self.faults.packet_fate()
+        if fate.delay_us:
+            arrival += fate.delay_us
+            self.metrics.packets_delayed += 1
+            if self.on_packet_fault is not None:
+                self.on_packet_fault("delay", packet.messages)
+        if fate.drop:
+            self.metrics.packets_dropped += 1
+            if self.on_packet_fault is not None:
+                self.on_packet_fault("drop", packet.messages)
+        else:
+            self.clock.schedule_at(
+                arrival, lambda p=packet: self._receive_packet(p)
+            )
+        if fate.duplicate:
+            # The network minted a second copy; it takes its own wire trip.
+            self.metrics.packets_duplicated += 1
+            if self.on_packet_fault is not None:
+                self.on_packet_fault("duplicate", packet.messages)
+            dup_arrival = arrival + self.cost.hardware.network_latency_us
+            self.clock.schedule_at(
+                dup_arrival, lambda p=packet: self._receive_packet(p)
+            )
+        # Retransmit timer: exponential backoff, capped.
+        backoff = min(2.0 ** (packet.attempts - 1), MAX_BACKOFF_FACTOR)
+        self.clock.schedule_at(
+            start + tx + self.rto_us * backoff,
+            lambda p=packet: self._check_retransmit(p),
+        )
+
+    def _check_retransmit(self, packet: _Packet) -> None:
+        """Timer expiry: resend the packet unless its ack arrived."""
+        if (packet.src, packet.dst, packet.seq) not in self._unacked:
+            return  # acknowledged in time
+        self.metrics.retransmits += 1
+        if self.on_retransmit is not None:
+            self.on_retransmit(packet.messages)
+        self._transmit(packet, self.clock.now)
+
+    def _receive_packet(self, packet: _Packet) -> None:
+        """Reliable-path arrival: dedup by sequence number, deliver, ack.
+
+        Duplicates (network-minted copies *and* spurious retransmits) are
+        suppressed but still acknowledged — the sender may be resending
+        precisely because the first ack was lost.
+        """
+        key = (packet.src, packet.dst)
+        dup_filter = self._dup_filters.get(key)
+        if dup_filter is None:
+            dup_filter = self._dup_filters[key] = _DupFilter()
+        if dup_filter.admit(packet.seq):
+            self._deliver_all(packet.messages)
+        else:
+            self.metrics.duplicates_suppressed += 1
+        if self.faults.drop_ack():
+            return  # the retransmit timer will recover
+        self.metrics.acks_sent += 1
+        # Acks are tiny control frames piggybacked on reverse traffic; they
+        # pay wire latency but no modelled NIC occupancy.
+        self.clock.schedule_at(
+            self.clock.now + self.cost.hardware.network_latency_us,
+            lambda p=packet: self._receive_ack(p),
+        )
+
+    def _receive_ack(self, packet: _Packet) -> None:
+        """Sender-side ack arrival: release the unacked record."""
+        self._unacked.pop((packet.src, packet.dst, packet.seq), None)
+
+    @property
+    def unacked_packets(self) -> int:
+        """Reliable packets still awaiting acknowledgement (0 when idle)."""
+        if self.faults is None:
+            return 0
+        return len(self._unacked)
+
+    # -- delivery ----------------------------------------------------------------
 
     def _deliver_all(self, messages: List[Message]) -> None:
+        """Hand every message of an arrived packet to the engine."""
         for msg in messages:
             self.deliver(msg)

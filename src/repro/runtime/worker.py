@@ -89,11 +89,27 @@ class PartitionRuntime:
         for key in [k for k in counts if k[0] == query_id]:
             del counts[key]
 
+    def purge_query(self, query_id: int) -> int:
+        """Remove a query's queued traversers and stage counts.
+
+        Used by crash recovery before a retry so stale traversers of the
+        abandoned attempt cannot execute against the fresh one. Returns the
+        number of traversers removed.
+        """
+        before = len(self.queue)
+        if before:
+            kept = [t for t in self.queue if t.query_id != query_id]
+            if len(kept) != before:
+                self.queue.clear()
+                self.queue.extend(kept)
+        self.drop_query(query_id)
+        return before - len(self.queue)
+
     def wake(self, now: float) -> None:
-        """Wake one idle worker (the least busy) to process the queue."""
+        """Wake one idle, alive worker (the least busy) to process the queue."""
         if not self.queue:
             return
-        idle = [w for w in self.workers if not w.scheduled]
+        idle = [w for w in self.workers if not w.scheduled and w.alive]
         if idle:
             min(idle, key=lambda w: w.busy_until).wake(now)
 
@@ -115,6 +131,8 @@ class Worker:
         runtime.workers.append(self)
         self.busy_until = 0.0
         self.scheduled = False
+        #: False while a crash/stall fault holds this worker down
+        self.alive = True
         #: compute slowdown multiplier (straggler injection; 1.0 = healthy)
         self.slowdown = 1.0
         #: total simulated CPU time this worker has burned (utilization)
@@ -131,7 +149,7 @@ class Worker:
 
     def wake(self, now: float) -> None:
         """Schedule a run at max(now, busy_until) if idle."""
-        if self.scheduled:
+        if self.scheduled or not self.alive:
             return
         self.scheduled = True
         self.engine.clock.schedule_at(max(now, self.busy_until), self._run)
@@ -140,9 +158,51 @@ class Worker:
         """Charge per-query setup work (operator instantiation, Banyan/GAIA)."""
         self.busy_until = max(self.busy_until, now) + cost_us
 
+    # -- fault injection ----------------------------------------------------
+
+    def crash(self) -> None:
+        """Kill this worker: its core-resident state is lost.
+
+        Queued traversers (when this is the runtime's only worker, i.e. the
+        shared-nothing configuration), tier-1 message buffers, and weight
+        accumulators all vanish — along with the progression weight they
+        carried, which is exactly what the progress tracker's stuck ledger
+        later detects. Partition memos are invalidated by the engine's
+        crash handler, which also force-retries every affected query.
+        """
+        self.alive = False
+        self.scheduled = False
+        self._buffers.clear()
+        self._trav_buffers.clear()
+        self._buffer_bytes.clear()
+        self._accums.clear()
+        if len(self.runtime.workers) == 1:
+            self.runtime.queue.clear()
+            self.runtime.stage_counts.clear()
+
+    def stall(self) -> None:
+        """Freeze this worker without losing state (GC pause, sched hiccup).
+
+        Queued work and buffers survive; :meth:`recover` resumes exactly
+        where the worker stopped, so no progression weight is lost.
+        """
+        self.alive = False
+        self.scheduled = False
+
+    def recover(self, now: float) -> None:
+        """Bring a crashed/stalled worker back up and resume its queue."""
+        self.alive = True
+        self.busy_until = max(self.busy_until, now)
+        self.runtime.wake(now)
+
     # -- main loop -----------------------------------------------------------
 
     def _run(self) -> None:
+        if not self.alive:
+            # A run scheduled before the fault fired; drop it. recover()
+            # re-wakes the runtime.
+            self.scheduled = False
+            return
         if self.engine.config.scalar_execution:
             self._run_scalar()
         else:

@@ -50,6 +50,27 @@ class TestExplain:
         assert main(["explain", "khopX"]) == 2
 
 
+class TestFaults:
+    def test_drop_demo_masks_faults(self, capsys):
+        assert main(["faults", "--drop-rate", "0.01", "--seed", "1",
+                     "--queries", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "fault-free" in out
+        assert "faulted" in out
+        assert "rows identical to fault-free run: yes" in out
+
+    def test_crash_flag_parses_and_recovers(self, capsys):
+        assert main(["faults", "--drop-rate", "0", "--seed", "2",
+                     "--queries", "8", "--crash", "2:500:4000"]) == 0
+        out = capsys.readouterr().out
+        assert "crashes=1" in out
+        assert "rows identical to fault-free run: yes" in out
+
+    def test_bad_crash_spec_rejected(self, capsys):
+        assert main(["faults", "--crash", "2"]) == 2
+        assert "WID:AT_US" in capsys.readouterr().err
+
+
 class TestParser:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):

@@ -77,6 +77,50 @@ class TestWeightedTracker:
         assert tracker.report_weight(1, 0, ROOT_WEIGHT) is False
         assert tracker.ledger(1, 0) is None
 
+    def test_close_query_reaches_every_stage_ledger(self):
+        """Regression: close_query must drop *all* of a query's per-stage
+        ledgers (not just stage 0) while leaving other queries' ledgers
+        untouched — the crash-recovery path relies on this to guarantee a
+        retried attempt can never be completed by stale weight reports."""
+        tracker, completed = self.make()
+        for stage in range(4):
+            tracker.open_stage(1, stage)
+        tracker.open_stage(2, 0)
+        tracker.close_query(1)
+        for stage in range(4):
+            assert tracker.ledger(1, stage) is None, stage
+            assert tracker.report_weight(1, stage, ROOT_WEIGHT) is False
+        assert completed == []
+        # query 2 is unaffected and still completes normally
+        assert tracker.ledger(2, 0) is not None
+        assert tracker.report_weight(2, 0, ROOT_WEIGHT) is True
+        assert completed == [(2, 0)]
+
+    def test_closed_stage_can_be_reopened(self):
+        """A retried query may reuse (query_id, stage) keys only after
+        close_query; reopening must not raise 'already open'."""
+        tracker, completed = self.make()
+        tracker.open_stage(1, 0)
+        tracker.close_query(1)
+        tracker.open_stage(1, 0)  # no TerminationError
+        assert tracker.report_weight(1, 0, ROOT_WEIGHT) is True
+        assert completed == [(1, 0)]
+
+    def test_close_stage_drops_only_that_stage(self):
+        tracker, completed = self.make()
+        tracker.open_stage(1, 0)
+        tracker.open_stage(1, 1)
+        tracker.close_stage(1, 0)
+        assert tracker.ledger(1, 0) is None
+        assert tracker.report_weight(1, 0, 77) is False  # late retransmit
+        assert tracker.ledger(1, 1) is not None
+        assert tracker.report_weight(1, 1, ROOT_WEIGHT) is True
+        assert completed == [(1, 1)]
+
+    def test_close_stage_of_unknown_stage_is_a_noop(self):
+        tracker, _ = self.make()
+        tracker.close_stage(9, 9)  # no error
+
     def test_delta_report_rejected_in_weighted_mode(self):
         tracker, _ = self.make()
         tracker.open_stage(1, 0)
@@ -127,6 +171,15 @@ class TestNaiveTracker:
         tracker.open_stage(1, 0)
         with pytest.raises(TerminationError):
             tracker.report_weight(1, 0, 1)
+
+    def test_close_query_drops_counters(self):
+        tracker, completed = self.make()
+        tracker.open_stage(1, 0)
+        tracker.add_naive_active(1, 0, 1)
+        tracker.close_query(1)
+        assert tracker.report_delta(1, 0, -1) is False
+        assert completed == []
+        tracker.open_stage(1, 0)  # reopen after close is fine
 
     def test_zero_recrossing_fires_again(self):
         """Transient zeros re-fire on_complete; the engine's quiescence
