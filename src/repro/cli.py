@@ -240,6 +240,24 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0 if identical else 1
 
 
+def cmd_overload(args: argparse.Namespace) -> int:
+    """Run the overload soak (open-loop LDBC mix, rising arrival rates)."""
+    from repro.bench import overload
+
+    forwarded: List[str] = []
+    if args.quick:
+        forwarded.append("--quick")
+    if args.check:
+        forwarded.append("--check")
+    if args.unprotected:
+        forwarded.append("--unprotected")
+    if args.count is not None:
+        forwarded.extend(["--count", str(args.count)])
+    if args.out:
+        forwarded.extend(["--out", args.out])
+    return overload.main(forwarded)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command-line parser."""
     parser = argparse.ArgumentParser(
@@ -280,6 +298,22 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also crash worker WID at AT_US (recovering "
                              "after DOWN_US if given)")
     faults.set_defaults(fn=cmd_faults)
+    overload = sub.add_parser(
+        "overload",
+        help="overload soak: open-loop LDBC mix at rising arrival rates",
+    )
+    overload.add_argument("--quick", action="store_true",
+                          help="CI soak: smaller mix, fewer arrivals")
+    overload.add_argument("--check", action="store_true",
+                          help="exit nonzero unless degradation gates hold")
+    overload.add_argument("--unprotected", action="store_true",
+                          help="also soak a default-config engine at the "
+                               "top rate")
+    overload.add_argument("--count", type=int, default=None,
+                          help="arrivals per rate point")
+    overload.add_argument("--out", default=None,
+                          help="write a JSON report here")
+    overload.set_defaults(fn=cmd_overload)
     return parser
 
 

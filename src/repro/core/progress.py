@@ -85,11 +85,26 @@ class ProgressTracker:
         self._ledgers: Dict[Tuple[int, int], WeightLedger] = {}
         self._counters: Dict[Tuple[int, int], NaiveCounter] = {}
         self._messages_received = 0
+        self._reclaim_reports = 0
 
     @property
     def messages_received(self) -> int:
         """Progress messages processed — the tracker's load (Fig 11)."""
         return self._messages_received
+
+    @property
+    def reclaim_reports(self) -> int:
+        """Weight reports folded in by cancellation reclamation."""
+        return self._reclaim_reports
+
+    @property
+    def open_stage_count(self) -> int:
+        """Ledgers/counters currently held — must drain to 0 at idle.
+
+        Tests assert this after any mix of completions, timeouts, and
+        cancellations: a nonzero value at quiescence is a leaked stage.
+        """
+        return len(self._ledgers) + len(self._counters)
 
     def open_stage(self, query_id: int, stage: int) -> None:
         """Register a new subquery before any of its reports can arrive."""
@@ -147,6 +162,33 @@ class ProgressTracker:
         ledger = self._ledgers.get(key)
         if ledger is None or ledger.terminated:
             return False  # stale report from an already-closed stage
+        if ledger.report(weight):
+            self._on_complete(query_id, stage)
+            return True
+        return False
+
+    def report_reclaimed(self, query_id: int, stage: int, weight: int) -> bool:
+        """Fold reclaimed weight from a cancelled query's purged traversers.
+
+        Cancellation discards traversers instead of executing them; their
+        progression weight would otherwise be lost and the stage ledger
+        could never reach the root weight (the same signature as a dropped
+        packet — see docs/FAULTS.md). Reclamation reports the discarded
+        weight on the query's behalf so ``Σ active + finished = 1``
+        (Theorem 1) still closes and the ledger terminates cleanly,
+        letting the engine finalize the cancellation without a watchdog.
+
+        Same ledger arithmetic as :meth:`report_weight`, but counted
+        separately (``reclaim_reports``) because these reports are minted
+        by the cancellation protocol, not by finished traversers.
+        """
+        if not self.mode.is_weighted:
+            raise TerminationError("weight reclamation in naive mode")
+        self._reclaim_reports += 1
+        key = (query_id, stage)
+        ledger = self._ledgers.get(key)
+        if ledger is None or ledger.terminated:
+            return False  # stage already closed; nothing left to reclaim
         if ledger.report(weight):
             self._on_complete(query_id, stage)
             return True

@@ -90,6 +90,70 @@ class MemoError(ExecutionError):
     """Invalid memo access (e.g. cross-query or cross-partition access)."""
 
 
+class OverloadError(ExecutionError):
+    """Base class for admission-control and resource-protection errors.
+
+    Raised by the overload-protection layer (docs/OVERLOAD.md) when a query
+    is shed, expires before dispatch, or trips a resource budget — the
+    engine degrades gracefully by failing *this* query fast instead of
+    letting it degrade every tenant.
+    """
+
+
+class QueryRejectedError(OverloadError):
+    """The admission queue was full; the query was shed at submission.
+
+    Load shedding under saturation: the engine refuses work it cannot
+    start within bounded state, so admitted queries keep their latency.
+    """
+
+    def __init__(self, query_id: object, queue_size: int) -> None:
+        super().__init__(
+            f"query {query_id!r} rejected: admission queue full "
+            f"({queue_size} waiting)"
+        )
+        self.query_id = query_id
+        self.queue_size = queue_size
+
+
+class AdmissionTimeoutError(OverloadError):
+    """The query waited in the admission queue past its admission deadline."""
+
+    def __init__(self, query_id: object, waited_us: float) -> None:
+        super().__init__(
+            f"query {query_id!r} expired in the admission queue after "
+            f"{waited_us:.0f} us"
+        )
+        self.query_id = query_id
+        self.waited_us = waited_us
+
+
+class ResourceBudgetExceededError(OverloadError):
+    """A running query exceeded a per-query resource budget.
+
+    Tripped by the traverser-count or memo-byte budget of
+    :class:`~repro.runtime.engine.EngineConfig`; the query is cancelled
+    cooperatively and its state reclaimed on every partition.
+    """
+
+    def __init__(self, query_id: object, budget: str, detail: str) -> None:
+        super().__init__(
+            f"query {query_id!r} exceeded its {budget} budget ({detail})"
+        )
+        self.query_id = query_id
+        self.budget = budget
+        self.detail = detail
+
+
+class QueryCancelledError(OverloadError):
+    """The query was cancelled by its caller before completing."""
+
+    def __init__(self, query_id: object, reason: str) -> None:
+        super().__init__(f"query {query_id!r} cancelled: {reason}")
+        self.query_id = query_id
+        self.reason = reason
+
+
 class TransactionError(ReproError):
     """Errors in transactional processing."""
 

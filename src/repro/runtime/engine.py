@@ -28,11 +28,15 @@ from repro.core.progress import ProgressMode, ProgressTracker
 from repro.core.steps import FixedVertexSource, StepContext
 from repro.core.subquery import GatheredPartial, StageCursor
 from repro.core.traverser import Traverser, make_root
-from repro.core.weight import ROOT_WEIGHT, split_weight
+from repro.core.weight import GROUP_MODULUS, ROOT_WEIGHT, split_weight
 from repro.errors import (
+    AdmissionTimeoutError,
     ConfigurationError,
     ExecutionError,
+    QueryCancelledError,
+    QueryRejectedError,
     QueryTimeoutError,
+    ResourceBudgetExceededError,
     RetryBudgetExceededError,
 )
 from repro.graph.partition import PartitionedGraph
@@ -47,6 +51,7 @@ from repro.runtime.costmodel import (
 from repro.runtime.faults import CRASH, FaultInjector, FaultPlan, WorkerFault
 from repro.runtime.metrics import LatencyRecorder, MsgKind, QueryMetrics, RunMetrics
 from repro.runtime.network import TRACKER_DST, Message, Network
+from repro.runtime.overload import AdmissionController, CreditGate
 from repro.runtime.simclock import SimClock
 from repro.runtime.worker import PartitionRuntime, TrackerActor, Worker
 
@@ -54,6 +59,14 @@ from repro.runtime.worker import PartitionRuntime, TrackerActor, Worker
 IO_SYNC = "sync"          # no batching: every message is its own packet
 IO_TLC = "tlc"            # thread-level combining only
 IO_TLC_NLC = "tlc+nlc"    # full two-tier scheduler (default)
+
+#: wire size of one CANCEL control message (tag + query id + stage)
+CANCEL_MSG_BYTES = 16
+
+#: memo-byte budgets are checked every Nth worker run per query: the memo
+#: walk is O(records), so sampling keeps enforcement off the hot path while
+#: still bounding the overshoot to a few runs' worth of growth.
+MEMO_CHECK_INTERVAL = 16
 
 
 @dataclass(frozen=True)
@@ -89,10 +102,49 @@ class EngineConfig:
     #: a query showing zero progress for this long is declared stuck and
     #: recovered (only armed when fault_plan is set)
     watchdog_timeout_us: float = 100_000.0
+    # -- overload protection (docs/OVERLOAD.md; all default to "off" so the
+    # -- default config stays bit-for-bit identical to the pre-overload
+    # -- engine, which the equivalence suites assert) ----------------------
+    #: at most this many queries execute concurrently; excess submissions
+    #: wait in the admission queue (None → admission control disabled)
+    max_concurrent_queries: Optional[int] = None
+    #: bounded admission queue: submissions beyond this many waiters are
+    #: shed immediately with QueryRejectedError
+    admission_queue_size: int = 64
+    #: a waiter still undispatched after this long fails with
+    #: AdmissionTimeoutError (None → waiters never expire)
+    admission_timeout_us: Optional[float] = None
+    #: per-query spawn budget: a query spawning more traversers than this
+    #: is cancelled with ResourceBudgetExceededError (None → unbounded)
+    max_traversers_per_query: Optional[int] = None
+    #: per-query memo budget across all partitions, in modelled bytes
+    #: (None → unbounded)
+    max_memo_bytes_per_query: Optional[int] = None
+    #: per-partition bound on in-flight + inboxed remote traversers; arms
+    #: credit-based sender throttling (None → unbounded, classic path)
+    inbox_capacity: Optional[int] = None
+    #: budget-cancelled queries whose final stage already holds partials
+    #: return those partial rows (flagged degraded) instead of raising
+    allow_partial_results: bool = False
 
     def __post_init__(self) -> None:
         if self.io_mode not in (IO_SYNC, IO_TLC, IO_TLC_NLC):
             raise ConfigurationError(f"unknown io_mode {self.io_mode!r}")
+        for name in ("max_concurrent_queries", "max_traversers_per_query",
+                     "max_memo_bytes_per_query", "inbox_capacity"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ConfigurationError(f"{name} must be >= 1, got {value}")
+        if self.admission_queue_size < 1:
+            raise ConfigurationError(
+                f"admission_queue_size must be >= 1, "
+                f"got {self.admission_queue_size}"
+            )
+        if self.admission_timeout_us is not None and self.admission_timeout_us <= 0:
+            raise ConfigurationError(
+                f"admission_timeout_us must be > 0, "
+                f"got {self.admission_timeout_us}"
+            )
         if self.fault_plan is not None:
             if self.progress_mode is ProgressMode.NAIVE_CENTRAL:
                 # Naive active counters cannot survive loss: a dropped
@@ -111,6 +163,23 @@ class EngineConfig:
                     f"watchdog_timeout_us must be > 0, "
                     f"got {self.watchdog_timeout_us}"
                 )
+            # Re-validate the plan's rates here as well: FaultPlan checks
+            # its own fields at construction, but plans minted through
+            # object.__setattr__ tricks or pickled from older versions can
+            # reach the engine unvalidated — and a negative rate turns the
+            # injector's RNG comparisons into silent no-ops or certainties.
+            plan = self.fault_plan
+            for name in ("drop_rate", "dup_rate", "delay_rate",
+                         "ack_drop_rate"):
+                rate = getattr(plan, name)
+                if not 0.0 <= rate < 1.0:
+                    raise ConfigurationError(
+                        f"fault_plan.{name} must be in [0, 1), got {rate}"
+                    )
+            if plan.delay_us < 0:
+                raise ConfigurationError(
+                    f"fault_plan.delay_us must be >= 0, got {plan.delay_us}"
+                )
 
 
 @dataclass
@@ -120,6 +189,9 @@ class QueryResult:
     rows: List[Any]
     latency_us: float
     metrics: QueryMetrics
+    #: True when a budget cancellation salvaged final-stage partials: the
+    #: rows are an exact subset of the full answer (docs/OVERLOAD.md)
+    partial: bool = False
 
     @property
     def latency_ms(self) -> float:
@@ -205,6 +277,29 @@ class QuerySession:
         self.timed_out = False
         #: set when crash recovery exhausted the retry budget
         self.failed = False
+        # -- overload-protection state (docs/OVERLOAD.md) ------------------
+        #: set when the admission queue was full at submission (shed)
+        self.rejected = False
+        #: set when the admission deadline passed before dispatch
+        self.admission_timed_out = False
+        #: True while parked in the admission wait queue
+        self.admission_waiting = False
+        #: admission priority (lower dispatches sooner)
+        self.priority = 0
+        #: per-query deadline, armed when the session is dispatched
+        self.time_limit_us: Optional[float] = None
+        #: simulated submission instant (before any admission wait)
+        self.arrival_us = 0.0
+        #: set when a cancellation was begun (timeout / budget / caller)
+        self.cancelled = False
+        self.cancel_reason: Optional[str] = None
+        #: set when a resource budget tripped the cancellation
+        self.budget_exceeded = False
+        self.budget_error: Optional[Tuple[str, str]] = None  # (budget, detail)
+        #: set when a budget cancellation salvaged final-stage partials
+        self.partial_result = False
+        #: sampling phase for the memo-byte budget check
+        self._memo_check_tick = 0
         #: per-operator execution counts (op index → traversers executed),
         #: the EXPLAIN ANALYZE data behind :meth:`AsyncPSTMEngine.profile`
         self.op_steps: Dict[int, int] = {}
@@ -312,6 +407,30 @@ class AsyncPSTMEngine:
         self.sessions: Dict[int, QuerySession] = {}
         self.completed: Dict[int, QuerySession] = {}
         self._next_query_id = 0
+        # -- overload protection (all None/False for default configs, so the
+        # -- hot paths see one falsy check and stay bit-identical) ----------
+        #: queries mid-cancellation: cancelled but their stage ledger has
+        #: not yet re-absorbed all outstanding progression weight
+        self._cancelling: Dict[int, QuerySession] = {}
+        self._admission: Optional[AdmissionController] = (
+            AdmissionController(
+                self, config.max_concurrent_queries, config.admission_queue_size
+            )
+            if config.max_concurrent_queries is not None
+            else None
+        )
+        self._gates: Optional[List[CreditGate]] = (
+            [
+                CreditGate(pid, config.inbox_capacity, self.clock)
+                for pid in range(self.num_partitions)
+            ]
+            if config.inbox_capacity is not None
+            else None
+        )
+        self._budgets_armed = (
+            config.max_traversers_per_query is not None
+            or config.max_memo_bytes_per_query is not None
+        )
         # Worker-bound traversers buffered or in flight, per query. Only the
         # naive progress mode needs this (its active counter can transiently
         # hit zero while traversers are in transit); weighted modes skip the
@@ -352,6 +471,37 @@ class AsyncPSTMEngine:
         busy = sum(worker.busy_total for worker in self.workers)
         return busy / (window * len(self.workers))
 
+    def overload_snapshot(self) -> Dict[str, Any]:
+        """Observability for the overload layer (bench + leak assertions).
+
+        ``open_stages`` and ``cancelling`` must both be 0 at quiescence —
+        a nonzero value is a leaked ledger or a cancellation that never
+        finalized. ``peak_inbox_depth`` must stay ≤ ``inbox_capacity``
+        when credit gating is armed (the bounded-memory claim).
+        """
+        gates = self._gates or []
+        stalls = sum(g.stalls for g in gates)
+        self.metrics.credit_stalls = stalls
+        snap: Dict[str, Any] = {
+            "open_stages": self.progress.open_stage_count,
+            "cancelling": len(self._cancelling),
+            "active_sessions": len(self.sessions),
+            "peak_queue_depth": max(
+                (r.peak_queue_depth for r in self.runtimes), default=0
+            ),
+            "peak_inbox_depth": max(
+                (r.peak_inbox_depth for r in self.runtimes), default=0
+            ),
+            "credit_stalls": stalls,
+            "peak_credits_in_use": max((g.peak_in_use for g in gates), default=0),
+            "waiting_sends": sum(g.waiting_sends for g in gates),
+        }
+        if self._admission is not None:
+            snap["admission_running"] = self._admission.running
+            snap["admission_waiting"] = self._admission.waiting
+            snap["admission_peak_waiting"] = self._admission.peak_waiting
+        return snap
+
     def note_outbound(self, query_id: int) -> None:
         """Record a worker-bound message entering a buffer or the network."""
         self._inflight[query_id] = self._inflight.get(query_id, 0) + 1
@@ -387,6 +537,7 @@ class AsyncPSTMEngine:
             runtime = worker.runtime
             affected = set(runtime.memo_store.invalidate_all())
             affected.update(t.query_id for t in runtime.queue)
+            affected.update(t.query_id for t in runtime.inbox)
             affected.update(key[0] for key in worker._accums)
             for pairs in worker._trav_buffers.values():
                 affected.update(t.query_id for _pid, t, _size in pairs)
@@ -401,6 +552,16 @@ class AsyncPSTMEngine:
                     self.clock.schedule_at(
                         now,
                         lambda s=session, q=query_id: self._recover_if_current(s, q),
+                    )
+                    continue
+                cancelling = self._cancelling.get(query_id)
+                if cancelling is not None:
+                    # The crash destroyed reclaimed-weight the cancelled
+                    # stage's ledger was waiting on; it can never close now.
+                    # Force the finalize — the teardown is idempotent and
+                    # late arrivals resolve to a dead session.
+                    self.clock.schedule_at(
+                        now, lambda s=cancelling: self._finalize_cancel(s)
                     )
         else:
             self.metrics.worker_stalls += 1
@@ -489,15 +650,15 @@ class AsyncPSTMEngine:
         old_query_id = session.query_id
         for runtime in self.runtimes:
             runtime.memo_store.clear_query(old_query_id)
-            runtime.purge_query(old_query_id)
+            # _purge_partition (not raw purge_query): inboxed traversers of
+            # the abandoned attempt hold sender credits that must flow back.
+            self._purge_partition(runtime, old_query_id)
         self._inflight.pop(old_query_id, None)
         self.progress.close_query(old_query_id)
         self.sessions.pop(old_query_id, None)
         if session.qmetrics.retries >= self.config.retry_budget:
             session.failed = True
-            self.completed[old_query_id] = session
-            if session.on_done is not None:
-                session.on_done(session)
+            self._retire(session)
             return
         session.qmetrics.retries += 1
         self.metrics.query_retries += 1
@@ -529,6 +690,7 @@ class AsyncPSTMEngine:
         on_done: Optional[Callable[[QuerySession], None]] = None,
         at: Optional[float] = None,
         time_limit_us: Optional[float] = None,
+        priority: int = 0,
     ) -> QuerySession:
         """Submit a query now (or at simulated time ``at``).
 
@@ -539,12 +701,28 @@ class AsyncPSTMEngine:
         session is torn down (memos cleared, in-flight traversers dropped)
         and its metrics stay incomplete; ``on_done`` still fires so closed
         loops keep moving.
+
+        With admission control armed (``max_concurrent_queries``), the
+        submission may instead wait in the bounded admission queue, be shed
+        (``rejected``), or expire (``admission_timed_out``); ``priority``
+        orders waiters (lower dispatches sooner) and the execution deadline
+        counts from dispatch, not submission — the admission wait is bounded
+        separately by ``admission_timeout_us``.
         """
         session = QuerySession(
             self, self._next_query_id, plan, dict(params or {}), on_done
         )
         self._next_query_id += 1
+        session.priority = priority
+        session.time_limit_us = time_limit_us
+        if self._admission is not None:
+            if at is None:
+                self._admit_or_queue(session)
+            else:
+                self.clock.schedule_at(at, lambda: self._admit_or_queue(session))
+            return session
         self.sessions[session.query_id] = session
+        session.arrival_us = at if at is not None else self.clock.now
         if at is None:
             self._do_submit(session)
         else:
@@ -556,20 +734,313 @@ class AsyncPSTMEngine:
             )
         return session
 
-    def _abort_if_running(self, session: QuerySession, limit_us: float) -> None:
-        """Deadline handler: tear down a query that overran its budget."""
-        if session.query_id not in self.sessions:
-            return  # finished in time
-        session.timed_out = True
-        self.sessions.pop(session.query_id, None)
-        for runtime in self.runtimes:
-            runtime.memo_store.clear_query(session.query_id)
-            runtime.drop_query(session.query_id)
-        self._inflight.pop(session.query_id, None)
-        self.progress.close_query(session.query_id)
+    # -- admission control -------------------------------------------------
+
+    def _admit_or_queue(self, session: QuerySession) -> None:
+        """Route one arriving submission: start, wait, or shed."""
+        adm = self._admission
+        session.arrival_us = self.clock.now
+        if adm.has_slot:
+            self._start_admitted(session)
+        elif adm.queue_full:
+            session.rejected = True
+            self.metrics.queries_rejected += 1
+            self.completed[session.query_id] = session
+            if session.on_done is not None:
+                session.on_done(session)
+        else:
+            adm.enqueue(session, session.priority)
+            if self.config.admission_timeout_us is not None:
+                self.clock.schedule_at(
+                    self.clock.now + self.config.admission_timeout_us,
+                    lambda: self._admission_expired(session),
+                )
+
+    def _start_admitted(self, session: QuerySession) -> None:
+        """Take an execution slot and dispatch the session."""
+        self._admission.acquire()
+        self.sessions[session.query_id] = session
+        self._do_submit(session)
+        if session.time_limit_us is not None:
+            self.clock.schedule_at(
+                self.clock.now + session.time_limit_us,
+                lambda: self._abort_if_running(session, session.time_limit_us),
+            )
+
+    def _admission_expired(self, session: QuerySession) -> None:
+        """Admission deadline passed while the session was still waiting."""
+        if not session.admission_waiting:
+            return  # dispatched (or rejected) in time
+        self._admission.withdraw(session)
+        session.admission_timed_out = True
+        self.metrics.admission_timeouts += 1
         self.completed[session.query_id] = session
         if session.on_done is not None:
             session.on_done(session)
+
+    def _retire(self, session: QuerySession) -> None:
+        """Single exit point for sessions that held an execution slot:
+        record completion, release the admission slot (dispatching the next
+        waiter), and fire ``on_done``."""
+        self.completed[session.query_id] = session
+        if self._admission is not None:
+            self._admission.on_closed()
+        if session.on_done is not None:
+            session.on_done(session)
+
+    def _abort_if_running(self, session: QuerySession, limit_us: float) -> None:
+        """Deadline handler: cancel a query that overran its time budget.
+
+        Cooperative in weighted modes — a CANCEL fans out, partitions purge
+        and reclaim, and the stage ledger closes by Theorem 1 — so the
+        timeout path leaves zero residue on every partition without
+        watchdog involvement. See :meth:`_begin_cancel`.
+        """
+        if self.sessions.get(session.query_id) is not session:
+            return  # finished in time
+        session.timed_out = True
+        self._begin_cancel(session, "timeout")
+
+    # -- cancellation & weight reclamation (docs/OVERLOAD.md) ---------------
+
+    def cancel(self, session: QuerySession, reason: str = "caller") -> bool:
+        """Cancel an in-flight query (caller abort).
+
+        Returns True when a cancellation was begun, False when the session
+        was not running (already finished, rejected, or still waiting for
+        admission — a waiter is simply withdrawn).
+        """
+        if session.admission_waiting:
+            self._admission.withdraw(session)
+            session.cancelled = True
+            session.cancel_reason = reason
+            session.qmetrics.cancelled = True
+            session.qmetrics.cancel_reason = reason
+            self.metrics.queries_cancelled += 1
+            self.completed[session.query_id] = session
+            if session.on_done is not None:
+                session.on_done(session)
+            return True
+        if self.sessions.get(session.query_id) is not session:
+            return False
+        self._begin_cancel(session, reason)
+        return True
+
+    def _begin_cancel(self, session: QuerySession, reason: str) -> None:
+        """Start tearing down a running query (timeout / budget / caller).
+
+        In weighted progress modes with outstanding stage weight this is
+        **cooperative**: the session leaves ``sessions`` immediately (new
+        arrivals for it are discarded), a CANCEL control message fans out
+        to every partition, and each partition purges the query's queued /
+        inboxed / buffered traversers, reporting their progression weight
+        back to the tracker. The stage ledger then closes by the same
+        ``Σ active + finished = 1`` argument as normal termination
+        (Theorem 1), and :meth:`_finalize_cancel` retires the session with
+        provably zero residue — no watchdog, no grace timers. Otherwise
+        (naive mode, or no open ledger) teardown is immediate.
+        """
+        query_id = session.query_id
+        if self.sessions.get(query_id) is not session:
+            return  # already finished / cancelled
+        session.cancelled = True
+        session.cancel_reason = reason
+        session.qmetrics.cancelled = True
+        session.qmetrics.cancel_reason = reason
+        self.metrics.queries_cancelled += 1
+        self.sessions.pop(query_id, None)
+        if (
+            reason.startswith("budget")
+            and self.config.allow_partial_results
+            and not session.cursor.finished
+            and session.plan.is_final_stage(session.cursor.current)
+        ):
+            self._salvage_partial(session)
+        now = self.clock.now
+        stage = session.cursor.current if not session.cursor.finished else -1
+        ledger = self.progress.ledger(query_id, stage)
+        cooperative = (
+            self.config.progress_mode.is_weighted
+            and ledger is not None
+            and not ledger.terminated
+        )
+        if not cooperative:
+            self._teardown_query(session)
+            self._retire(session)
+            return
+        self._cancelling[query_id] = session
+        for pid in range(self.num_partitions):
+            self.network.send(
+                self.tracker_node,
+                self.node_of(pid),
+                [
+                    Message(
+                        MsgKind.CONTROL,
+                        pid,
+                        ("cancel", query_id, stage),
+                        CANCEL_MSG_BYTES,
+                        query_id,
+                    )
+                ],
+                now,
+            )
+
+    def _salvage_partial(self, session: QuerySession) -> None:
+        """Best-effort partial result for a budget-cancelled final stage.
+
+        The final stage's barrier partials that already exist in partition
+        memos are gathered synchronously (no messages — the query is being
+        torn down, modelling its latency is pointless) and finalized into
+        rows flagged ``partial``. Degraded-mode answer, exact subset.
+        """
+        query_id = session.query_id
+        stage = session.cursor.current
+        barrier = session.cursor.barrier()
+        gathered: List[GatheredPartial] = []
+        for pid, runtime in enumerate(self.runtimes):
+            memo = runtime.memo_store.peek(query_id)
+            if memo is None:
+                continue
+            value = barrier.partial(memo)
+            if value is None:
+                continue
+            gathered.append(
+                GatheredPartial(pid, value, barrier.estimated_partial_size(value))
+            )
+        session.cursor.complete_stage(gathered, session.rng)
+        if session.cursor.finished:
+            session.partial_result = True
+            session.qmetrics.completed_at_us = self.clock.now
+            session.qmetrics.result_rows = len(session.cursor.results or [])
+
+    def _purge_partition(self, runtime: PartitionRuntime, query_id: int) -> Tuple[int, int]:
+        """Purge one partition's queue + inbox for a query, releasing the
+        inboxed traversers' sender credits. Returns (weight, n_purged)."""
+        weight, n_queue, n_inbox = runtime.reclaim_query(query_id)
+        if n_inbox and self._gates is not None:
+            self._gates[runtime.pid].release(n_inbox)
+        return weight, n_queue + n_inbox
+
+    def _cancel_at_partition(self, query_id: int, stage: int, pid: int) -> None:
+        """CANCEL arrival at one partition: purge, reclaim, report.
+
+        Every unit of the query's progression weight resident here —
+        queued, inboxed, buffered in worker tier-1 buffers, or absorbed
+        into weight accumulators — is removed exactly once and reported
+        straight to the tracker (a costless control-plane shortcut: the
+        cancel fan-out already paid the wire, and a reclamation report has
+        no ordering hazard since the ledger only sums).
+        """
+        runtime = self.runtimes[pid]
+        runtime.memo_store.clear_query(query_id)
+        weight, n = self._purge_partition(runtime, query_id)
+        for worker in self.workers:
+            if worker.runtime is runtime:
+                w_weight, w_n = worker.reclaim_query(query_id)
+                weight = (weight + w_weight) % GROUP_MODULUS
+                n += w_n
+        if n:
+            self.metrics.traversers_reclaimed += n
+            session = self._cancelling.get(query_id)
+            if session is not None:
+                session.qmetrics.traversers_reclaimed += n
+        if weight:
+            self._report_reclaimed(query_id, stage, weight)
+
+    def _report_reclaimed(self, query_id: int, stage: int, weight: int) -> None:
+        """Fold reclaimed weight into the stage ledger (tracker-direct)."""
+        self.metrics.weight_reclaim_reports += 1
+        self.progress.report_reclaimed(query_id, stage, weight % GROUP_MODULUS)
+
+    def _note_reclaimed(
+        self, query_id: int, stage: int, weight: int, count: int
+    ) -> None:
+        """Worker drop-path hook: a run popped ``count`` traversers of a
+        cancelling query (they raced ahead of the CANCEL message) and
+        discarded them instead of executing."""
+        self.metrics.traversers_reclaimed += count
+        session = self._cancelling.get(query_id)
+        if session is not None:
+            session.qmetrics.traversers_reclaimed += count
+        weight %= GROUP_MODULUS
+        if weight:
+            self._report_reclaimed(query_id, stage, weight)
+
+    def _finalize_cancel(self, session: QuerySession) -> None:
+        """The cancelled stage's ledger closed: finish the teardown.
+
+        By this point every partition has processed its CANCEL, all
+        reclaimed and still-executing weight has reached the ledger, and
+        nothing of the query remains queued or in flight. The remaining
+        cleanup (memo stores, stage counts, inflight entry, progress
+        state) is idempotent.
+        """
+        query_id = session.query_id
+        if self._cancelling.pop(query_id, None) is None:
+            return
+        self._teardown_query(session)
+        self._retire(session)
+
+    def _teardown_query(self, session: QuerySession) -> None:
+        """Hard per-partition cleanup of a cancelled/aborted query."""
+        query_id = session.query_id
+        for runtime in self.runtimes:
+            runtime.memo_store.clear_query(query_id)
+            _w, n = self._purge_partition(runtime, query_id)
+            if n:
+                self.metrics.traversers_reclaimed += n
+                session.qmetrics.traversers_reclaimed += n
+        for worker in self.workers:
+            _w, n = worker.reclaim_query(query_id)
+            if n:
+                self.metrics.traversers_reclaimed += n
+                session.qmetrics.traversers_reclaimed += n
+        self._inflight.pop(query_id, None)
+        self.progress.close_query(query_id)
+
+    # -- resource budgets ---------------------------------------------------
+
+    def _check_budgets_of(self, query_ids: set) -> None:
+        """Budget sweep over the queries a worker run just touched."""
+        for query_id in query_ids:
+            session = self.sessions.get(query_id)
+            if session is not None and session.query_id == query_id:
+                self._check_budgets(session)
+
+    def _check_budgets(self, session: QuerySession) -> None:
+        cfg = self.config
+        limit = cfg.max_traversers_per_query
+        if limit is not None and session.qmetrics.traversers_spawned > limit:
+            self._trip_budget(
+                session,
+                "traversers",
+                f"spawned {session.qmetrics.traversers_spawned} traversers "
+                f"(budget {limit})",
+            )
+            return
+        limit = cfg.max_memo_bytes_per_query
+        if limit is None:
+            return
+        # O(records) walk — sample every MEMO_CHECK_INTERVAL-th run.
+        session._memo_check_tick = (session._memo_check_tick + 1) % MEMO_CHECK_INTERVAL
+        if session._memo_check_tick != 0:
+            return
+        total = sum(
+            runtime.memo_store.bytes_of(session.query_id)
+            for runtime in self.runtimes
+        )
+        if total > session.qmetrics.peak_memo_bytes:
+            session.qmetrics.peak_memo_bytes = total
+        if total > limit:
+            self._trip_budget(
+                session, "memo_bytes", f"memos hold ~{total} bytes (budget {limit})"
+            )
+
+    def _trip_budget(self, session: QuerySession, budget: str, detail: str) -> None:
+        session.budget_exceeded = True
+        session.budget_error = (budget, detail)
+        self.metrics.budget_cancels += 1
+        self._begin_cancel(session, f"budget:{budget}")
 
     def _do_submit(self, session: QuerySession) -> None:
         now = self.clock.now
@@ -657,13 +1128,64 @@ class AsyncPSTMEngine:
         if msg.kind is MsgKind.TRAVERSER:
             if self.track_inflight and msg.query_id in self._inflight:
                 self._inflight[msg.query_id] -= len(msg.payload)
-            runtime.enqueue(msg.payload, self.clock.now)
+            travs = msg.payload
+            if self._cancelling:
+                # Batches can mix queries (tier-1 buffers pack per node),
+                # so arrivals of cancelling queries are filtered out here
+                # one traverser at a time, weight reclaimed.
+                travs = self._filter_cancelled(travs, msg.dst_pid)
+                if not travs:
+                    return
+            if self._gates is not None:
+                runtime.enqueue_remote(travs, self.clock.now)
+            else:
+                runtime.enqueue(travs, self.clock.now)
         elif msg.kind is MsgKind.SEED:
             if self.track_inflight and msg.query_id in self._inflight:
                 self._inflight[msg.query_id] -= 1
-            runtime.enqueue(list(msg.payload), self.clock.now)
+            travs = list(msg.payload)
+            if self._cancelling:
+                travs = self._filter_cancelled(travs, msg.dst_pid, gated=False)
+                if not travs:
+                    return
+            # Seeds bypass the credit gate: the coordinator must always be
+            # able to start/advance admitted queries, and seed cardinality
+            # is bounded by the partition count.
+            runtime.enqueue(travs, self.clock.now)
+        elif msg.kind is MsgKind.CONTROL:
+            tag, query_id, stage = msg.payload
+            if tag != "cancel":  # pragma: no cover - single control verb
+                raise ExecutionError(f"unexpected control message {tag!r}")
+            self._cancel_at_partition(query_id, stage, msg.dst_pid)
         else:  # pragma: no cover - no other worker-bound kinds exist
             raise ExecutionError(f"unexpected worker message kind {msg.kind}")
+
+    def _filter_cancelled(
+        self, travs: List[Traverser], pid: int, gated: Optional[bool] = None
+    ) -> List[Traverser]:
+        """Drop arriving traversers of mid-cancellation queries.
+
+        They were in flight when the CANCEL fanned out (racing ahead of or
+        behind it); their progression weight is reclaimed here and — on the
+        credit-gated path — their sender credits released immediately,
+        since they will never occupy the inbox.
+        """
+        cancelling = self._cancelling
+        kept = [t for t in travs if t.query_id not in cancelling]
+        n_dropped = len(travs) - len(kept)
+        if not n_dropped:
+            return kept
+        dropped: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        for t in travs:
+            if t.query_id in cancelling:
+                key = (t.query_id, t.stage)
+                w, c = dropped.get(key, (0, 0))
+                dropped[key] = ((w + t.weight) % GROUP_MODULUS, c + 1)
+        if (self._gates is not None) if gated is None else gated:
+            self._gates[pid].release(n_dropped)
+        for (query_id, stage), (weight, count) in dropped.items():
+            self._note_reclaimed(query_id, stage, weight, count)
+        return kept
 
     def tracker_handle(self, msg: Message) -> None:
         """Process one tracker-bound message (progress report or partial)."""
@@ -694,6 +1216,13 @@ class AsyncPSTMEngine:
 
     def _stage_terminated(self, query_id: int, stage: int) -> None:
         """Weight ledger hit 1: gather the barrier's partials (Fig 6)."""
+        cancelling = self._cancelling.get(query_id)
+        if cancelling is not None:
+            # A cancelled stage's ledger closed: all outstanding weight was
+            # executed or reclaimed, so nothing of the query remains queued,
+            # buffered, or in flight — finish the teardown.
+            self._finalize_cancel(cancelling)
+            return
         session = self.sessions.get(query_id)
         if session is None or session.cursor.current != stage:
             return
@@ -737,6 +1266,8 @@ class AsyncPSTMEngine:
             self._complete_stage(session, stage)
 
     def _complete_stage(self, session: QuerySession, stage: int) -> None:
+        if self.sessions.get(session.query_id) is not session:
+            return  # cancelled/aborted while the combine event was queued
         if session.cursor.current != stage or session.cursor.finished:
             return
         # The stage's ledger has served its purpose; drop it so late
@@ -762,9 +1293,7 @@ class AsyncPSTMEngine:
         self._inflight.pop(session.query_id, None)
         self.progress.close_query(session.query_id)
         self.sessions.pop(session.query_id, None)
-        self.completed[session.query_id] = session
-        if session.on_done is not None:
-            session.on_done(session)
+        self._retire(session)
 
     # -- convenience runners ------------------------------------------------------------------
 
@@ -782,8 +1311,52 @@ class AsyncPSTMEngine:
         """
         session = self.submit(plan, params, time_limit_us=time_limit_us)
         self.clock.run_until_idle(max_events)
+        return self.result_of(session, time_limit_us=time_limit_us)
+
+    def result_of(
+        self,
+        session: QuerySession,
+        time_limit_us: Optional[float] = None,
+    ) -> QueryResult:
+        """Resolve a drained session into a result, or raise its outcome.
+
+        Outcome precedence mirrors the submission lifecycle: shed before
+        dispatch (``QueryRejectedError``), expired waiting
+        (``AdmissionTimeoutError``), deadline abort (``QueryTimeoutError``),
+        budget trip (partial :class:`QueryResult` when salvaged, else
+        ``ResourceBudgetExceededError``), caller cancel
+        (``QueryCancelledError``), retry exhaustion
+        (``RetryBudgetExceededError``).
+        """
+        if session.rejected:
+            raise QueryRejectedError(
+                session.query_id, self.config.admission_queue_size
+            )
+        if session.admission_timed_out:
+            raise AdmissionTimeoutError(
+                session.query_id, self.config.admission_timeout_us or 0.0
+            )
         if session.timed_out:
-            raise QueryTimeoutError(session.query_id, (time_limit_us or 0) / 1e3)
+            limit = (
+                time_limit_us
+                if time_limit_us is not None
+                else (session.time_limit_us or 0)
+            )
+            raise QueryTimeoutError(session.query_id, limit / 1e3)
+        if session.budget_exceeded:
+            if session.partial_result:
+                return QueryResult(
+                    session.results,
+                    session.qmetrics.latency_us,
+                    session.qmetrics,
+                    partial=True,
+                )
+            budget, detail = session.budget_error or ("resource", "exceeded")
+            raise ResourceBudgetExceededError(session.query_id, budget, detail)
+        if session.cancelled:
+            raise QueryCancelledError(
+                session.query_id, session.cancel_reason or "cancelled"
+            )
         if session.failed:
             raise RetryBudgetExceededError(
                 session.qmetrics.query_id, session.qmetrics.retries
@@ -791,7 +1364,7 @@ class AsyncPSTMEngine:
         if not session.qmetrics.done:
             raise ExecutionError(
                 f"query {session.query_id} did not complete (plan "
-                f"{plan.name!r}); simulation deadlock?"
+                f"{session.plan.name!r}); simulation deadlock?"
             )
         return QueryResult(
             session.results, session.qmetrics.latency_us, session.qmetrics

@@ -57,6 +57,15 @@ class RunMetrics:
     worker_crashes: int = 0  # injected crashes (state lost)
     worker_stalls: int = 0  # injected stalls (state kept)
     query_retries: int = 0  # watchdog-triggered query re-executions
+    # Overload-protection counters (all stay 0 without admission control,
+    # budgets, or backpressure configured; see docs/OVERLOAD.md).
+    queries_rejected: int = 0  # shed at submission (admission queue full)
+    admission_timeouts: int = 0  # expired while waiting for admission
+    queries_cancelled: int = 0  # cancellations begun (timeout/budget/caller)
+    budget_cancels: int = 0  # cancellations tripped by a resource budget
+    traversers_reclaimed: int = 0  # queued/buffered/in-flight traversers purged
+    weight_reclaim_reports: int = 0  # reclaimed-weight reports to the tracker
+    credit_stalls: int = 0  # sends deferred by an exhausted credit gate
     # BSP only: per-superstep compute totals vs barrier-idle time. Idle is
     # Σ_s (P·max_p - Σ_p) compute — worker-time wasted waiting at barriers
     # because the superstep's frontier was imbalanced (the paper's
@@ -103,6 +112,13 @@ class RunMetrics:
             "worker_crashes": self.worker_crashes,
             "worker_stalls": self.worker_stalls,
             "query_retries": self.query_retries,
+            "queries_rejected": self.queries_rejected,
+            "admission_timeouts": self.admission_timeouts,
+            "queries_cancelled": self.queries_cancelled,
+            "budget_cancels": self.budget_cancels,
+            "traversers_reclaimed": self.traversers_reclaimed,
+            "weight_reclaim_reports": self.weight_reclaim_reports,
+            "credit_stalls": self.credit_stalls,
         }
         for kind in MsgKind:
             out[f"messages_{kind.value}"] = self.message_count(kind)
@@ -119,10 +135,17 @@ class QueryMetrics:
     completed_at_us: Optional[float] = None
     steps_executed: int = 0
     result_rows: int = 0
+    #: traversers this query spawned (drives the traverser-count budget)
+    traversers_spawned: int = 0
     # Fault-recovery accounting (all stay 0 without a FaultPlan).
     retries: int = 0  # watchdog-triggered re-executions of this query
     retransmits: int = 0  # packet retransmits carrying this query's traffic
     faults_injected: int = 0  # injected faults that hit this query's packets
+    # Overload-protection accounting (see docs/OVERLOAD.md).
+    cancelled: bool = False  # a cancellation was begun for this query
+    cancel_reason: Optional[str] = None  # "timeout" / "budget:..." / "caller"
+    traversers_reclaimed: int = 0  # this query's purged traversers
+    peak_memo_bytes: int = 0  # largest observed cluster-wide memo footprint
 
     @property
     def latency_us(self) -> float:

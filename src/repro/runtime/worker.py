@@ -41,6 +41,12 @@ class PartitionRuntime:
         self.store = store
         self.memo_store = memo_store
         self.queue: Deque[Traverser] = deque()
+        # Bounded arrival staging for credit-gated remote traversers (empty
+        # and untouched unless EngineConfig.inbox_capacity is set). Workers
+        # drain it into the run queue at the start of each run, releasing
+        # the senders' credits at processing pace; its depth is bounded by
+        # the credit gate's capacity.
+        self.inbox: Deque[Traverser] = deque()
         # Local traversers per (query, stage): drives weight-flush decisions.
         # A plain dict whose keys are removed on decrement-to-zero and on
         # session teardown — a Counter here leaks one entry per (query,
@@ -48,6 +54,10 @@ class PartitionRuntime:
         # workloads.
         self.stage_counts: Dict[Tuple[int, int], int] = {}
         self.workers: List["Worker"] = []
+        # High-water marks for the soak harness's bounded-memory assertions
+        # (sampled at arrival batches, not per local append).
+        self.peak_queue_depth = 0
+        self.peak_inbox_depth = 0
 
     def enqueue(self, travs: List[Traverser], now: float) -> None:
         """Queue traversers and wake an idle worker."""
@@ -72,6 +82,28 @@ class PartitionRuntime:
                 kcount += 1
         if kcount:
             counts[key] = counts.get(key, 0) + kcount
+        depth = len(self.queue)
+        if depth > self.peak_queue_depth:
+            self.peak_queue_depth = depth
+        self.wake(now)
+
+    def enqueue_remote(self, travs: List[Traverser], now: float) -> None:
+        """Stage credit-gated arrivals in the bounded inbox.
+
+        Stage counts are charged at insertion (not at drain) so idle-flush
+        decisions and naive-mode quiescence checks see inboxed traversers
+        as local work; the worker transfers them to the run queue — and
+        releases their credits — at the start of its next run.
+        """
+        inbox = self.inbox
+        counts = self.stage_counts
+        for trav in travs:
+            inbox.append(trav)
+            key = (trav.query_id, trav.stage)
+            counts[key] = counts.get(key, 0) + 1
+        depth = len(inbox)
+        if depth > self.peak_inbox_depth:
+            self.peak_inbox_depth = depth
         self.wake(now)
 
     def dec_stage_count(self, key: Tuple[int, int], n: int = 1) -> None:
@@ -89,25 +121,58 @@ class PartitionRuntime:
         for key in [k for k in counts if k[0] == query_id]:
             del counts[key]
 
+    def reclaim_query(self, query_id: int) -> Tuple[int, int, int]:
+        """Purge a query's queued + inboxed traversers and stage counts.
+
+        The cancellation/teardown primitive: returns ``(weight, n_queue,
+        n_inbox)`` where ``weight`` is the summed progression weight of the
+        removed traversers (mod 2^64) — the engine reports it back to the
+        progress tracker so the stage ledger still closes — and the counts
+        let the engine release the inboxed traversers' sender credits.
+        """
+        weight = 0
+        n_queue = 0
+        n_inbox = 0
+        if self.queue:
+            kept = []
+            for trav in self.queue:
+                if trav.query_id == query_id:
+                    weight += trav.weight
+                    n_queue += 1
+                else:
+                    kept.append(trav)
+            if n_queue:
+                self.queue.clear()
+                self.queue.extend(kept)
+        if self.inbox:
+            kept = []
+            for trav in self.inbox:
+                if trav.query_id == query_id:
+                    weight += trav.weight
+                    n_inbox += 1
+                else:
+                    kept.append(trav)
+            if n_inbox:
+                self.inbox.clear()
+                self.inbox.extend(kept)
+        self.drop_query(query_id)
+        return weight % GROUP_MODULUS, n_queue, n_inbox
+
     def purge_query(self, query_id: int) -> int:
         """Remove a query's queued traversers and stage counts.
 
         Used by crash recovery before a retry so stale traversers of the
         abandoned attempt cannot execute against the fresh one. Returns the
-        number of traversers removed.
+        number of traversers removed. (Cancellation uses
+        :meth:`reclaim_query` directly: it additionally needs the purged
+        weight and the inbox count for credit release.)
         """
-        before = len(self.queue)
-        if before:
-            kept = [t for t in self.queue if t.query_id != query_id]
-            if len(kept) != before:
-                self.queue.clear()
-                self.queue.extend(kept)
-        self.drop_query(query_id)
-        return before - len(self.queue)
+        _weight, n_queue, n_inbox = self.reclaim_query(query_id)
+        return n_queue + n_inbox
 
     def wake(self, now: float) -> None:
         """Wake one idle, alive worker (the least busy) to process the queue."""
-        if not self.queue:
+        if not self.queue and not self.inbox:
             return
         idle = [w for w in self.workers if not w.scheduled and w.alive]
         if idle:
@@ -179,6 +244,15 @@ class Worker:
         if len(self.runtime.workers) == 1:
             self.runtime.queue.clear()
             self.runtime.stage_counts.clear()
+            dropped = len(self.runtime.inbox)
+            if dropped:
+                # Inboxed traversers die with the worker, but their sender
+                # credits must not: a crash that swallowed credits would
+                # deadlock every sender still throttled on this partition.
+                self.runtime.inbox.clear()
+                gates = self.engine._gates
+                if gates is not None:
+                    gates[self.runtime.pid].release(dropped)
 
     def stall(self) -> None:
         """Freeze this worker without losing state (GC pause, sched hiccup).
@@ -194,6 +268,42 @@ class Worker:
         self.alive = True
         self.busy_until = max(self.busy_until, now)
         self.runtime.wake(now)
+
+    # -- cancellation -------------------------------------------------------
+
+    def reclaim_query(self, query_id: int) -> Tuple[int, int]:
+        """Discard a cancelled query's buffered traversers and pending
+        coalesced weight.
+
+        Returns ``(weight, n_traversers)``: the progression weight removed
+        from this worker (buffered children that will now never be sent,
+        plus finished weight absorbed into accumulators but not yet
+        flushed), which the engine reports back to the tracker so the
+        cancelled stage's ledger still reaches the root weight.
+        """
+        weight = 0
+        n = 0
+        for dst_node, pairs in self._trav_buffers.items():
+            if not pairs:
+                continue
+            kept = []
+            removed_bytes = 0
+            for pid, trav, size in pairs:
+                if trav.query_id == query_id:
+                    weight += trav.weight
+                    n += 1
+                    removed_bytes += size
+                else:
+                    kept.append((pid, trav, size))
+            if removed_bytes:
+                self._trav_buffers[dst_node] = kept
+                left = self._buffer_bytes.get(dst_node, 0) - removed_bytes
+                self._buffer_bytes[dst_node] = max(0, left)
+        for key in [k for k in self._accums if k[0] == query_id]:
+            pending = self._accums.pop(key).flush()
+            if pending is not None:
+                weight += pending
+        return weight % GROUP_MODULUS, n
 
     # -- main loop -----------------------------------------------------------
 
@@ -224,6 +334,20 @@ class Worker:
         sharers = len(self.runtime.workers)
         cpu = 0.0
 
+        inbox = self.runtime.inbox
+        if inbox:
+            # Drain credit-gated arrivals into the run queue, releasing
+            # their senders' credits at processing pace (backpressure).
+            moved = min(len(inbox), config.batch_size)
+            for _ in range(moved):
+                queue.append(inbox.popleft())
+            gates = self.engine._gates
+            if gates is not None:
+                gates[self.runtime.pid].release(moved)
+
+        budgets_armed = self.engine._budgets_armed
+        touched = set() if budgets_armed else None
+
         for _ in range(config.batch_size):
             if not queue:
                 break
@@ -231,7 +355,18 @@ class Worker:
             self.runtime.dec_stage_count((trav.query_id, trav.stage))
             session = self.engine.sessions.get(trav.query_id)
             if session is None:
-                continue  # query already finished/cancelled
+                # Query already finished/cancelled. A cancelling query's
+                # dropped traversers carry progression weight that must be
+                # reclaimed, or its stage ledger never closes.
+                if self.engine._cancelling and (
+                    trav.query_id in self.engine._cancelling
+                ):
+                    self.engine._note_reclaimed(
+                        trav.query_id, trav.stage, trav.weight, 1
+                    )
+                continue
+            if budgets_armed:
+                touched.add(trav.query_id)
             ctx = session.context(self.runtime.pid)
             result = session.machine.execute(ctx, trav, session.rng)
             cost_us = cm.op_cost_us(result.cost)
@@ -256,6 +391,7 @@ class Worker:
                 session.op_spawned[op_idx] = (
                     session.op_spawned.get(op_idx, 0) + len(result.children)
                 )
+                session.qmetrics.traversers_spawned += len(result.children)
 
             for child, routed in result.children:
                 pid = self.engine.resolve_target(child, routed)
@@ -303,6 +439,9 @@ class Worker:
                         t + cpu,
                     )
 
+        if budgets_armed and touched:
+            self.engine._check_budgets_of(touched)
+
         # End of batch: flush coalesced weights of stages with no local work
         # left (the paper's "flush before the thread sleeps" rule, refined to
         # per-stage idleness so one busy query cannot stall another's
@@ -312,7 +451,7 @@ class Worker:
 
         cpu *= self.slowdown
         self.busy_total += cpu
-        if queue:
+        if queue or inbox:
             self.busy_until = t + cpu
             self.scheduled = True
             self.engine.clock.schedule_at(self.busy_until, self._run)
@@ -348,6 +487,20 @@ class Worker:
         sharers = len(runtime.workers)
         cpu = 0.0
         budget = config.batch_size
+
+        inbox = runtime.inbox
+        if inbox:
+            # Drain credit-gated arrivals into the run queue, releasing
+            # their senders' credits at processing pace (backpressure).
+            moved = min(len(inbox), budget)
+            for _ in range(moved):
+                queue.append(inbox.popleft())
+            gates = engine._gates
+            if gates is not None:
+                gates[runtime.pid].release(moved)
+
+        budgets_armed = engine._budgets_armed
+        touched = set() if budgets_armed else None
 
         cpu_scale = cm.cpu_scale
         step_base_us = cm.step_base_us
@@ -439,6 +592,8 @@ class Worker:
             if query_id != cur_qid:
                 cur_qid = query_id
                 session = sessions.get(query_id)
+                if budgets_armed:
+                    touched.add(query_id)
                 if session is not None:
                     machine = session.machine
                     ctx = session.context(self_pid)
@@ -455,7 +610,15 @@ class Worker:
                     op_spawned = session.op_spawned
                     qmetrics = session.qmetrics
             if session is None:
-                continue  # query already finished/cancelled
+                # Query already finished/cancelled. A cancelling query's
+                # dropped run carries progression weight that must be
+                # reclaimed, or its stage ledger never closes.
+                if engine._cancelling and query_id in engine._cancelling:
+                    dropped = 0
+                    for trav in run:
+                        dropped += trav.weight
+                    engine._note_reclaimed(query_id, stage, dropped, n_run)
+                continue
             op = ops[op_idx]
             outcome = op.apply_batch(ctx, run)
             spec_rows = outcome.children
@@ -755,6 +918,7 @@ class Worker:
             spawned_total += run_spawned
             if run_spawned:
                 op_spawned[op_idx] = op_spawned.get(op_idx, 0) + run_spawned
+                qmetrics.traversers_spawned += run_spawned
 
         sync_bufs()
         metrics = engine.metrics
@@ -763,6 +927,9 @@ class Worker:
         metrics.memo_ops += memo_ops_total
         metrics.traversers_spawned += spawned_total
 
+        if budgets_armed and touched:
+            engine._check_budgets_of(touched)
+
         # End of batch: flush coalesced weights of stages with no local work
         # left (same rule as the scalar loop).
         if coalesced:
@@ -770,7 +937,7 @@ class Worker:
 
         cpu *= self.slowdown
         self.busy_total += cpu
-        if queue:
+        if queue or inbox:
             self.busy_until = t + cpu
             self.scheduled = True
             engine.clock.schedule_at(self.busy_until, self._run)
@@ -830,26 +997,44 @@ class Worker:
             return 0.0
         if msgs:
             self._buffers[dst_node] = []
+        gates = self.engine._gates
+        gated: List[Tuple[int, List[Traverser], int]] = []
         if pairs:
             self._trav_buffers[dst_node] = []
-            # Pack traversers into one batch message per target partition.
-            by_pid: Dict[int, List[Traverser]] = {}
-            sizes: Dict[int, int] = {}
-            for pid, child, size in pairs:
-                lst = by_pid.get(pid)
-                if lst is None:
-                    by_pid[pid] = [child]
-                    sizes[pid] = size
-                else:
-                    lst.append(child)
-                    sizes[pid] += size
-            msgs = list(msgs)
-            for pid, travs in by_pid.items():
-                msgs.append(
-                    Message(
-                        MsgKind.TRAVERSER, pid, travs, sizes[pid], travs[0].query_id
+            if gates is None:
+                # Pack traversers into one batch message per target partition.
+                by_pid: Dict[int, List[Traverser]] = {}
+                sizes: Dict[int, int] = {}
+                for pid, child, size in pairs:
+                    lst = by_pid.get(pid)
+                    if lst is None:
+                        by_pid[pid] = [child]
+                        sizes[pid] = size
+                    else:
+                        lst.append(child)
+                        sizes[pid] += size
+                msgs = list(msgs)
+                for pid, travs in by_pid.items():
+                    msgs.append(
+                        Message(
+                            MsgKind.TRAVERSER, pid, travs, sizes[pid], travs[0].query_id
+                        )
                     )
-                )
+            else:
+                # Credit-gated path: same per-partition packing, but each
+                # batch is capped at the gate's capacity (so a single send
+                # is always satisfiable) and submitted through the gate,
+                # which defers it when the receiver's inbox is full.
+                by_pid_g: Dict[int, List[Tuple[Traverser, int]]] = {}
+                for pid, child, size in pairs:
+                    by_pid_g.setdefault(pid, []).append((child, size))
+                for pid, entries in by_pid_g.items():
+                    cap = gates[pid].capacity
+                    for i in range(0, len(entries), cap):
+                        chunk = entries[i:i + cap]
+                        travs = [child for child, _size in chunk]
+                        total = sum(size for _child, size in chunk)
+                        gated.append((pid, travs, total))
         self._buffer_bytes[dst_node] = 0
         self.engine.metrics.flushes += 1
         cm = self.engine.cost
@@ -857,7 +1042,15 @@ class Worker:
             cost = cm.combiner_handoff_us
         else:
             cost = cm.syscall_us
-        self.engine.network.send(self.node, dst_node, msgs, when)
+        if msgs:
+            self.engine.network.send(self.node, dst_node, msgs, when)
+        for pid, travs, total in gated:
+            msg = Message(MsgKind.TRAVERSER, pid, travs, total, travs[0].query_id)
+            send = (
+                lambda at, m=msg, dn=dst_node:
+                self.engine.network.send(self.node, dn, [m], at)
+            )
+            gates[pid].submit(len(travs), send, when)
         return cost * cm.cpu_scale
 
     def _flush_idle_accums(self, when: float) -> float:

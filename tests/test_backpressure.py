@@ -1,0 +1,154 @@
+"""Tests for credit-based backpressure: bounded per-partition inboxes and
+sender throttling (docs/OVERLOAD.md)."""
+
+import pytest
+
+from repro.query.exprs import X
+from repro.query.traversal import Traversal
+from repro.runtime.engine import AsyncPSTMEngine, EngineConfig
+from repro.runtime.overload import CreditGate
+from repro.runtime.simclock import SimClock
+from tests.conftest import random_graph
+
+NODES, WPN = 2, 2
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_graph(n=300, degree=6, partitions=NODES * WPN, seed=23)
+
+
+def khop_plan(graph, k=3):
+    return (
+        Traversal("khop").v_param("s").khop("knows", k=k)
+        .values("w", "weight").as_("v").select("v", "w")
+        .order_by((X.binding("w"), "desc"), (X.binding("v"), "asc"))
+        .limit(5)
+    ).compile(graph)
+
+
+class TestCreditGate:
+    def make(self, capacity=4):
+        clock = SimClock()
+        return CreditGate(0, capacity, clock), clock
+
+    def test_send_within_credits_is_immediate(self):
+        gate, _clock = self.make()
+        sent = []
+        gate.submit(3, sent.append, when=10.0)
+        assert sent == [10.0]
+        assert gate.available == 1
+        assert gate.stalls == 0
+        assert gate.peak_in_use == 3
+
+    def test_exhausted_gate_defers_the_send(self):
+        gate, clock = self.make(capacity=4)
+        sent = []
+        gate.submit(4, lambda at: sent.append(("a", at)), when=1.0)
+        gate.submit(2, lambda at: sent.append(("b", at)), when=2.0)
+        assert sent == [("a", 1.0)]
+        assert gate.stalls == 1
+        assert gate.waiting_sends == 1
+        # draining the receiver replenishes credits and grants the waiter,
+        # which transmits at the release instant (not the original attempt)
+        clock.schedule_at(5.0, lambda: gate.release(2))
+        clock.run_until_idle()
+        assert sent == [("a", 1.0), ("b", 5.0)]
+        assert gate.waiting_sends == 0
+
+    def test_waiters_grant_fifo(self):
+        gate, clock = self.make(capacity=2)
+        sent = []
+        gate.submit(2, lambda at: sent.append("first"), when=0.0)
+        gate.submit(1, lambda at: sent.append("second"), when=0.0)
+        gate.submit(1, lambda at: sent.append("third"), when=0.0)
+        gate.release(2)
+        clock.run_until_idle()
+        assert sent == ["first", "second", "third"]
+
+    def test_later_small_send_does_not_jump_a_waiting_big_one(self):
+        """FIFO even when a later, smaller send would fit: overtaking would
+        starve large batches indefinitely under sustained small traffic."""
+        gate, clock = self.make(capacity=3)
+        sent = []
+        gate.submit(3, lambda at: sent.append("big0"), when=0.0)
+        gate.submit(3, lambda at: sent.append("big1"), when=0.0)  # waits
+        gate.submit(1, lambda at: sent.append("small"), when=0.0)  # behind it
+        gate.release(1)
+        clock.run_until_idle()
+        assert sent == ["big0"]  # big1 needs 3, only 1 free; small stays FIFO
+        gate.release(2)
+        clock.run_until_idle()
+        assert sent == ["big0", "big1"]
+        gate.release(1)
+        clock.run_until_idle()
+        assert sent == ["big0", "big1", "small"]
+
+    def test_over_release_is_an_error(self):
+        gate, _clock = self.make(capacity=2)
+        with pytest.raises(AssertionError):
+            gate.release(3)
+
+    def test_in_use_accounting(self):
+        gate, _clock = self.make(capacity=8)
+        gate.submit(5, lambda at: None, when=0.0)
+        assert gate.in_use == 5
+        gate.release(2)
+        assert gate.in_use == 3
+        assert gate.peak_in_use == 5
+
+
+class TestEngineBackpressure:
+    def test_gated_run_matches_ungated_rows(self, graph):
+        plan = khop_plan(graph)
+        baseline = AsyncPSTMEngine(graph, NODES, WPN).run(plan, {"s": 3})
+        config = EngineConfig(inbox_capacity=16)
+        engine = AsyncPSTMEngine(graph, NODES, WPN, config=config)
+        result = engine.run(plan, {"s": 3})
+        assert result.rows == baseline.rows
+
+    def test_slow_receiver_throttles_and_bounds_the_inbox(self, graph):
+        config = EngineConfig(inbox_capacity=16, batch_size=8)
+        engine = AsyncPSTMEngine(graph, NODES, WPN, config=config)
+        engine.run(khop_plan(graph), {"s": 3})
+        snap = engine.overload_snapshot()
+        assert snap["credit_stalls"] > 0  # senders actually stalled
+        assert snap["peak_inbox_depth"] <= 16
+        assert snap["peak_credits_in_use"] <= 16
+
+    def test_credits_replenish_fully_on_drain(self, graph):
+        config = EngineConfig(inbox_capacity=16)
+        engine = AsyncPSTMEngine(graph, NODES, WPN, config=config)
+        engine.run(khop_plan(graph), {"s": 3})
+        for gate in engine._gates:
+            assert gate.available == gate.capacity
+            assert gate.waiting_sends == 0
+
+    def test_cancel_under_throttling_does_not_deadlock(self, graph):
+        """Cancelling a query whose traversers occupy inboxes and stalled
+        sends must discard the in-flight work, return every credit, and
+        leave the clock able to go idle."""
+        config = EngineConfig(inbox_capacity=8, batch_size=8)
+        engine = AsyncPSTMEngine(graph, NODES, WPN, config=config)
+        plan = khop_plan(graph)
+        doomed = engine.submit(plan, {"s": 3})
+        survivor = engine.submit(plan, {"s": 7})
+        engine.clock.schedule_at(50.0, lambda: engine.cancel(doomed))
+        engine.clock.run_until_idle()  # would hang/deadlock on a credit leak
+        assert doomed.cancelled
+        assert survivor.qmetrics.done
+        for gate in engine._gates:
+            assert gate.available == gate.capacity
+            assert gate.waiting_sends == 0
+        snap = engine.overload_snapshot()
+        assert snap["open_stages"] == 0 and snap["cancelling"] == 0
+
+    def test_concurrent_queries_all_finish_under_tight_credits(self, graph):
+        config = EngineConfig(inbox_capacity=8, batch_size=8)
+        engine = AsyncPSTMEngine(graph, NODES, WPN, config=config)
+        plan = khop_plan(graph)
+        sessions = [engine.submit(plan, {"s": s}) for s in (1, 5, 9, 13)]
+        engine.clock.run_until_idle()
+        assert all(s.qmetrics.done for s in sessions)
+        snap = engine.overload_snapshot()
+        assert snap["peak_inbox_depth"] <= 8

@@ -71,6 +71,21 @@ class TestFaults:
         assert "WID:AT_US" in capsys.readouterr().err
 
 
+class TestOverload:
+    def test_quick_soak_writes_report_and_stays_leak_free(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "soak.json"
+        assert main(["overload", "--quick", "--count", "20",
+                     "--out", str(out)]) == 0
+        report = json.loads(out.read_text())
+        assert len(report["results"]) == 3  # the 1x/2x/4x sweep
+        assert report["checks"]["zero_leaks"] is True
+        assert report["checks"]["bounded_inbox"] is True
+        text = capsys.readouterr().out
+        assert "saturation" in text
+
+
 class TestParser:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):

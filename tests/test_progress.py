@@ -136,6 +136,58 @@ class TestWeightedTracker:
         assert tracker.messages_received == 5
 
 
+class TestWeightReclamation:
+    """Cancellation reclaims discarded traversers' weight so the stage
+    ledger still closes (docs/OVERLOAD.md)."""
+
+    def make(self):
+        completed = []
+        tracker = ProgressTracker(
+            ProgressMode.WEIGHTED_IMMEDIATE,
+            lambda q, s: completed.append((q, s)),
+        )
+        return tracker, completed
+
+    def test_reclaimed_weight_closes_the_ledger(self):
+        tracker, completed = self.make()
+        tracker.open_stage(1, 0)
+        parts = split_weight(ROOT_WEIGHT, 3, random.Random(7))
+        assert tracker.report_weight(1, 0, parts[0]) is False
+        # the other two traversers were purged by a cancellation
+        assert tracker.report_reclaimed(1, 0, parts[1]) is False
+        assert tracker.report_reclaimed(1, 0, parts[2]) is True
+        assert completed == [(1, 0)]
+        assert tracker.reclaim_reports == 2
+
+    def test_reclaim_for_unknown_or_closed_stage_ignored(self):
+        tracker, completed = self.make()
+        assert tracker.report_reclaimed(9, 9, 5) is False
+        tracker.open_stage(1, 0)
+        tracker.report_weight(1, 0, ROOT_WEIGHT)
+        assert tracker.report_reclaimed(1, 0, 5) is False  # already closed
+        assert completed == [(1, 0)]
+
+    def test_reclaim_rejected_in_naive_mode(self):
+        completed = []
+        tracker = ProgressTracker(
+            ProgressMode.NAIVE_CENTRAL, lambda q, s: completed.append((q, s))
+        )
+        tracker.open_stage(1, 0)
+        with pytest.raises(TerminationError):
+            tracker.report_reclaimed(1, 0, 1)
+
+    def test_open_stage_count_drains_to_zero(self):
+        tracker, _ = self.make()
+        assert tracker.open_stage_count == 0
+        tracker.open_stage(1, 0)
+        tracker.open_stage(2, 0)
+        assert tracker.open_stage_count == 2
+        tracker.report_weight(1, 0, ROOT_WEIGHT)
+        tracker.close_stage(1, 0)
+        tracker.close_query(2)
+        assert tracker.open_stage_count == 0
+
+
 class TestNaiveTracker:
     def make(self):
         completed = []

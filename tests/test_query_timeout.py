@@ -74,3 +74,21 @@ class TestTimeouts:
         engine.clock.run_until_idle()
         assert not session.timed_out
         assert session.qmetrics.done
+
+    def test_timeout_routes_through_cancellation_without_leaks(self, graph):
+        """Leak regression on the cancel path: a timeout now fans out a
+        CANCEL, purges every partition, and reclaims the dropped
+        traversers' progression weight, so the stage ledger drains to zero
+        instead of lingering until close_query."""
+        engine = AsyncPSTMEngine(graph, NODES, WPN)
+        session = engine.submit(khop_plan(graph), {"s": 3}, time_limit_us=20.0)
+        engine.clock.run_until_idle()
+        assert session.timed_out and session.cancelled
+        assert session.cancel_reason == "timeout"
+        assert engine.progress.open_stage_count == 0
+        assert engine.overload_snapshot()["cancelling"] == 0
+        for runtime in engine.runtimes:
+            assert runtime.stage_counts == {}
+            assert list(runtime.queue) == []
+        assert engine.metrics.traversers_reclaimed > 0
+        assert engine.progress.reclaim_reports > 0
