@@ -55,6 +55,21 @@ class ExecutionError(ReproError):
     """Errors raised while executing a query."""
 
 
+class LifecycleError(ExecutionError):
+    """An illegal query-lifecycle transition was attempted.
+
+    The query lifecycle (:mod:`repro.runtime.lifecycle`) is a validated
+    state machine; any attempt to take an edge outside its legal-transition
+    table is a bug in the engine, surfaced eagerly instead of corrupting
+    outcome flags.
+    """
+
+    def __init__(self, src: str, dst: str) -> None:
+        super().__init__(f"illegal lifecycle transition: {src} -> {dst}")
+        self.src = src
+        self.dst = dst
+
+
 class QueryTimeoutError(ExecutionError):
     """A query exceeded its (simulated) time limit."""
 

@@ -8,6 +8,7 @@ from repro.runtime.costmodel import (
     HardwareProfile,
     MODERN,
 )
+from repro.runtime.delivery import DeliveryPlane, TrackerActor
 from repro.runtime.engine import (
     AsyncPSTMEngine,
     EngineConfig,
@@ -17,8 +18,20 @@ from repro.runtime.engine import (
     QueryProfile,
     QueryResult,
 )
-from repro.runtime.faults import FaultInjector, FaultPlan, WorkerFault
+from repro.runtime.faults import (
+    FaultInjector,
+    FaultPlan,
+    RecoveryManager,
+    WorkerFault,
+)
 from repro.runtime.hybrid import HybridEngine, estimate_plan_work
+from repro.runtime.kernels import BatchKernel, ExecutionKernel, ScalarKernel
+from repro.runtime.lifecycle import (
+    LEGAL_TRANSITIONS,
+    QueryLifecycle,
+    QuerySession,
+    QueryState,
+)
 from repro.runtime.metrics import LatencyRecorder, MsgKind, QueryMetrics, RunMetrics
 from repro.runtime.reference import LocalExecutor
 from repro.runtime.simclock import SimClock
@@ -35,10 +48,13 @@ from repro.runtime.variants import (
 __all__ = [
     "AsyncPSTMEngine",
     "BSPEngine",
+    "BatchKernel",
     "ClusterConfig",
     "CostModel",
     "DEFAULT_COST_MODEL",
+    "DeliveryPlane",
     "EngineConfig",
+    "ExecutionKernel",
     "FaultInjector",
     "FaultPlan",
     "HardwareProfile",
@@ -46,15 +62,22 @@ __all__ = [
     "IO_SYNC",
     "IO_TLC",
     "IO_TLC_NLC",
+    "LEGAL_TRANSITIONS",
     "LatencyRecorder",
     "LocalExecutor",
     "MODERN",
     "MsgKind",
     "PAPER_CLUSTER",
+    "QueryLifecycle",
     "QueryMetrics",
     "QueryProfile",
     "QueryResult",
+    "QuerySession",
+    "QueryState",
+    "RecoveryManager",
     "RunMetrics",
+    "ScalarKernel",
+    "TrackerActor",
     "SMALL_CLUSTER",
     "SimClock",
     "SingleNodeEngine",

@@ -1,0 +1,143 @@
+"""Engine configuration: the behavioral switch set for all variants.
+
+:class:`EngineConfig` is a frozen value object consumed by
+:class:`~repro.runtime.engine.AsyncPSTMEngine` and every baseline variant
+built on it (BSP, Banyan/GAIA-style dataflow, non-partitioned). It sits at
+the bottom of the runtime layering — it depends only on the core model and
+the error types — so any layer (workers, kernels, delivery, recovery) can
+read configuration without importing the engine.
+
+All validation happens eagerly in ``__post_init__`` so a bad configuration
+fails at construction, not mid-simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.progress import ProgressMode
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.faults import FaultPlan
+
+__all__ = ["EngineConfig", "IO_SYNC", "IO_TLC", "IO_TLC_NLC"]
+
+#: I/O scheduler configurations of Fig 12.
+IO_SYNC = "sync"          # no batching: every message is its own packet
+IO_TLC = "tlc"            # thread-level combining only
+IO_TLC_NLC = "tlc+nlc"    # full two-tier scheduler (default)
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Behavioral switches for the async engine and its baselines."""
+
+    name: str = "graphdance"
+    progress_mode: ProgressMode = ProgressMode.WEIGHTED_COALESCED
+    io_mode: str = IO_TLC_NLC
+    flush_threshold_bytes: int = 8192
+    batch_size: int = 64
+    #: False → the non-partitioned baseline: one shared state per node
+    partitioned_state: bool = True
+    #: dataflow-style per-(op × worker) query setup cost (Banyan/GAIA)
+    per_query_instantiation: bool = False
+    #: route all aggregation traversers to partition 0 (GAIA)
+    centralized_agg: bool = False
+    #: compute scaling (hand-optimized single-node plugins use < 1)
+    cpu_scale: float = 1.0
+    #: True → run the reference one-traverser-at-a-time worker loop instead
+    #: of the batched kernels. Simulated results are identical either way
+    #: (the equivalence suite asserts it); scalar exists for verification
+    #: and debugging, batched is the default because it is much faster in
+    #: wall-clock terms.
+    scalar_execution: bool = False
+    #: fault schedule for chaos runs (None → perfect network, immortal
+    #: workers, and a send path bit-identical to the pre-fault engine).
+    #: Arming a plan also arms the ack/retransmit layer and the watchdog.
+    fault_plan: Optional["FaultPlan"] = None
+    #: how many times the watchdog may re-execute a stuck query before the
+    #: engine gives up with RetryBudgetExceededError
+    retry_budget: int = 3
+    #: a query showing zero progress for this long is declared stuck and
+    #: recovered (only armed when fault_plan is set)
+    watchdog_timeout_us: float = 100_000.0
+    # -- overload protection (docs/OVERLOAD.md; all default to "off" so the
+    # -- default config stays bit-for-bit identical to the pre-overload
+    # -- engine, which the equivalence suites assert) ----------------------
+    #: at most this many queries execute concurrently; excess submissions
+    #: wait in the admission queue (None → admission control disabled)
+    max_concurrent_queries: Optional[int] = None
+    #: bounded admission queue: submissions beyond this many waiters are
+    #: shed immediately with QueryRejectedError
+    admission_queue_size: int = 64
+    #: a waiter still undispatched after this long fails with
+    #: AdmissionTimeoutError (None → waiters never expire)
+    admission_timeout_us: Optional[float] = None
+    #: per-query spawn budget: a query spawning more traversers than this
+    #: is cancelled with ResourceBudgetExceededError (None → unbounded)
+    max_traversers_per_query: Optional[int] = None
+    #: per-query memo budget across all partitions, in modelled bytes
+    #: (None → unbounded)
+    max_memo_bytes_per_query: Optional[int] = None
+    #: per-partition bound on in-flight + inboxed remote traversers; arms
+    #: credit-based sender throttling (None → unbounded, classic path)
+    inbox_capacity: Optional[int] = None
+    #: budget-cancelled queries whose final stage already holds partials
+    #: return those partial rows (flagged partial) instead of raising
+    allow_partial_results: bool = False
+
+    def __post_init__(self) -> None:
+        if self.io_mode not in (IO_SYNC, IO_TLC, IO_TLC_NLC):
+            raise ConfigurationError(f"unknown io_mode {self.io_mode!r}")
+        for name in ("max_concurrent_queries", "max_traversers_per_query",
+                     "max_memo_bytes_per_query", "inbox_capacity"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ConfigurationError(f"{name} must be >= 1, got {value}")
+        if self.admission_queue_size < 1:
+            raise ConfigurationError(
+                f"admission_queue_size must be >= 1, "
+                f"got {self.admission_queue_size}"
+            )
+        if self.admission_timeout_us is not None and self.admission_timeout_us <= 0:
+            raise ConfigurationError(
+                f"admission_timeout_us must be > 0, "
+                f"got {self.admission_timeout_us}"
+            )
+        if self.fault_plan is not None:
+            if self.progress_mode is ProgressMode.NAIVE_CENTRAL:
+                # Naive active counters cannot survive loss: a dropped
+                # delta corrupts the count forever, and the weight ledger
+                # the recovery protocol leans on does not exist.
+                raise ConfigurationError(
+                    "fault injection requires a weighted progress mode; "
+                    "NAIVE_CENTRAL counters cannot detect lost work"
+                )
+            if self.retry_budget < 0:
+                raise ConfigurationError(
+                    f"retry_budget must be >= 0, got {self.retry_budget}"
+                )
+            if self.watchdog_timeout_us <= 0:
+                raise ConfigurationError(
+                    f"watchdog_timeout_us must be > 0, "
+                    f"got {self.watchdog_timeout_us}"
+                )
+            # Re-validate the plan's rates here as well: FaultPlan checks
+            # its own fields at construction, but plans minted through
+            # object.__setattr__ tricks or pickled from older versions can
+            # reach the engine unvalidated — and a negative rate turns the
+            # injector's RNG comparisons into silent no-ops or certainties.
+            plan = self.fault_plan
+            for name in ("drop_rate", "dup_rate", "delay_rate",
+                         "ack_drop_rate"):
+                rate = getattr(plan, name)
+                if not 0.0 <= rate < 1.0:
+                    raise ConfigurationError(
+                        f"fault_plan.{name} must be in [0, 1), got {rate}"
+                    )
+            if plan.delay_us < 0:
+                raise ConfigurationError(
+                    f"fault_plan.delay_us must be >= 0, got {plan.delay_us}"
+                )

@@ -1,0 +1,299 @@
+"""The delivery plane: message routing, cancel filtering, and reclamation.
+
+:class:`DeliveryPlane` is the layer between the simulated network and the
+partition runtimes. It owns every invariant about what happens to a
+message *after* the wire and *before* a worker executes it:
+
+* **Routing** — :meth:`deliver` is the network's terminal callback:
+  tracker-bound messages queue behind the serial :class:`TrackerActor`,
+  traversers/seeds enqueue at their partition (through the credit-gated
+  inbox when backpressure is armed), CANCELs purge.
+* **Exactly-once weight reclamation** — a cancelled query's progression
+  weight must reach the stage ledger exactly once no matter where the
+  CANCEL catches it (queued, inboxed, buffered in a worker, racing in
+  flight, or popped by a drain). Every one of those paths funnels through
+  one audited helper, :meth:`reclaim`, so the bookkeeping (global and
+  per-query counters, the tracker report) cannot diverge between paths.
+* **Exactly-once credit release** — inboxed or in-flight traversers of
+  cancelled queries release their sender credits here (and only here),
+  so a cancellation can never deadlock a credit channel.
+* **In-flight accounting** — the naive progress mode's transient-zero
+  suppression (:meth:`note_outbound` / :meth:`query_quiescent`).
+
+The engine composes a DeliveryPlane and delegates to it; workers reach it
+as ``engine.delivery``. It deliberately knows nothing about admission,
+budgets, or the query lifecycle — those stay above it in the engine.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.core.progress import ProgressMode
+from repro.core.traverser import Traverser
+from repro.core.weight import GROUP_MODULUS
+from repro.errors import ExecutionError
+from repro.runtime.metrics import MsgKind
+from repro.runtime.network import TRACKER_DST, Message
+from repro.runtime.overload import CreditGate
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.engine import AsyncPSTMEngine
+    from repro.runtime.lifecycle import QuerySession
+    from repro.runtime.worker import PartitionRuntime
+
+__all__ = ["DeliveryPlane", "TrackerActor"]
+
+
+class DeliveryPlane:
+    """Routing, cancel filtering, credit accounting, and reclamation."""
+
+    def __init__(self, engine: "AsyncPSTMEngine") -> None:
+        self.engine = engine
+        config = engine.config
+        #: queries mid-cancellation: cancelled but their stage ledger has
+        #: not yet re-absorbed all outstanding progression weight
+        self.cancelling: Dict[int, "QuerySession"] = {}
+        #: per-partition credit gates (None → backpressure disarmed)
+        self.gates: Optional[List[CreditGate]] = (
+            [
+                CreditGate(pid, config.inbox_capacity, engine.clock)
+                for pid in range(engine.num_partitions)
+            ]
+            if config.inbox_capacity is not None
+            else None
+        )
+        # Worker-bound traversers buffered or in flight, per query. Only the
+        # naive progress mode needs this (its active counter can transiently
+        # hit zero while traversers are in transit); weighted modes skip the
+        # bookkeeping entirely.
+        self.inflight: Dict[int, int] = {}
+        self.track_inflight = config.progress_mode is ProgressMode.NAIVE_CENTRAL
+
+    # -- in-flight accounting (naive progress mode) --------------------------
+
+    def note_outbound(self, query_id: int) -> None:
+        """Record a worker-bound message entering a buffer or the network."""
+        self.inflight[query_id] = self.inflight.get(query_id, 0) + 1
+
+    def query_quiescent(self, query_id: int, stage: int) -> bool:
+        """True when no traverser of this (query, stage) exists anywhere:
+        not queued, not buffered, not in flight."""
+        if self.inflight.get(query_id, 0) > 0:
+            return False
+        return all(
+            runtime.stage_counts.get((query_id, stage), 0) <= 0
+            for runtime in self.engine.runtimes
+        )
+
+    # -- message delivery ----------------------------------------------------
+
+    def deliver(self, msg: Message) -> None:
+        """Terminal network callback: route one arrived message."""
+        engine = self.engine
+        if msg.dst_pid == TRACKER_DST:
+            engine.tracker.submit(msg, engine.clock.now, engine.cost.tracker_msg_us)
+            return
+        runtime = engine.runtimes[msg.dst_pid]
+        if msg.kind is MsgKind.TRAVERSER:
+            if self.track_inflight and msg.query_id in self.inflight:
+                self.inflight[msg.query_id] -= len(msg.payload)
+            travs = msg.payload
+            if self.cancelling:
+                # Batches can mix queries (tier-1 buffers pack per node),
+                # so arrivals of cancelling queries are filtered out here
+                # one traverser at a time, weight reclaimed.
+                travs = self.filter_cancelled(travs, msg.dst_pid)
+                if not travs:
+                    return
+            if self.gates is not None:
+                runtime.enqueue_remote(travs, engine.clock.now)
+            else:
+                runtime.enqueue(travs, engine.clock.now)
+        elif msg.kind is MsgKind.SEED:
+            if self.track_inflight and msg.query_id in self.inflight:
+                self.inflight[msg.query_id] -= 1
+            travs = list(msg.payload)
+            if self.cancelling:
+                travs = self.filter_cancelled(travs, msg.dst_pid, gated=False)
+                if not travs:
+                    return
+            # Seeds bypass the credit gate: the coordinator must always be
+            # able to start/advance admitted queries, and seed cardinality
+            # is bounded by the partition count.
+            runtime.enqueue(travs, engine.clock.now)
+        elif msg.kind is MsgKind.CONTROL:
+            tag, query_id, stage = msg.payload
+            if tag != "cancel":  # pragma: no cover - single control verb
+                raise ExecutionError(f"unexpected control message {tag!r}")
+            self.cancel_at_partition(query_id, stage, msg.dst_pid)
+        else:  # pragma: no cover - no other worker-bound kinds exist
+            raise ExecutionError(f"unexpected worker message kind {msg.kind}")
+
+    def filter_cancelled(
+        self, travs: List[Traverser], pid: int, gated: Optional[bool] = None
+    ) -> List[Traverser]:
+        """Drop arriving traversers of mid-cancellation queries.
+
+        They were in flight when the CANCEL fanned out (racing ahead of or
+        behind it); their progression weight is reclaimed here and — on the
+        credit-gated path — their sender credits released immediately,
+        since they will never occupy the inbox.
+        """
+        cancelling = self.cancelling
+        kept = [t for t in travs if t.query_id not in cancelling]
+        n_dropped = len(travs) - len(kept)
+        if not n_dropped:
+            return kept
+        dropped: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        for t in travs:
+            if t.query_id in cancelling:
+                key = (t.query_id, t.stage)
+                w, c = dropped.get(key, (0, 0))
+                dropped[key] = ((w + t.weight) % GROUP_MODULUS, c + 1)
+        if (self.gates is not None) if gated is None else gated:
+            self.gates[pid].release(n_dropped)
+        for (query_id, stage), (weight, count) in dropped.items():
+            self.reclaim(query_id, stage, weight, count)
+        return kept
+
+    def tracker_handle(self, msg: Message) -> None:
+        """Process one tracker-bound message (progress report or partial)."""
+        engine = self.engine
+        if msg.kind is MsgKind.PROGRESS:
+            tag, query_id, stage, value = msg.payload
+            if tag == "weight":
+                engine.progress.report_weight(query_id, stage, value)
+            else:
+                engine.progress.report_delta(query_id, stage, value)
+        elif msg.kind is MsgKind.PARTIAL:
+            _tag, query_id, stage, partial = msg.payload
+            session = engine.sessions.get(query_id)
+            if session is None or session.cursor.current != stage:
+                return
+            session.partials.append(partial)
+            if len(session.partials) >= session.expected_partials:
+                done_at = engine.tracker.charge(
+                    engine.clock.now,
+                    engine.cost.combine_partial_us * len(session.partials),
+                )
+                engine.clock.schedule_at(
+                    done_at, lambda s=session, st=stage: engine._complete_stage(s, st)
+                )
+        else:  # pragma: no cover
+            raise ExecutionError(f"unexpected tracker message kind {msg.kind}")
+
+    # -- weight reclamation & purge (docs/OVERLOAD.md) -----------------------
+
+    def reclaim(
+        self,
+        query_id: int,
+        stage: int,
+        weight: int,
+        count: int,
+        report: bool = True,
+        session: Optional["QuerySession"] = None,
+    ) -> None:
+        """The one reclamation bookkeeping path (exactly-once invariant).
+
+        Every site that removes a cancelled/aborted query's traversers —
+        the deliver-time filter, the CANCEL purge at a partition, the
+        worker-buffer purge, and the drain loop's dead-session drop —
+        funnels through here: ``count`` traversers are charged to the
+        global and per-query reclaim counters, and ``weight`` (mod 2^64)
+        is folded into the stage ledger via one tracker-direct report (a
+        costless control-plane shortcut: the cancel fan-out already paid
+        the wire, and a reclamation report has no ordering hazard since
+        the ledger only sums). ``report=False`` is the teardown variant:
+        the ledger is being closed outright, so weight is discarded.
+        ``session`` overrides the mid-cancellation lookup for queries no
+        longer in :attr:`cancelling`.
+        """
+        if count:
+            self.engine.metrics.traversers_reclaimed += count
+            if session is None:
+                session = self.cancelling.get(query_id)
+            if session is not None:
+                session.qmetrics.traversers_reclaimed += count
+        if not report:
+            return
+        weight %= GROUP_MODULUS
+        if weight:
+            self.engine.metrics.weight_reclaim_reports += 1
+            self.engine.progress.report_reclaimed(query_id, stage, weight)
+
+    def purge_partition(
+        self, runtime: "PartitionRuntime", query_id: int
+    ) -> Tuple[int, int]:
+        """Purge one partition's queue + inbox for a query, releasing the
+        inboxed traversers' sender credits. Returns (weight, n_purged)."""
+        weight, n_queue, n_inbox = runtime.reclaim_query(query_id)
+        if n_inbox and self.gates is not None:
+            self.gates[runtime.pid].release(n_inbox)
+        return weight, n_queue + n_inbox
+
+    def cancel_at_partition(self, query_id: int, stage: int, pid: int) -> None:
+        """CANCEL arrival at one partition: purge, reclaim, report.
+
+        Every unit of the query's progression weight resident here —
+        queued, inboxed, buffered in worker tier-1 buffers, or absorbed
+        into weight accumulators — is removed exactly once and reported
+        straight to the tracker.
+        """
+        engine = self.engine
+        runtime = engine.runtimes[pid]
+        runtime.memo_store.clear_query(query_id)
+        weight, n = self.purge_partition(runtime, query_id)
+        for worker in engine.workers:
+            if worker.runtime is runtime:
+                w_weight, w_n = worker.reclaim_query(query_id)
+                weight = (weight + w_weight) % GROUP_MODULUS
+                n += w_n
+        self.reclaim(query_id, stage, weight, n)
+
+    def teardown(self, session: "QuerySession") -> None:
+        """Hard per-partition cleanup of a cancelled/aborted query.
+
+        The reclaim variant with ``report=False``: the query's progress
+        state is closed outright below, so purged weight has no ledger to
+        report to — only the traverser counters are charged.
+        """
+        engine = self.engine
+        query_id = session.query_id
+        for runtime in engine.runtimes:
+            runtime.memo_store.clear_query(query_id)
+            _w, n = self.purge_partition(runtime, query_id)
+            self.reclaim(query_id, -1, 0, n, report=False, session=session)
+        for worker in engine.workers:
+            _w, n = worker.reclaim_query(query_id)
+            self.reclaim(query_id, -1, 0, n, report=False, session=session)
+        self.inflight.pop(query_id, None)
+        engine.progress.close_query(query_id)
+
+
+class TrackerActor:
+    """The centralized progress tracker / query coordinator CPU.
+
+    A serial resource: progress and partial messages queue behind each
+    other, which is exactly the bottleneck weight coalescing relieves.
+    """
+
+    def __init__(self, engine: "AsyncPSTMEngine") -> None:
+        self.engine = engine
+        self.free_at = 0.0
+        self.messages_processed = 0
+
+    def submit(self, msg: Message, at: float, cost_us: float) -> None:
+        """Queue a message behind the tracker's serial CPU."""
+        start = max(self.free_at, at)
+        self.free_at = start + cost_us
+        self.messages_processed += 1
+        self.engine.clock.schedule_at(
+            self.free_at, lambda m=msg: self.engine.tracker_handle(m)
+        )
+
+    def charge(self, at: float, cost_us: float) -> float:
+        """Occupy the tracker CPU for ``cost_us``; returns completion time."""
+        start = max(self.free_at, at)
+        self.free_at = start + cost_us
+        return self.free_at

@@ -1,15 +1,27 @@
 """The asynchronous PSTM engine — GraphDance's runtime (paper §IV).
 
-:class:`AsyncPSTMEngine` executes compiled plans on a simulated cluster:
+:class:`AsyncPSTMEngine` executes compiled plans on a simulated cluster.
+It is the composition root of a layered runtime; each mechanism lives in
+its own module and the engine wires them together and owns the public API:
 
-* one single-threaded :class:`~repro.runtime.worker.Worker` per partition
-  (shared-nothing; the non-partitioned baseline attaches several workers to
-  one shared per-node partition instead);
-* two-tier message passing (:mod:`repro.runtime.network`);
-* weight-based progress tracking with optional coalescing
-  (:mod:`repro.core.progress`), hosted on a centralized tracker actor;
-* staged aggregation with distributed partials gathered at the coordinator
-  (:mod:`repro.core.subquery`).
+* **query lifecycle** (:mod:`repro.runtime.lifecycle`) — every submission
+  walks one validated state machine (QUEUED → ... → DONE/FAILED/
+  REJECTED/PARTIAL); the engine performs the transitions at submission,
+  admission, dispatch, cancellation, and completion;
+* **execution** (:mod:`repro.runtime.worker` + :mod:`repro.runtime.kernels`)
+  — one single-threaded worker per partition (shared-nothing; the
+  non-partitioned baseline attaches several workers to one shared per-node
+  partition instead), each draining through a pluggable execution kernel;
+* **delivery** (:mod:`repro.runtime.delivery`) — message routing, cancel
+  filtering, exactly-once weight reclamation and credit release, and the
+  serial tracker actor;
+* **transport** (:mod:`repro.runtime.network`) — two-tier message passing;
+* **progress** (:mod:`repro.core.progress`) — weight-based tracking with
+  optional coalescing, hosted on the centralized tracker;
+* **recovery** (:mod:`repro.runtime.faults`) — worker-fault firing, the
+  progress watchdog, and bounded query retry;
+* **overload protection** (:mod:`repro.runtime.overload`) — admission
+  control and credit-based backpressure.
 
 Queries run **for real** — every operator touches real partitioned data and
 the result rows are exact; the simulation only decides *when* things happen,
@@ -18,17 +30,16 @@ which is what the paper's evaluation measures.
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass, field, replace
+from dataclasses import replace
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.core.machine import PSTMMachine, resolve_partition
+from repro.core.machine import resolve_partition
 from repro.core.memo import MemoStore
 from repro.core.progress import ProgressMode, ProgressTracker
-from repro.core.steps import FixedVertexSource, StepContext
-from repro.core.subquery import GatheredPartial, StageCursor
+from repro.core.steps import FixedVertexSource
+from repro.core.subquery import GatheredPartial
 from repro.core.traverser import Traverser, make_root
-from repro.core.weight import GROUP_MODULUS, ROOT_WEIGHT, split_weight
+from repro.core.weight import ROOT_WEIGHT, split_weight
 from repro.errors import (
     AdmissionTimeoutError,
     ConfigurationError,
@@ -41,6 +52,7 @@ from repro.errors import (
 )
 from repro.graph.partition import PartitionedGraph
 from repro.query.plan import PhysicalPlan
+from repro.runtime.config import EngineConfig, IO_SYNC, IO_TLC, IO_TLC_NLC
 from repro.runtime.costmodel import (
     DEFAULT_COST_MODEL,
     CostModel,
@@ -48,17 +60,35 @@ from repro.runtime.costmodel import (
     MODERN,
     validate_cluster,
 )
-from repro.runtime.faults import CRASH, FaultInjector, FaultPlan, WorkerFault
-from repro.runtime.metrics import LatencyRecorder, MsgKind, QueryMetrics, RunMetrics
+from repro.runtime.delivery import DeliveryPlane, TrackerActor
+from repro.runtime.faults import FaultInjector, RecoveryManager
+from repro.runtime.lifecycle import (
+    REASON_ADMISSION_TIMEOUT,
+    REASON_QUEUE_FULL,
+    QueryProfile,
+    QueryResult,
+    QuerySession,
+    QueryState,
+)
+from repro.runtime.metrics import LatencyRecorder, MsgKind, RunMetrics
 from repro.runtime.network import TRACKER_DST, Message, Network
-from repro.runtime.overload import AdmissionController, CreditGate
+from repro.runtime.overload import AdmissionController
 from repro.runtime.simclock import SimClock
-from repro.runtime.worker import PartitionRuntime, TrackerActor, Worker
+from repro.runtime.worker import PartitionRuntime, Worker
 
-#: I/O scheduler configurations of Fig 12.
-IO_SYNC = "sync"          # no batching: every message is its own packet
-IO_TLC = "tlc"            # thread-level combining only
-IO_TLC_NLC = "tlc+nlc"    # full two-tier scheduler (default)
+__all__ = [
+    "AsyncPSTMEngine",
+    "CANCEL_MSG_BYTES",
+    "EngineConfig",
+    "IO_SYNC",
+    "IO_TLC",
+    "IO_TLC_NLC",
+    "MEMO_CHECK_INTERVAL",
+    "QueryProfile",
+    "QueryResult",
+    "QuerySession",
+    "QueryState",
+]
 
 #: wire size of one CANCEL control message (tag + query id + stage)
 CANCEL_MSG_BYTES = 16
@@ -67,264 +97,6 @@ CANCEL_MSG_BYTES = 16
 #: walk is O(records), so sampling keeps enforcement off the hot path while
 #: still bounding the overshoot to a few runs' worth of growth.
 MEMO_CHECK_INTERVAL = 16
-
-
-@dataclass(frozen=True)
-class EngineConfig:
-    """Behavioral switches for the async engine and its baselines."""
-
-    name: str = "graphdance"
-    progress_mode: ProgressMode = ProgressMode.WEIGHTED_COALESCED
-    io_mode: str = IO_TLC_NLC
-    flush_threshold_bytes: int = 8192
-    batch_size: int = 64
-    #: False → the non-partitioned baseline: one shared state per node
-    partitioned_state: bool = True
-    #: dataflow-style per-(op × worker) query setup cost (Banyan/GAIA)
-    per_query_instantiation: bool = False
-    #: route all aggregation traversers to partition 0 (GAIA)
-    centralized_agg: bool = False
-    #: compute scaling (hand-optimized single-node plugins use < 1)
-    cpu_scale: float = 1.0
-    #: True → run the reference one-traverser-at-a-time worker loop instead
-    #: of the batched kernels. Simulated results are identical either way
-    #: (the equivalence suite asserts it); scalar exists for verification
-    #: and debugging, batched is the default because it is much faster in
-    #: wall-clock terms.
-    scalar_execution: bool = False
-    #: fault schedule for chaos runs (None → perfect network, immortal
-    #: workers, and a send path bit-identical to the pre-fault engine).
-    #: Arming a plan also arms the ack/retransmit layer and the watchdog.
-    fault_plan: Optional[FaultPlan] = None
-    #: how many times the watchdog may re-execute a stuck query before the
-    #: engine gives up with RetryBudgetExceededError
-    retry_budget: int = 3
-    #: a query showing zero progress for this long is declared stuck and
-    #: recovered (only armed when fault_plan is set)
-    watchdog_timeout_us: float = 100_000.0
-    # -- overload protection (docs/OVERLOAD.md; all default to "off" so the
-    # -- default config stays bit-for-bit identical to the pre-overload
-    # -- engine, which the equivalence suites assert) ----------------------
-    #: at most this many queries execute concurrently; excess submissions
-    #: wait in the admission queue (None → admission control disabled)
-    max_concurrent_queries: Optional[int] = None
-    #: bounded admission queue: submissions beyond this many waiters are
-    #: shed immediately with QueryRejectedError
-    admission_queue_size: int = 64
-    #: a waiter still undispatched after this long fails with
-    #: AdmissionTimeoutError (None → waiters never expire)
-    admission_timeout_us: Optional[float] = None
-    #: per-query spawn budget: a query spawning more traversers than this
-    #: is cancelled with ResourceBudgetExceededError (None → unbounded)
-    max_traversers_per_query: Optional[int] = None
-    #: per-query memo budget across all partitions, in modelled bytes
-    #: (None → unbounded)
-    max_memo_bytes_per_query: Optional[int] = None
-    #: per-partition bound on in-flight + inboxed remote traversers; arms
-    #: credit-based sender throttling (None → unbounded, classic path)
-    inbox_capacity: Optional[int] = None
-    #: budget-cancelled queries whose final stage already holds partials
-    #: return those partial rows (flagged degraded) instead of raising
-    allow_partial_results: bool = False
-
-    def __post_init__(self) -> None:
-        if self.io_mode not in (IO_SYNC, IO_TLC, IO_TLC_NLC):
-            raise ConfigurationError(f"unknown io_mode {self.io_mode!r}")
-        for name in ("max_concurrent_queries", "max_traversers_per_query",
-                     "max_memo_bytes_per_query", "inbox_capacity"):
-            value = getattr(self, name)
-            if value is not None and value < 1:
-                raise ConfigurationError(f"{name} must be >= 1, got {value}")
-        if self.admission_queue_size < 1:
-            raise ConfigurationError(
-                f"admission_queue_size must be >= 1, "
-                f"got {self.admission_queue_size}"
-            )
-        if self.admission_timeout_us is not None and self.admission_timeout_us <= 0:
-            raise ConfigurationError(
-                f"admission_timeout_us must be > 0, "
-                f"got {self.admission_timeout_us}"
-            )
-        if self.fault_plan is not None:
-            if self.progress_mode is ProgressMode.NAIVE_CENTRAL:
-                # Naive active counters cannot survive loss: a dropped
-                # delta corrupts the count forever, and the weight ledger
-                # the recovery protocol leans on does not exist.
-                raise ConfigurationError(
-                    "fault injection requires a weighted progress mode; "
-                    "NAIVE_CENTRAL counters cannot detect lost work"
-                )
-            if self.retry_budget < 0:
-                raise ConfigurationError(
-                    f"retry_budget must be >= 0, got {self.retry_budget}"
-                )
-            if self.watchdog_timeout_us <= 0:
-                raise ConfigurationError(
-                    f"watchdog_timeout_us must be > 0, "
-                    f"got {self.watchdog_timeout_us}"
-                )
-            # Re-validate the plan's rates here as well: FaultPlan checks
-            # its own fields at construction, but plans minted through
-            # object.__setattr__ tricks or pickled from older versions can
-            # reach the engine unvalidated — and a negative rate turns the
-            # injector's RNG comparisons into silent no-ops or certainties.
-            plan = self.fault_plan
-            for name in ("drop_rate", "dup_rate", "delay_rate",
-                         "ack_drop_rate"):
-                rate = getattr(plan, name)
-                if not 0.0 <= rate < 1.0:
-                    raise ConfigurationError(
-                        f"fault_plan.{name} must be in [0, 1), got {rate}"
-                    )
-            if plan.delay_us < 0:
-                raise ConfigurationError(
-                    f"fault_plan.delay_us must be >= 0, got {plan.delay_us}"
-                )
-
-
-@dataclass
-class QueryResult:
-    """Outcome of one query run."""
-
-    rows: List[Any]
-    latency_us: float
-    metrics: QueryMetrics
-    #: True when a budget cancellation salvaged final-stage partials: the
-    #: rows are an exact subset of the full answer (docs/OVERLOAD.md)
-    partial: bool = False
-
-    @property
-    def latency_ms(self) -> float:
-        """Simulated latency in milliseconds."""
-        return self.latency_us / 1000.0
-
-    @property
-    def degraded(self) -> bool:
-        """True when the rows come from a crash-recovery re-execution.
-
-        The answer is still exact (the retry starts from invalidated
-        memos), but the latency includes the lost attempt(s).
-        """
-        return self.metrics.degraded
-
-
-@dataclass
-class QueryProfile:
-    """EXPLAIN ANALYZE output: per-operator execution statistics."""
-
-    plan: PhysicalPlan
-    op_steps: Dict[int, int]
-    op_spawned: Dict[int, int]
-    metrics: QueryMetrics
-    rows: List[Any]
-
-    def steps_of(self, op_idx: int) -> int:
-        """Traversers that executed the operator at ``op_idx``."""
-        return self.op_steps.get(op_idx, 0)
-
-    def spawned_of(self, op_idx: int) -> int:
-        """Children produced by the operator at ``op_idx``."""
-        return self.op_spawned.get(op_idx, 0)
-
-    def hottest(self, k: int = 3) -> List[int]:
-        """Operator indexes by descending execution count."""
-        return sorted(self.op_steps, key=lambda i: -self.op_steps[i])[:k]
-
-    def render(self) -> str:
-        """Per-operator table aligned with ``plan.describe()``."""
-        lines = [f"profile of {self.plan.name!r} "
-                 f"({self.metrics.latency_us / 1000:.3f} ms simulated, "
-                 f"{self.metrics.steps_executed} steps)"]
-        for op in self.plan.ops:
-            executed = self.op_steps.get(op.idx, 0)
-            spawned = self.op_spawned.get(op.idx, 0)
-            marker = "*" if op.is_barrier else " "
-            lines.append(
-                f"  [{op.idx:>2}]{marker} {op.name:<32} "
-                f"executed={executed:<8d} spawned={spawned}"
-            )
-        return "\n".join(lines)
-
-
-class QuerySession:
-    """Runtime state of one in-flight query."""
-
-    def __init__(
-        self,
-        engine: "AsyncPSTMEngine",
-        query_id: int,
-        plan: PhysicalPlan,
-        params: Dict[str, Any],
-        on_done: Optional[Callable[["QuerySession"], None]],
-    ) -> None:
-        self.engine = engine
-        self.query_id = query_id
-        self.plan = plan
-        self.params = params
-        self.on_done = on_done
-        self.machine = PSTMMachine(
-            plan,
-            engine.graph.partitioner,
-            barrier_route=0 if engine.config.centralized_agg else None,
-        )
-        self.rng = random.Random((engine.seed << 20) ^ query_id)
-        self.cursor = StageCursor(plan, query_id)
-        self.qmetrics = QueryMetrics(query_id, plan.name, submitted_at_us=0.0)
-        self._contexts: List[Optional[StepContext]] = [None] * engine.num_partitions
-        self.expected_partials = 0
-        self.partials: List[GatheredPartial] = []
-        #: set when the query was aborted by its time limit (§II-A)
-        self.timed_out = False
-        #: set when crash recovery exhausted the retry budget
-        self.failed = False
-        # -- overload-protection state (docs/OVERLOAD.md) ------------------
-        #: set when the admission queue was full at submission (shed)
-        self.rejected = False
-        #: set when the admission deadline passed before dispatch
-        self.admission_timed_out = False
-        #: True while parked in the admission wait queue
-        self.admission_waiting = False
-        #: admission priority (lower dispatches sooner)
-        self.priority = 0
-        #: per-query deadline, armed when the session is dispatched
-        self.time_limit_us: Optional[float] = None
-        #: simulated submission instant (before any admission wait)
-        self.arrival_us = 0.0
-        #: set when a cancellation was begun (timeout / budget / caller)
-        self.cancelled = False
-        self.cancel_reason: Optional[str] = None
-        #: set when a resource budget tripped the cancellation
-        self.budget_exceeded = False
-        self.budget_error: Optional[Tuple[str, str]] = None  # (budget, detail)
-        #: set when a budget cancellation salvaged final-stage partials
-        self.partial_result = False
-        #: sampling phase for the memo-byte budget check
-        self._memo_check_tick = 0
-        #: per-operator execution counts (op index → traversers executed),
-        #: the EXPLAIN ANALYZE data behind :meth:`AsyncPSTMEngine.profile`
-        self.op_steps: Dict[int, int] = {}
-        #: per-operator spawn counts (op index → children produced)
-        self.op_spawned: Dict[int, int] = {}
-
-    def context(self, pid: int) -> StepContext:
-        """The query's StepContext on one partition (lazy)."""
-        ctx = self._contexts[pid]
-        if ctx is None:
-            runtime = self.engine.runtimes[pid]
-            ctx = StepContext(
-                runtime.store,
-                runtime.memo_store.for_query(self.query_id),
-                self.engine.graph.partitioner,
-                self.params,
-            )
-            self._contexts[pid] = ctx
-        return ctx
-
-    @property
-    def results(self) -> List[Any]:
-        if self.cursor.results is None:
-            raise ExecutionError(f"query {self.query_id} has not finished")
-        return self.cursor.results
 
 
 class AsyncPSTMEngine:
@@ -368,16 +140,20 @@ class AsyncPSTMEngine:
             FaultInjector(config.fault_plan) if config.fault_plan is not None
             else None
         )
+        #: routing, cancel filtering, reclamation, credit gates
+        self.delivery = DeliveryPlane(self)
+        #: worker faults, progress watchdog, bounded query retry
+        self.recovery = RecoveryManager(self)
         self.network = Network(
             self.clock,
             nodes,
             self.cost,
             self.metrics,
-            self._deliver,
+            self.delivery.deliver,
             node_combining=(config.io_mode == IO_TLC_NLC),
             faults=self.faults,
-            on_retransmit=self._note_retransmit,
-            on_packet_fault=self._note_packet_fault,
+            on_retransmit=self.recovery.note_retransmit,
+            on_packet_fault=self.recovery.note_packet_fault,
         )
         # Effective tier-1 flush threshold: IO_SYNC flushes every message.
         self._flush_threshold = (
@@ -409,9 +185,6 @@ class AsyncPSTMEngine:
         self._next_query_id = 0
         # -- overload protection (all None/False for default configs, so the
         # -- hot paths see one falsy check and stay bit-identical) ----------
-        #: queries mid-cancellation: cancelled but their stage ledger has
-        #: not yet re-absorbed all outstanding progression weight
-        self._cancelling: Dict[int, QuerySession] = {}
         self._admission: Optional[AdmissionController] = (
             AdmissionController(
                 self, config.max_concurrent_queries, config.admission_queue_size
@@ -419,24 +192,10 @@ class AsyncPSTMEngine:
             if config.max_concurrent_queries is not None
             else None
         )
-        self._gates: Optional[List[CreditGate]] = (
-            [
-                CreditGate(pid, config.inbox_capacity, self.clock)
-                for pid in range(self.num_partitions)
-            ]
-            if config.inbox_capacity is not None
-            else None
-        )
         self._budgets_armed = (
             config.max_traversers_per_query is not None
             or config.max_memo_bytes_per_query is not None
         )
-        # Worker-bound traversers buffered or in flight, per query. Only the
-        # naive progress mode needs this (its active counter can transiently
-        # hit zero while traversers are in transit); weighted modes skip the
-        # bookkeeping entirely.
-        self._inflight: Dict[int, int] = {}
-        self.track_inflight = config.progress_mode is ProgressMode.NAIVE_CENTRAL
         if config.fault_plan is not None:
             for wf in config.fault_plan.worker_faults:
                 if not 0 <= wf.wid < len(self.workers):
@@ -445,7 +204,7 @@ class AsyncPSTMEngine:
                         f"cluster has {len(self.workers)} workers"
                     )
                 self.clock.schedule_at(
-                    wf.at_us, lambda f=wf: self._inject_worker_fault(f)
+                    wf.at_us, lambda f=wf: self.recovery.inject_worker_fault(f)
                 )
 
     # -- topology -----------------------------------------------------------
@@ -479,12 +238,12 @@ class AsyncPSTMEngine:
         finalized. ``peak_inbox_depth`` must stay ≤ ``inbox_capacity``
         when credit gating is armed (the bounded-memory claim).
         """
-        gates = self._gates or []
+        gates = self.delivery.gates or []
         stalls = sum(g.stalls for g in gates)
         self.metrics.credit_stalls = stalls
         snap: Dict[str, Any] = {
             "open_stages": self.progress.open_stage_count,
-            "cancelling": len(self._cancelling),
+            "cancelling": len(self.delivery.cancelling),
             "active_sessions": len(self.sessions),
             "peak_queue_depth": max(
                 (r.peak_queue_depth for r in self.runtimes), default=0
@@ -502,184 +261,22 @@ class AsyncPSTMEngine:
             snap["admission_peak_waiting"] = self._admission.peak_waiting
         return snap
 
-    def note_outbound(self, query_id: int) -> None:
-        """Record a worker-bound message entering a buffer or the network."""
-        self._inflight[query_id] = self._inflight.get(query_id, 0) + 1
-
-    def _query_quiescent(self, query_id: int, stage: int) -> bool:
-        """True when no traverser of this (query, stage) exists anywhere:
-        not queued, not buffered, not in flight."""
-        if self._inflight.get(query_id, 0) > 0:
-            return False
-        return all(
-            runtime.stage_counts.get((query_id, stage), 0) <= 0
-            for runtime in self.runtimes
-        )
-
-    # -- fault injection & recovery ------------------------------------------
-
-    def _inject_worker_fault(self, wf: WorkerFault) -> None:
-        """Fire one scheduled worker crash/stall from the fault plan.
-
-        A crash loses the worker's core-resident state (run queue, tier-1
-        buffers, weight accumulators) and invalidates the partition's memos,
-        so every query holding state there is immediately forced through
-        :meth:`_recover_query` — waiting for the watchdog would risk a query
-        completing with corrupted memo state (e.g. a Dedup set silently
-        reset). A stall just freezes the worker; its state and weights
-        survive, so no recovery is needed.
-        """
-        worker = self.workers[wf.wid]
-        now = self.clock.now
-        self.faults.note_worker_fault(wf.kind)
-        if wf.kind == CRASH:
-            self.metrics.worker_crashes += 1
-            runtime = worker.runtime
-            affected = set(runtime.memo_store.invalidate_all())
-            affected.update(t.query_id for t in runtime.queue)
-            affected.update(t.query_id for t in runtime.inbox)
-            affected.update(key[0] for key in worker._accums)
-            for pairs in worker._trav_buffers.values():
-                affected.update(t.query_id for _pid, t, _size in pairs)
-            for msgs in worker._buffers.values():
-                affected.update(m.query_id for m in msgs if m.query_id >= 0)
-            worker.crash()
-            for query_id in affected:
-                session = self.sessions.get(query_id)
-                if session is not None and session.query_id == query_id:
-                    # Defer so one crash handler never recurses into seed
-                    # dispatch while still iterating engine state.
-                    self.clock.schedule_at(
-                        now,
-                        lambda s=session, q=query_id: self._recover_if_current(s, q),
-                    )
-                    continue
-                cancelling = self._cancelling.get(query_id)
-                if cancelling is not None:
-                    # The crash destroyed reclaimed-weight the cancelled
-                    # stage's ledger was waiting on; it can never close now.
-                    # Force the finalize — the teardown is idempotent and
-                    # late arrivals resolve to a dead session.
-                    self.clock.schedule_at(
-                        now, lambda s=cancelling: self._finalize_cancel(s)
-                    )
-        else:
-            self.metrics.worker_stalls += 1
-            worker.stall()
-        if wf.down_us is not None:
-            self.clock.schedule_at(
-                now + wf.down_us, lambda w=worker: w.recover(self.clock.now)
-            )
-
-    def _recover_if_current(self, session: QuerySession, query_id: int) -> None:
-        """Run recovery only if this attempt is still the live one."""
-        if self.sessions.get(query_id) is session and session.query_id == query_id:
-            self._recover_query(session)
-
-    def _note_retransmit(self, messages: List[Message]) -> None:
-        """Attribute one packet retransmission to its queries' metrics."""
-        for query_id in {m.query_id for m in messages if m.query_id >= 0}:
-            session = self.sessions.get(query_id)
-            if session is not None:
-                session.qmetrics.retransmits += 1
-
-    def _note_packet_fault(self, kind: str, messages: List[Message]) -> None:
-        """Attribute one injected packet fault to its queries' metrics."""
-        for query_id in {m.query_id for m in messages if m.query_id >= 0}:
-            session = self.sessions.get(query_id)
-            if session is not None:
-                session.qmetrics.faults_injected += 1
-
-    def _arm_watchdog(self, session: QuerySession) -> None:
-        """Schedule the next stuck-query check for one attempt.
-
-        The watchdog is the loss detector of docs/FAULTS.md: if a query's
-        progress fingerprint — current stage, the stage ledger's received
-        weight sum, executed steps, gathered partials — is unchanged after
-        a full timeout window, some progression weight has left the system
-        (crashed worker, exhausted transport) and the stage ledger can
-        never reach the root weight. Only armed when a fault plan exists.
-        """
-        if self.faults is None:
-            return
-        snapshot = self._progress_snapshot(session)
-        self.clock.schedule_at(
-            self.clock.now + self.config.watchdog_timeout_us,
-            lambda s=session, snap=snapshot: self._watchdog_check(s, snap),
-        )
-
-    def _progress_snapshot(self, session: QuerySession) -> Tuple:
-        """Fingerprint of a query attempt's observable progress."""
-        query_id = session.query_id
-        stage = session.cursor.current if not session.cursor.finished else -1
-        ledger = self.progress.ledger(query_id, stage)
-        return (
-            query_id,
-            stage,
-            None if ledger is None else ledger.received,
-            session.qmetrics.steps_executed,
-            len(session.partials),
-        )
-
-    def _watchdog_check(self, session: QuerySession, snapshot: Tuple) -> None:
-        """Compare fingerprints; recover the query if nothing moved."""
-        query_id = snapshot[0]
-        if self.sessions.get(query_id) is not session or session.query_id != query_id:
-            return  # finished, aborted, or already retried under a new id
-        fresh = self._progress_snapshot(session)
-        if fresh != snapshot:
-            self.clock.schedule_at(
-                self.clock.now + self.config.watchdog_timeout_us,
-                lambda s=session, snap=fresh: self._watchdog_check(s, snap),
-            )
-            return
-        self._recover_query(session)
-
-    def _recover_query(self, session: QuerySession) -> None:
-        """Re-execute a stuck query under a fresh query id (bounded).
-
-        The abandoned attempt is torn down completely — per-partition memos
-        invalidated, queued traversers purged, progress state closed — and
-        the query restarts from its stage-0 seeds. The fresh attempt gets a
-        **new query id**, so anything of the old attempt still in flight
-        (buffered traversers, retransmitted packets, stale weight reports)
-        resolves to a dead session on arrival and is discarded instead of
-        contaminating the retry. Budget exhaustion marks the session failed;
-        :meth:`run` surfaces that as RetryBudgetExceededError.
-        """
-        old_query_id = session.query_id
-        for runtime in self.runtimes:
-            runtime.memo_store.clear_query(old_query_id)
-            # _purge_partition (not raw purge_query): inboxed traversers of
-            # the abandoned attempt hold sender credits that must flow back.
-            self._purge_partition(runtime, old_query_id)
-        self._inflight.pop(old_query_id, None)
-        self.progress.close_query(old_query_id)
-        self.sessions.pop(old_query_id, None)
-        if session.qmetrics.retries >= self.config.retry_budget:
-            session.failed = True
-            self._retire(session)
-            return
-        session.qmetrics.retries += 1
-        self.metrics.query_retries += 1
-        new_query_id = self._next_query_id
-        self._next_query_id += 1
-        session.query_id = new_query_id
-        session.cursor = StageCursor(session.plan, new_query_id)
-        session.rng = random.Random((self.seed << 20) ^ new_query_id)
-        session._contexts = [None] * self.num_partitions
-        session.partials = []
-        session.expected_partials = 0
-        self.sessions[new_query_id] = session
-        self.progress.open_stage(new_query_id, 0)
-        self._dispatch_seeds(session, self._stage0_seeds(session), self.clock.now)
-        self._arm_watchdog(session)
-
-    # Worker-facing config shims -----------------------------------------------
+    # -- layer shims --------------------------------------------------------
 
     @property
     def flush_threshold_bytes(self) -> int:
+        """Effective tier-1 flush threshold (workers read this per flush)."""
         return self._flush_threshold
+
+    @property
+    def _gates(self):
+        """Back-compat alias for the delivery plane's credit gates."""
+        return self.delivery.gates
+
+    def tracker_handle(self, msg: Message) -> None:
+        """Process one tracker-bound message (delegates to the delivery
+        plane; kept on the engine as the tracker actor's stable target)."""
+        self.delivery.tracker_handle(msg)
 
     # -- submission ---------------------------------------------------------------
 
@@ -722,6 +319,7 @@ class AsyncPSTMEngine:
                 self.clock.schedule_at(at, lambda: self._admit_or_queue(session))
             return session
         self.sessions[session.query_id] = session
+        session.lifecycle.to(QueryState.ADMITTED)
         session.arrival_us = at if at is not None else self.clock.now
         if at is None:
             self._do_submit(session)
@@ -743,7 +341,7 @@ class AsyncPSTMEngine:
         if adm.has_slot:
             self._start_admitted(session)
         elif adm.queue_full:
-            session.rejected = True
+            session.lifecycle.to(QueryState.REJECTED, REASON_QUEUE_FULL)
             self.metrics.queries_rejected += 1
             self.completed[session.query_id] = session
             if session.on_done is not None:
@@ -759,6 +357,7 @@ class AsyncPSTMEngine:
     def _start_admitted(self, session: QuerySession) -> None:
         """Take an execution slot and dispatch the session."""
         self._admission.acquire()
+        session.lifecycle.to(QueryState.ADMITTED)
         self.sessions[session.query_id] = session
         self._do_submit(session)
         if session.time_limit_us is not None:
@@ -769,10 +368,10 @@ class AsyncPSTMEngine:
 
     def _admission_expired(self, session: QuerySession) -> None:
         """Admission deadline passed while the session was still waiting."""
-        if not session.admission_waiting:
+        if not session.parked:
             return  # dispatched (or rejected) in time
         self._admission.withdraw(session)
-        session.admission_timed_out = True
+        session.lifecycle.to(QueryState.REJECTED, REASON_ADMISSION_TIMEOUT)
         self.metrics.admission_timeouts += 1
         self.completed[session.query_id] = session
         if session.on_done is not None:
@@ -798,7 +397,6 @@ class AsyncPSTMEngine:
         """
         if self.sessions.get(session.query_id) is not session:
             return  # finished in time
-        session.timed_out = True
         self._begin_cancel(session, "timeout")
 
     # -- cancellation & weight reclamation (docs/OVERLOAD.md) ---------------
@@ -810,12 +408,11 @@ class AsyncPSTMEngine:
         was not running (already finished, rejected, or still waiting for
         admission — a waiter is simply withdrawn).
         """
-        if session.admission_waiting:
+        if session.parked:
             self._admission.withdraw(session)
-            session.cancelled = True
-            session.cancel_reason = reason
             session.qmetrics.cancelled = True
             session.qmetrics.cancel_reason = reason
+            session.lifecycle.to(QueryState.REJECTED, f"cancelled:{reason}")
             self.metrics.queries_cancelled += 1
             self.completed[session.query_id] = session
             if session.on_done is not None:
@@ -831,20 +428,20 @@ class AsyncPSTMEngine:
 
         In weighted progress modes with outstanding stage weight this is
         **cooperative**: the session leaves ``sessions`` immediately (new
-        arrivals for it are discarded), a CANCEL control message fans out
-        to every partition, and each partition purges the query's queued /
-        inboxed / buffered traversers, reporting their progression weight
-        back to the tracker. The stage ledger then closes by the same
-        ``Σ active + finished = 1`` argument as normal termination
-        (Theorem 1), and :meth:`_finalize_cancel` retires the session with
-        provably zero residue — no watchdog, no grace timers. Otherwise
-        (naive mode, or no open ledger) teardown is immediate.
+        arrivals for it are discarded), its lifecycle moves to CANCELLING,
+        a CANCEL control message fans out to every partition, and each
+        partition purges the query's queued / inboxed / buffered
+        traversers, reporting their progression weight back to the tracker.
+        The stage ledger then closes by the same ``Σ active + finished = 1``
+        argument as normal termination (Theorem 1), and
+        :meth:`_finalize_cancel` retires the session with provably zero
+        residue — no watchdog, no grace timers. Otherwise (naive mode, or
+        no open ledger) teardown is immediate and the lifecycle jumps
+        straight to its terminal state.
         """
         query_id = session.query_id
         if self.sessions.get(query_id) is not session:
             return  # already finished / cancelled
-        session.cancelled = True
-        session.cancel_reason = reason
         session.qmetrics.cancelled = True
         session.qmetrics.cancel_reason = reason
         self.metrics.queries_cancelled += 1
@@ -865,10 +462,15 @@ class AsyncPSTMEngine:
             and not ledger.terminated
         )
         if not cooperative:
-            self._teardown_query(session)
+            session.lifecycle.to(
+                QueryState.PARTIAL if session._salvaged else QueryState.FAILED,
+                reason,
+            )
+            self.delivery.teardown(session)
             self._retire(session)
             return
-        self._cancelling[query_id] = session
+        session.lifecycle.to(QueryState.CANCELLING, reason)
+        self.delivery.cancelling[query_id] = session
         for pid in range(self.num_partitions):
             self.network.send(
                 self.tracker_node,
@@ -909,62 +511,9 @@ class AsyncPSTMEngine:
             )
         session.cursor.complete_stage(gathered, session.rng)
         if session.cursor.finished:
-            session.partial_result = True
+            session._salvaged = True
             session.qmetrics.completed_at_us = self.clock.now
             session.qmetrics.result_rows = len(session.cursor.results or [])
-
-    def _purge_partition(self, runtime: PartitionRuntime, query_id: int) -> Tuple[int, int]:
-        """Purge one partition's queue + inbox for a query, releasing the
-        inboxed traversers' sender credits. Returns (weight, n_purged)."""
-        weight, n_queue, n_inbox = runtime.reclaim_query(query_id)
-        if n_inbox and self._gates is not None:
-            self._gates[runtime.pid].release(n_inbox)
-        return weight, n_queue + n_inbox
-
-    def _cancel_at_partition(self, query_id: int, stage: int, pid: int) -> None:
-        """CANCEL arrival at one partition: purge, reclaim, report.
-
-        Every unit of the query's progression weight resident here —
-        queued, inboxed, buffered in worker tier-1 buffers, or absorbed
-        into weight accumulators — is removed exactly once and reported
-        straight to the tracker (a costless control-plane shortcut: the
-        cancel fan-out already paid the wire, and a reclamation report has
-        no ordering hazard since the ledger only sums).
-        """
-        runtime = self.runtimes[pid]
-        runtime.memo_store.clear_query(query_id)
-        weight, n = self._purge_partition(runtime, query_id)
-        for worker in self.workers:
-            if worker.runtime is runtime:
-                w_weight, w_n = worker.reclaim_query(query_id)
-                weight = (weight + w_weight) % GROUP_MODULUS
-                n += w_n
-        if n:
-            self.metrics.traversers_reclaimed += n
-            session = self._cancelling.get(query_id)
-            if session is not None:
-                session.qmetrics.traversers_reclaimed += n
-        if weight:
-            self._report_reclaimed(query_id, stage, weight)
-
-    def _report_reclaimed(self, query_id: int, stage: int, weight: int) -> None:
-        """Fold reclaimed weight into the stage ledger (tracker-direct)."""
-        self.metrics.weight_reclaim_reports += 1
-        self.progress.report_reclaimed(query_id, stage, weight % GROUP_MODULUS)
-
-    def _note_reclaimed(
-        self, query_id: int, stage: int, weight: int, count: int
-    ) -> None:
-        """Worker drop-path hook: a run popped ``count`` traversers of a
-        cancelling query (they raced ahead of the CANCEL message) and
-        discarded them instead of executing."""
-        self.metrics.traversers_reclaimed += count
-        session = self._cancelling.get(query_id)
-        if session is not None:
-            session.qmetrics.traversers_reclaimed += count
-        weight %= GROUP_MODULUS
-        if weight:
-            self._report_reclaimed(query_id, stage, weight)
 
     def _finalize_cancel(self, session: QuerySession) -> None:
         """The cancelled stage's ledger closed: finish the teardown.
@@ -976,27 +525,14 @@ class AsyncPSTMEngine:
         state) is idempotent.
         """
         query_id = session.query_id
-        if self._cancelling.pop(query_id, None) is None:
+        if self.delivery.cancelling.pop(query_id, None) is None:
             return
-        self._teardown_query(session)
+        session.lifecycle.to(
+            QueryState.PARTIAL if session._salvaged else QueryState.FAILED,
+            session.qmetrics.cancel_reason,
+        )
+        self.delivery.teardown(session)
         self._retire(session)
-
-    def _teardown_query(self, session: QuerySession) -> None:
-        """Hard per-partition cleanup of a cancelled/aborted query."""
-        query_id = session.query_id
-        for runtime in self.runtimes:
-            runtime.memo_store.clear_query(query_id)
-            _w, n = self._purge_partition(runtime, query_id)
-            if n:
-                self.metrics.traversers_reclaimed += n
-                session.qmetrics.traversers_reclaimed += n
-        for worker in self.workers:
-            _w, n = worker.reclaim_query(query_id)
-            if n:
-                self.metrics.traversers_reclaimed += n
-                session.qmetrics.traversers_reclaimed += n
-        self._inflight.pop(query_id, None)
-        self.progress.close_query(query_id)
 
     # -- resource budgets ---------------------------------------------------
 
@@ -1037,12 +573,16 @@ class AsyncPSTMEngine:
             )
 
     def _trip_budget(self, session: QuerySession, budget: str, detail: str) -> None:
-        session.budget_exceeded = True
         session.budget_error = (budget, detail)
         self.metrics.budget_cancels += 1
         self._begin_cancel(session, f"budget:{budget}")
 
+    # -- dispatch -----------------------------------------------------------
+
     def _do_submit(self, session: QuerySession) -> None:
+        if self.sessions.get(session.query_id) is not session:
+            return  # cancelled between admission and a deferred dispatch
+        session.lifecycle.to(QueryState.RUNNING)
         now = self.clock.now
         session.qmetrics.submitted_at_us = now
         ready_at = now
@@ -1070,7 +610,7 @@ class AsyncPSTMEngine:
             )
         else:
             self._dispatch_seeds(session, seeds, now)
-        self._arm_watchdog(session)
+        self.recovery.arm_watchdog(session)
 
     def _stage0_seeds(self, session: QuerySession) -> List[Traverser]:
         plan = session.plan
@@ -1103,14 +643,15 @@ class AsyncPSTMEngine:
             self.progress.add_naive_active(
                 session.query_id, seeds[0].stage, len(seeds)
             )
+        delivery = self.delivery
         by_pid: Dict[int, List[Traverser]] = {}
         for trav in seeds:
             pid = self.resolve_target(trav, session.machine.route(trav))
             by_pid.setdefault(pid, []).append(trav)
         for pid, travs in by_pid.items():
             size = sum(t.estimated_size_bytes() for t in travs)
-            if self.track_inflight:
-                self.note_outbound(session.query_id)
+            if delivery.track_inflight:
+                delivery.note_outbound(session.query_id)
             self.network.send(
                 self.tracker_node,
                 self.node_of(pid),
@@ -1118,105 +659,11 @@ class AsyncPSTMEngine:
                 now,
             )
 
-    # -- message delivery ------------------------------------------------------------
-
-    def _deliver(self, msg: Message) -> None:
-        if msg.dst_pid == TRACKER_DST:
-            self.tracker.submit(msg, self.clock.now, self.cost.tracker_msg_us)
-            return
-        runtime = self.runtimes[msg.dst_pid]
-        if msg.kind is MsgKind.TRAVERSER:
-            if self.track_inflight and msg.query_id in self._inflight:
-                self._inflight[msg.query_id] -= len(msg.payload)
-            travs = msg.payload
-            if self._cancelling:
-                # Batches can mix queries (tier-1 buffers pack per node),
-                # so arrivals of cancelling queries are filtered out here
-                # one traverser at a time, weight reclaimed.
-                travs = self._filter_cancelled(travs, msg.dst_pid)
-                if not travs:
-                    return
-            if self._gates is not None:
-                runtime.enqueue_remote(travs, self.clock.now)
-            else:
-                runtime.enqueue(travs, self.clock.now)
-        elif msg.kind is MsgKind.SEED:
-            if self.track_inflight and msg.query_id in self._inflight:
-                self._inflight[msg.query_id] -= 1
-            travs = list(msg.payload)
-            if self._cancelling:
-                travs = self._filter_cancelled(travs, msg.dst_pid, gated=False)
-                if not travs:
-                    return
-            # Seeds bypass the credit gate: the coordinator must always be
-            # able to start/advance admitted queries, and seed cardinality
-            # is bounded by the partition count.
-            runtime.enqueue(travs, self.clock.now)
-        elif msg.kind is MsgKind.CONTROL:
-            tag, query_id, stage = msg.payload
-            if tag != "cancel":  # pragma: no cover - single control verb
-                raise ExecutionError(f"unexpected control message {tag!r}")
-            self._cancel_at_partition(query_id, stage, msg.dst_pid)
-        else:  # pragma: no cover - no other worker-bound kinds exist
-            raise ExecutionError(f"unexpected worker message kind {msg.kind}")
-
-    def _filter_cancelled(
-        self, travs: List[Traverser], pid: int, gated: Optional[bool] = None
-    ) -> List[Traverser]:
-        """Drop arriving traversers of mid-cancellation queries.
-
-        They were in flight when the CANCEL fanned out (racing ahead of or
-        behind it); their progression weight is reclaimed here and — on the
-        credit-gated path — their sender credits released immediately,
-        since they will never occupy the inbox.
-        """
-        cancelling = self._cancelling
-        kept = [t for t in travs if t.query_id not in cancelling]
-        n_dropped = len(travs) - len(kept)
-        if not n_dropped:
-            return kept
-        dropped: Dict[Tuple[int, int], Tuple[int, int]] = {}
-        for t in travs:
-            if t.query_id in cancelling:
-                key = (t.query_id, t.stage)
-                w, c = dropped.get(key, (0, 0))
-                dropped[key] = ((w + t.weight) % GROUP_MODULUS, c + 1)
-        if (self._gates is not None) if gated is None else gated:
-            self._gates[pid].release(n_dropped)
-        for (query_id, stage), (weight, count) in dropped.items():
-            self._note_reclaimed(query_id, stage, weight, count)
-        return kept
-
-    def tracker_handle(self, msg: Message) -> None:
-        """Process one tracker-bound message (progress report or partial)."""
-        if msg.kind is MsgKind.PROGRESS:
-            tag, query_id, stage, value = msg.payload
-            if tag == "weight":
-                self.progress.report_weight(query_id, stage, value)
-            else:
-                self.progress.report_delta(query_id, stage, value)
-        elif msg.kind is MsgKind.PARTIAL:
-            _tag, query_id, stage, partial = msg.payload
-            session = self.sessions.get(query_id)
-            if session is None or session.cursor.current != stage:
-                return
-            session.partials.append(partial)
-            if len(session.partials) >= session.expected_partials:
-                done_at = self.tracker.charge(
-                    self.clock.now,
-                    self.cost.combine_partial_us * len(session.partials),
-                )
-                self.clock.schedule_at(
-                    done_at, lambda s=session, st=stage: self._complete_stage(s, st)
-                )
-        else:  # pragma: no cover
-            raise ExecutionError(f"unexpected tracker message kind {msg.kind}")
-
     # -- stage lifecycle ------------------------------------------------------------------
 
     def _stage_terminated(self, query_id: int, stage: int) -> None:
         """Weight ledger hit 1: gather the barrier's partials (Fig 6)."""
-        cancelling = self._cancelling.get(query_id)
+        cancelling = self.delivery.cancelling.get(query_id)
         if cancelling is not None:
             # A cancelled stage's ledger closed: all outstanding weight was
             # executed or reclaimed, so nothing of the query remains queued,
@@ -1228,7 +675,7 @@ class AsyncPSTMEngine:
             return
         if (
             self.config.progress_mode is ProgressMode.NAIVE_CENTRAL
-            and not self._query_quiescent(query_id, stage)
+            and not self.delivery.query_quiescent(query_id, stage)
         ):
             # Transient zero crossing: traversers are still in transit.
             # Their own reports will re-trigger the zero check later.
@@ -1285,12 +732,13 @@ class AsyncPSTMEngine:
         self._dispatch_seeds(session, seeds, self.clock.now)
 
     def _finish_query(self, session: QuerySession) -> None:
+        session.lifecycle.to(QueryState.DONE)
         session.qmetrics.completed_at_us = self.clock.now
         session.qmetrics.result_rows = len(session.results)
         for runtime in self.runtimes:
             runtime.memo_store.clear_query(session.query_id)
             runtime.drop_query(session.query_id)
-        self._inflight.pop(session.query_id, None)
+        self.delivery.inflight.pop(session.query_id, None)
         self.progress.close_query(session.query_id)
         self.sessions.pop(session.query_id, None)
         self._retire(session)
@@ -1326,7 +774,8 @@ class AsyncPSTMEngine:
         budget trip (partial :class:`QueryResult` when salvaged, else
         ``ResourceBudgetExceededError``), caller cancel
         (``QueryCancelledError``), retry exhaustion
-        (``RetryBudgetExceededError``).
+        (``RetryBudgetExceededError``). The returned result carries the
+        session's terminal lifecycle state.
         """
         if session.rejected:
             raise QueryRejectedError(
@@ -1349,7 +798,7 @@ class AsyncPSTMEngine:
                     session.results,
                     session.qmetrics.latency_us,
                     session.qmetrics,
-                    partial=True,
+                    state=session.lifecycle.state,
                 )
             budget, detail = session.budget_error or ("resource", "exceeded")
             raise ResourceBudgetExceededError(session.query_id, budget, detail)
@@ -1367,7 +816,10 @@ class AsyncPSTMEngine:
                 f"{session.plan.name!r}); simulation deadlock?"
             )
         return QueryResult(
-            session.results, session.qmetrics.latency_us, session.qmetrics
+            session.results,
+            session.qmetrics.latency_us,
+            session.qmetrics,
+            state=session.lifecycle.state,
         )
 
     def profile(

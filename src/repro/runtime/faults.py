@@ -5,10 +5,11 @@ The async engine's weight invariant (``Σ active weights + finished weight
 work: a dropped traverser message silently subtracts its weight from the
 ledger's eventual total, so the stage's :class:`~repro.core.weight.WeightLedger`
 never reaches the root weight and the query visibly hangs instead of
-silently returning partial results. This module supplies the faults; the
-recovery machinery that turns a hang back into a correct answer lives in
-:mod:`repro.runtime.network` (ack/retransmit) and
-:mod:`repro.runtime.engine` (watchdog + bounded query retry). The failure
+silently returning partial results. This module supplies the faults *and*
+the query-level recovery machinery that turns a hang back into a correct
+answer: :class:`RecoveryManager` hosts the worker-fault firing, the
+progress-fingerprint watchdog, and the bounded query retry. The packet-level
+recovery (ack/retransmit) lives in :mod:`repro.runtime.network`. The failure
 model is documented end to end in ``docs/FAULTS.md``.
 
 Everything here is **deterministic**: all fault decisions are drawn from one
@@ -38,9 +39,16 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
+from repro.core.subquery import StageCursor
 from repro.errors import ConfigurationError
+from repro.runtime.lifecycle import REASON_RETRY_BUDGET, QueryState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.engine import AsyncPSTMEngine
+    from repro.runtime.lifecycle import QuerySession
+    from repro.runtime.network import Message
 
 #: Worker-fault kinds.
 CRASH = "crash"
@@ -179,3 +187,198 @@ class FaultInjector:
     def total_injected(self) -> int:
         """Total faults of all kinds injected so far."""
         return sum(self.counts.values())
+
+
+class RecoveryManager:
+    """Query-level fault recovery: worker faults, watchdog, bounded retry.
+
+    Owns the three recovery mechanisms of docs/FAULTS.md that operate at
+    query granularity (packet-level ack/retransmit lives in the network):
+
+    * firing scheduled :class:`WorkerFault` entries — a crash loses worker
+      state and force-retries every query holding state there;
+    * the progress-fingerprint watchdog that declares a query stuck when
+      its observable progress is unchanged for a full timeout window;
+    * :meth:`recover_query` — tear the attempt down and re-execute under a
+      fresh query id, bounded by ``EngineConfig.retry_budget``.
+
+    Constructed unconditionally by the engine; with no fault plan armed the
+    watchdog never schedules and nothing here runs, keeping the fault-free
+    path bit-identical to the pre-fault engine.
+    """
+
+    def __init__(self, engine: "AsyncPSTMEngine") -> None:
+        self.engine = engine
+
+    # -- worker faults -------------------------------------------------------
+
+    def inject_worker_fault(self, wf: WorkerFault) -> None:
+        """Fire one scheduled worker crash/stall from the fault plan.
+
+        A crash loses the worker's core-resident state (run queue, tier-1
+        buffers, weight accumulators) and invalidates the partition's memos,
+        so every query holding state there is immediately forced through
+        :meth:`recover_query` — waiting for the watchdog would risk a query
+        completing with corrupted memo state (e.g. a Dedup set silently
+        reset). A stall just freezes the worker; its state and weights
+        survive, so no recovery is needed.
+        """
+        engine = self.engine
+        worker = engine.workers[wf.wid]
+        now = engine.clock.now
+        engine.faults.note_worker_fault(wf.kind)
+        if wf.kind == CRASH:
+            engine.metrics.worker_crashes += 1
+            runtime = worker.runtime
+            affected = set(runtime.memo_store.invalidate_all())
+            affected.update(t.query_id for t in runtime.queue)
+            affected.update(t.query_id for t in runtime.inbox)
+            affected.update(key[0] for key in worker._accums)
+            for pairs in worker._trav_buffers.values():
+                affected.update(t.query_id for _pid, t, _size in pairs)
+            for msgs in worker._buffers.values():
+                affected.update(m.query_id for m in msgs if m.query_id >= 0)
+            worker.crash()
+            for query_id in affected:
+                session = engine.sessions.get(query_id)
+                if session is not None and session.query_id == query_id:
+                    # Defer so one crash handler never recurses into seed
+                    # dispatch while still iterating engine state.
+                    engine.clock.schedule_at(
+                        now,
+                        lambda s=session, q=query_id: self.recover_if_current(s, q),
+                    )
+                    continue
+                cancelling = engine.delivery.cancelling.get(query_id)
+                if cancelling is not None:
+                    # The crash destroyed reclaimed-weight the cancelled
+                    # stage's ledger was waiting on; it can never close now.
+                    # Force the finalize — the teardown is idempotent and
+                    # late arrivals resolve to a dead session.
+                    engine.clock.schedule_at(
+                        now, lambda s=cancelling: engine._finalize_cancel(s)
+                    )
+        else:
+            engine.metrics.worker_stalls += 1
+            worker.stall()
+        if wf.down_us is not None:
+            engine.clock.schedule_at(
+                now + wf.down_us, lambda w=worker: w.recover(engine.clock.now)
+            )
+
+    def recover_if_current(self, session: "QuerySession", query_id: int) -> None:
+        """Run recovery only if this attempt is still the live one."""
+        engine = self.engine
+        if engine.sessions.get(query_id) is session and session.query_id == query_id:
+            self.recover_query(session)
+
+    # -- fault attribution ---------------------------------------------------
+
+    def note_retransmit(self, messages: List["Message"]) -> None:
+        """Attribute one packet retransmission to its queries' metrics."""
+        sessions = self.engine.sessions
+        for query_id in {m.query_id for m in messages if m.query_id >= 0}:
+            session = sessions.get(query_id)
+            if session is not None:
+                session.qmetrics.retransmits += 1
+
+    def note_packet_fault(self, kind: str, messages: List["Message"]) -> None:
+        """Attribute one injected packet fault to its queries' metrics."""
+        sessions = self.engine.sessions
+        for query_id in {m.query_id for m in messages if m.query_id >= 0}:
+            session = sessions.get(query_id)
+            if session is not None:
+                session.qmetrics.faults_injected += 1
+
+    # -- watchdog ------------------------------------------------------------
+
+    def arm_watchdog(self, session: "QuerySession") -> None:
+        """Schedule the next stuck-query check for one attempt.
+
+        The watchdog is the loss detector of docs/FAULTS.md: if a query's
+        progress fingerprint — current stage, the stage ledger's received
+        weight sum, executed steps, gathered partials — is unchanged after
+        a full timeout window, some progression weight has left the system
+        (crashed worker, exhausted transport) and the stage ledger can
+        never reach the root weight. Only armed when a fault plan exists.
+        """
+        engine = self.engine
+        if engine.faults is None:
+            return
+        snapshot = self.progress_snapshot(session)
+        engine.clock.schedule_at(
+            engine.clock.now + engine.config.watchdog_timeout_us,
+            lambda s=session, snap=snapshot: self.watchdog_check(s, snap),
+        )
+
+    def progress_snapshot(self, session: "QuerySession") -> Tuple:
+        """Fingerprint of a query attempt's observable progress."""
+        query_id = session.query_id
+        stage = session.cursor.current if not session.cursor.finished else -1
+        ledger = self.engine.progress.ledger(query_id, stage)
+        return (
+            query_id,
+            stage,
+            None if ledger is None else ledger.received,
+            session.qmetrics.steps_executed,
+            len(session.partials),
+        )
+
+    def watchdog_check(self, session: "QuerySession", snapshot: Tuple) -> None:
+        """Compare fingerprints; recover the query if nothing moved."""
+        engine = self.engine
+        query_id = snapshot[0]
+        if engine.sessions.get(query_id) is not session or session.query_id != query_id:
+            return  # finished, aborted, or already retried under a new id
+        fresh = self.progress_snapshot(session)
+        if fresh != snapshot:
+            engine.clock.schedule_at(
+                engine.clock.now + engine.config.watchdog_timeout_us,
+                lambda s=session, snap=fresh: self.watchdog_check(s, snap),
+            )
+            return
+        self.recover_query(session)
+
+    # -- bounded retry -------------------------------------------------------
+
+    def recover_query(self, session: "QuerySession") -> None:
+        """Re-execute a stuck query under a fresh query id (bounded).
+
+        The abandoned attempt is torn down completely — per-partition memos
+        invalidated, queued traversers purged, progress state closed — and
+        the query restarts from its stage-0 seeds. The fresh attempt gets a
+        **new query id**, so anything of the old attempt still in flight
+        (buffered traversers, retransmitted packets, stale weight reports)
+        resolves to a dead session on arrival and is discarded instead of
+        contaminating the retry. Budget exhaustion moves the session's
+        lifecycle to FAILED; :meth:`AsyncPSTMEngine.run` surfaces that as
+        RetryBudgetExceededError.
+        """
+        engine = self.engine
+        old_query_id = session.query_id
+        for runtime in engine.runtimes:
+            runtime.memo_store.clear_query(old_query_id)
+            # purge_partition (not raw purge_query): inboxed traversers of
+            # the abandoned attempt hold sender credits that must flow back.
+            engine.delivery.purge_partition(runtime, old_query_id)
+        engine.delivery.inflight.pop(old_query_id, None)
+        engine.progress.close_query(old_query_id)
+        engine.sessions.pop(old_query_id, None)
+        if session.qmetrics.retries >= engine.config.retry_budget:
+            session.lifecycle.to(QueryState.FAILED, REASON_RETRY_BUDGET)
+            engine._retire(session)
+            return
+        session.qmetrics.retries += 1
+        engine.metrics.query_retries += 1
+        new_query_id = engine._next_query_id
+        engine._next_query_id += 1
+        session.query_id = new_query_id
+        session.cursor = StageCursor(session.plan, new_query_id)
+        session.rng = random.Random((engine.seed << 20) ^ new_query_id)
+        session._contexts = [None] * engine.num_partitions
+        session.partials = []
+        session.expected_partials = 0
+        engine.sessions[new_query_id] = session
+        engine.progress.open_stage(new_query_id, 0)
+        engine._dispatch_seeds(session, engine._stage0_seeds(session), engine.clock.now)
+        self.arm_watchdog(session)

@@ -66,6 +66,12 @@ class RunMetrics:
     traversers_reclaimed: int = 0  # queued/buffered/in-flight traversers purged
     weight_reclaim_reports: int = 0  # reclaimed-weight reports to the tracker
     credit_stalls: int = 0  # sends deferred by an exhausted credit gate
+    # Lifecycle audit trail: every validated state-machine edge taken by any
+    # query, keyed "src->dst" (e.g. "running->done"). Soak tests assert the
+    # key set stays inside the legal-transition table of
+    # repro.runtime.lifecycle (illegal edges raise, so any key here is legal
+    # by construction — the counter exists for post-hoc run audits).
+    lifecycle_transitions: Counter = field(default_factory=Counter)  # str -> count
     # BSP only: per-superstep compute totals vs barrier-idle time. Idle is
     # Σ_s (P·max_p - Σ_p) compute — worker-time wasted waiting at barriers
     # because the superstep's frontier was imbalanced (the paper's
@@ -119,6 +125,7 @@ class RunMetrics:
             "traversers_reclaimed": self.traversers_reclaimed,
             "weight_reclaim_reports": self.weight_reclaim_reports,
             "credit_stalls": self.credit_stalls,
+            "lifecycle_transitions": sum(self.lifecycle_transitions.values()),
         }
         for kind in MsgKind:
             out[f"messages_{kind.value}"] = self.message_count(kind)

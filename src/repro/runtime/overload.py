@@ -28,7 +28,8 @@ from typing import TYPE_CHECKING, Callable, Deque, List, Tuple
 from repro.runtime.simclock import SimClock
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.runtime.engine import AsyncPSTMEngine, QuerySession
+    from repro.runtime.engine import AsyncPSTMEngine
+    from repro.runtime.lifecycle import QuerySession
 
 
 class AdmissionController:
@@ -76,7 +77,7 @@ class AdmissionController:
 
     def enqueue(self, session: "QuerySession", priority: int) -> None:
         """Park a session in the wait queue (caller checked ``queue_full``)."""
-        session.admission_waiting = True
+        session.parked = True
         self._seq += 1
         heapq.heappush(self._heap, (priority, self._seq, session))
         self.waiting += 1
@@ -86,8 +87,8 @@ class AdmissionController:
     def withdraw(self, session: "QuerySession") -> None:
         """Lazily remove a waiter (admission timeout). O(1): the heap entry
         stays and is skipped when it surfaces in :meth:`on_closed`."""
-        if session.admission_waiting:
-            session.admission_waiting = False
+        if session.parked:
+            session.parked = False
             self.waiting -= 1
 
     def on_closed(self) -> None:
@@ -95,9 +96,9 @@ class AdmissionController:
         self.running -= 1
         while self._heap:
             _prio, _seq, session = heapq.heappop(self._heap)
-            if not session.admission_waiting:
+            if not session.parked:
                 continue  # expired while queued; entry is stale
-            session.admission_waiting = False
+            session.parked = False
             self.waiting -= 1
             self.engine._start_admitted(session)
             return

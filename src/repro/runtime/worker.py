@@ -10,6 +10,13 @@ the cost model (paper §V-A2).
 Workers implement tier 1 of the two-tier I/O scheduler: per-destination-node
 message buffers flushed at the size threshold or when the worker idles, with
 finished-weight coalescing piggybacked on flushes (paper §IV-A(a), §IV-B).
+
+The drain loop itself is layered: ``Worker._run`` owns the parts every
+execution strategy shares — inbox drain with credit release, the budget
+sweep, idle weight flushes, slowdown, and rescheduling — and delegates the
+execution middle to a pluggable :class:`~repro.runtime.kernels.ExecutionKernel`
+(scalar reference vs batched default), so fault hooks, backpressure, and
+reclaim paths exist exactly once.
 """
 
 from __future__ import annotations
@@ -18,19 +25,17 @@ from collections import deque
 from typing import TYPE_CHECKING, Deque, Dict, List, Tuple
 
 from repro.core.memo import MemoStore
-from repro.core.progress import ProgressMode
 from repro.core.traverser import Traverser
 from repro.core.weight import GROUP_MODULUS, WeightAccumulator
-from repro.errors import ExecutionError
 from repro.graph.partition import PartitionStore
+from repro.runtime.kernels import PROGRESS_MSG_BYTES, kernel_for
 from repro.runtime.metrics import MsgKind
 from repro.runtime.network import TRACKER_DST, Message
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.engine import AsyncPSTMEngine
 
-#: wire size of a progress report (weight or delta + headers)
-PROGRESS_MSG_BYTES = 16
+__all__ = ["PROGRESS_MSG_BYTES", "PartitionRuntime", "Worker"]
 
 
 class PartitionRuntime:
@@ -194,6 +199,8 @@ class Worker:
         self.node = node
         self.runtime = runtime
         runtime.workers.append(self)
+        #: execution strategy for the drain loop's middle (scalar/batched)
+        self.kernel = kernel_for(engine.config)
         self.busy_until = 0.0
         self.scheduled = False
         #: False while a crash/stall fault holds this worker down
@@ -250,7 +257,7 @@ class Worker:
                 # credits must not: a crash that swallowed credits would
                 # deadlock every sender still throttled on this partition.
                 self.runtime.inbox.clear()
-                gates = self.engine._gates
+                gates = self.engine.delivery.gates
                 if gates is not None:
                     gates[self.runtime.pid].release(dropped)
 
@@ -308,631 +315,50 @@ class Worker:
     # -- main loop -----------------------------------------------------------
 
     def _run(self) -> None:
+        """One scheduled drain: prologue, kernel middle, epilogue.
+
+        Everything execution-strategy-independent lives here — crash-race
+        drop, inbox drain with exactly-once credit release, the budget
+        sweep over touched queries, the idle coalesced-weight flush, the
+        straggler slowdown, and the reschedule-or-flush-all decision. The
+        strategy-specific middle (pop/execute/route/buffer) is delegated to
+        :attr:`kernel`, so both kernels share one copy of every hook.
+        """
         if not self.alive:
             # A run scheduled before the fault fired; drop it. recover()
             # re-wakes the runtime.
             self.scheduled = False
             return
-        if self.engine.config.scalar_execution:
-            self._run_scalar()
-        else:
-            self._run_batched()
-
-    def _run_scalar(self) -> None:
-        """Reference execution loop: one traverser per kernel call.
-
-        Kept behind ``EngineConfig.scalar_execution`` so the equivalence
-        suite can assert the batched loop reproduces it bit for bit.
-        """
-        self.scheduled = False
-        t = self.engine.clock.now
-        queue = self.runtime.queue
-        stage_counts = self.runtime.stage_counts
-        cm = self.engine.cost
-        config = self.engine.config
-        metrics = self.engine.metrics
-        sharers = len(self.runtime.workers)
-        cpu = 0.0
-
-        inbox = self.runtime.inbox
-        if inbox:
-            # Drain credit-gated arrivals into the run queue, releasing
-            # their senders' credits at processing pace (backpressure).
-            moved = min(len(inbox), config.batch_size)
-            for _ in range(moved):
-                queue.append(inbox.popleft())
-            gates = self.engine._gates
-            if gates is not None:
-                gates[self.runtime.pid].release(moved)
-
-        budgets_armed = self.engine._budgets_armed
-        touched = set() if budgets_armed else None
-
-        for _ in range(config.batch_size):
-            if not queue:
-                break
-            trav = queue.popleft()
-            self.runtime.dec_stage_count((trav.query_id, trav.stage))
-            session = self.engine.sessions.get(trav.query_id)
-            if session is None:
-                # Query already finished/cancelled. A cancelling query's
-                # dropped traversers carry progression weight that must be
-                # reclaimed, or its stage ledger never closes.
-                if self.engine._cancelling and (
-                    trav.query_id in self.engine._cancelling
-                ):
-                    self.engine._note_reclaimed(
-                        trav.query_id, trav.stage, trav.weight, 1
-                    )
-                continue
-            if budgets_armed:
-                touched.add(trav.query_id)
-            ctx = session.context(self.runtime.pid)
-            result = session.machine.execute(ctx, trav, session.rng)
-            cost_us = cm.op_cost_us(result.cost)
-            if sharers > 1:
-                # Shared-state (non-partitioned) penalty: reduced locality on
-                # all compute, plus latches with contention proportional to
-                # the threads concurrently hitting this partition.
-                busy = 1 + sum(
-                    1 for w in self.runtime.workers if w is not self and w.scheduled
-                )
-                cost_us = cost_us * cm.shared_locality_factor
-                cost_us += cm.shared_state_penalty_us(result.cost, busy)
-            cpu += cost_us
-            metrics.steps_executed += 1
-            metrics.edges_scanned += result.cost.edges
-            metrics.memo_ops += result.cost.memo_ops
-            metrics.traversers_spawned += len(result.children)
-            session.qmetrics.steps_executed += 1
-            op_idx = trav.op_idx
-            session.op_steps[op_idx] = session.op_steps.get(op_idx, 0) + 1
-            if result.children:
-                session.op_spawned[op_idx] = (
-                    session.op_spawned.get(op_idx, 0) + len(result.children)
-                )
-                session.qmetrics.traversers_spawned += len(result.children)
-
-            for child, routed in result.children:
-                pid = self.engine.resolve_target(child, routed)
-                if pid == self.runtime.pid:
-                    queue.append(child)
-                    key = (child.query_id, child.stage)
-                    stage_counts[key] = stage_counts.get(key, 0) + 1
-                else:
-                    cpu += cm.serialize_us * cm.cpu_scale
-                    cpu += self._buffer_traverser(
-                        child, pid, self.engine.node_of(pid), t + cpu
-                    )
-
-            mode = config.progress_mode
-            if mode is ProgressMode.NAIVE_CENTRAL:
-                # One report per execution: active count delta.
-                cpu += self._buffer_message(
-                    Message(
-                        MsgKind.PROGRESS,
-                        TRACKER_DST,
-                        ("delta", trav.query_id, trav.stage,
-                         len(result.children) - 1),
-                        PROGRESS_MSG_BYTES,
-                        trav.query_id,
-                    ),
-                    self.engine.tracker_node,
-                    t + cpu,
-                )
-            elif result.finished_weight:
-                if mode.coalesced:
-                    self._accum(trav.query_id, trav.stage).absorb(
-                        result.finished_weight
-                    )
-                else:
-                    cpu += self._buffer_message(
-                        Message(
-                            MsgKind.PROGRESS,
-                            TRACKER_DST,
-                            ("weight", trav.query_id, trav.stage,
-                             result.finished_weight),
-                            PROGRESS_MSG_BYTES,
-                            trav.query_id,
-                        ),
-                        self.engine.tracker_node,
-                        t + cpu,
-                    )
-
-        if budgets_armed and touched:
-            self.engine._check_budgets_of(touched)
-
-        # End of batch: flush coalesced weights of stages with no local work
-        # left (the paper's "flush before the thread sleeps" rule, refined to
-        # per-stage idleness so one busy query cannot stall another's
-        # termination).
-        if config.progress_mode.coalesced:
-            cpu += self._flush_idle_accums(t + cpu)
-
-        cpu *= self.slowdown
-        self.busy_total += cpu
-        if queue or inbox:
-            self.busy_until = t + cpu
-            self.scheduled = True
-            self.engine.clock.schedule_at(self.busy_until, self._run)
-        else:
-            # Idle: flush every buffer (tier-1 idle rule).
-            cpu += self._flush_all(t + cpu)
-            self.busy_until = t + cpu
-
-    def _run_batched(self) -> None:
-        """Batched execution loop: drain homogeneous runs through one kernel
-        call each (the default path).
-
-        Pops contiguous runs of traversers sharing ``(query_id, op_idx)``
-        and hands each run to :meth:`PSTMMachine.execute_batch`. Locally
-        spawned children append to the queue *end*, so run-draining visits
-        traversers in exactly the order the scalar loop would; cost pricing,
-        RNG draws, buffer-flush times, and progress reports all replay the
-        scalar sequence, making simulated time bit-for-bit identical. The
-        wall-clock win comes from amortizing dispatch: one kernel call, one
-        session/context lookup, and one metrics update per run instead of
-        per traverser.
-        """
         self.scheduled = False
         engine = self.engine
         t = engine.clock.now
         runtime = self.runtime
         queue = runtime.queue
-        queue_append = queue.append
-        stage_counts = runtime.stage_counts
-        cm = engine.cost
-        config = engine.config
-        sessions = engine.sessions
-        sharers = len(runtime.workers)
-        cpu = 0.0
-        budget = config.batch_size
 
         inbox = runtime.inbox
         if inbox:
             # Drain credit-gated arrivals into the run queue, releasing
             # their senders' credits at processing pace (backpressure).
-            moved = min(len(inbox), budget)
+            moved = min(len(inbox), engine.config.batch_size)
             for _ in range(moved):
                 queue.append(inbox.popleft())
-            gates = engine._gates
+            gates = engine.delivery.gates
             if gates is not None:
                 gates[runtime.pid].release(moved)
 
         budgets_armed = engine._budgets_armed
         touched = set() if budgets_armed else None
 
-        cpu_scale = cm.cpu_scale
-        step_base_us = cm.step_base_us
-        edge_us = cm.edge_us
-        memo_op_us = cm.memo_op_us
-        prop_us = cm.prop_us
-        serialize_us = cm.serialize_us * cpu_scale
-        shared = sharers > 1
-        if shared:
-            # All workers' scheduled flags are frozen while this run executes
-            # (the event loop is serial), so the scalar loop's per-traverser
-            # busy count is a per-run constant.
-            busy = 1 + sum(
-                1 for w in runtime.workers if w is not self and w.scheduled
-            )
-            locality = cm.shared_locality_factor
-            per_access = cm.latch_us + cm.latch_contention * max(busy - 1, 0)
-        mode = config.progress_mode
-        naive = mode is ProgressMode.NAIVE_CENTRAL
-        coalesced = mode.coalesced
-        self_pid = runtime.pid
-        ppn = engine.partitions_per_node
-        tracker_node = engine.tracker_node
-        modulus = GROUP_MODULUS
-
-        # Inlined _buffer_traverser state (hot path).
-        track_inflight = engine.track_inflight
-        note_outbound = engine.note_outbound
-        trav_buffers = self._trav_buffers
-        buffer_bytes = self._buffer_bytes
-        flush_threshold = engine.flush_threshold_bytes
-        flush = self._flush
-        # estimated_size_bytes() depends only on the payload tuple, and every
-        # payload referenced during this _run stays reachable (run list,
-        # queue, buffers), so ids are stable for the cache's lifetime.
-        size_cache: Dict[int, int] = {}
-        size_cache_get = size_cache.get
-        # Siblings share their parent's payload reference, so one identity
-        # compare usually replaces the id()+dict lookup.
-        last_payload = object()
-        last_size = 0
-        # Node-indexed mirrors of the per-destination traverser buffers:
-        # a list index replaces three dict operations per remote child. The
-        # byte counts are written back to the dict around every _flush /
-        # _buffer_message call (their only other readers during this _run)
-        # and once after the drain loop.
-        num_nodes = engine.nodes
-        local_bufs: List = [None] * num_nodes
-        local_bytes = [0] * num_nodes
-
-        def sync_bufs() -> None:
-            for nd in range(num_nodes):
-                if local_bufs[nd] is not None:
-                    buffer_bytes[nd] = local_bytes[nd]
-                    local_bufs[nd] = None
-
-        dec_stage_count = runtime.dec_stage_count
-
-        steps = 0
-        edges_scanned = 0
-        memo_ops_total = 0
-        spawned_total = 0
-
-        # Per-query hoisted machine state; refreshed when a run's query
-        # differs from the previous run's. The loop below fuses
-        # PSTMMachine.execute_batch (kernel + weight split + child routing)
-        # with the enqueue/buffer/progress handling: with short runs the
-        # per-run call overhead and intermediate (child, pid) materialization
-        # are a measurable slice of the hot path. machine.execute_batch stays
-        # the reference implementation of exactly this sequence.
-        cur_qid = None
-        session = None
-
-        while budget > 0 and queue:
-            head = queue.popleft()
-            budget -= 1
-            query_id = head.query_id
-            op_idx = head.op_idx
-            run = [head]
-            while budget > 0 and queue:
-                nxt = queue[0]
-                if nxt.query_id != query_id or nxt.op_idx != op_idx:
-                    break
-                run.append(queue.popleft())
-                budget -= 1
-            n_run = len(run)
-            stage = head.stage
-            dec_stage_count((query_id, stage), n_run)
-            if query_id != cur_qid:
-                cur_qid = query_id
-                session = sessions.get(query_id)
-                if budgets_armed:
-                    touched.add(query_id)
-                if session is not None:
-                    machine = session.machine
-                    ctx = session.context(self_pid)
-                    getrandbits = session.rng.getrandbits
-                    ops = machine.plan.ops
-                    num_ops = len(ops)
-                    route_info = machine.route_info()
-                    partitioner = machine.partitioner
-                    pcache = getattr(partitioner, "_cache", None)
-                    pcache_get = None if pcache is None else pcache.get
-                    num_partitions = partitioner.num_partitions
-                    barrier_route = machine.barrier_route
-                    op_steps = session.op_steps
-                    op_spawned = session.op_spawned
-                    qmetrics = session.qmetrics
-            if session is None:
-                # Query already finished/cancelled. A cancelling query's
-                # dropped run carries progression weight that must be
-                # reclaimed, or its stage ledger never closes.
-                if engine._cancelling and query_id in engine._cancelling:
-                    dropped = 0
-                    for trav in run:
-                        dropped += trav.weight
-                    engine._note_reclaimed(query_id, stage, dropped, n_run)
-                continue
-            op = ops[op_idx]
-            outcome = op.apply_batch(ctx, run)
-            spec_rows = outcome.children
-            costs = outcome.costs
-            steps += n_run
-            qmetrics.steps_executed += n_run
-            op_steps[op_idx] = op_steps.get(op_idx, 0) + n_run
-            run_spawned = 0
-            fin_total = 0
-            fin_count = 0
-            prev_tuple = None
-            prev_cost_us = 0.0
-            prev_edges = 0
-            prev_memo_ops = 0
-            last_idx = -1
-            c_stage = c_mode = child_op = c_key = None
-            lkey = None
-            lcount = 0
-            for trav, specs, ct in zip(run, spec_rows, costs):
-                # Non-Expand kernels share one cost tuple across the run
-                # ([t] * n), so an identity hit replays the exact float
-                # computed for the previous traverser.
-                if ct is prev_tuple:
-                    cost_us = prev_cost_us
-                    edges = prev_edges
-                    memo_ops = prev_memo_ops
-                else:
-                    base, edges, memo_ops, props = ct
-                    # Same expression shape/order as CostModel.op_cost_us —
-                    # float addition is not associative, so the term order is
-                    # part of the equivalence contract.
-                    cost_us = cpu_scale * (
-                        base * step_base_us
-                        + edges * edge_us
-                        + memo_ops * memo_op_us
-                        + props * prop_us
-                    )
-                    if shared:
-                        cost_us = cost_us * locality
-                        cost_us += (memo_ops + props + edges * 0.25) * per_access
-                    prev_tuple = ct
-                    prev_cost_us = cost_us
-                    prev_edges = edges
-                    prev_memo_ops = memo_ops
-                cpu += cost_us
-                edges_scanned += edges
-                memo_ops_total += memo_ops
-                if specs:
-                    nc = len(specs)
-                    run_spawned += nc
-                    if nc == 1:
-                        # Single-child fast path (filter passes, dedup
-                        # admits, loop continues): no RNG draw — the child
-                        # inherits the parent weight — and no zip machinery.
-                        # The block below is textually duplicated in the
-                        # multi-child loop; keep the two in sync.
-                        vertex, c_idx, payload, loops = specs[0]
-                        weight = trav.weight % modulus
-                        if c_idx != last_idx:
-                            if c_idx < 0 or c_idx >= num_ops:
-                                raise ExecutionError(
-                                    f"op {op.name} produced child with bad "
-                                    f"target index {c_idx}"
-                                )
-                            c_stage, c_mode, child_op = route_info[c_idx]
-                            c_key = (query_id, c_stage)
-                            last_idx = c_idx
-                        child = Traverser(
-                            query_id, vertex, c_idx, payload, weight,
-                            c_stage, loops,
-                        )
-                        # Routing: same mode dispatch as execute_batch.
-                        if c_mode == "vertex":
-                            if pcache_get is None or (
-                                pid := pcache_get(vertex)
-                            ) is None:
-                                pid = partitioner(vertex)
-                        elif c_mode == "free":
-                            if vertex >= 0:
-                                if pcache_get is None or (
-                                    pid := pcache_get(vertex)
-                                ) is None:
-                                    pid = partitioner(vertex)
-                            else:
-                                pid = min(-vertex - 1, num_partitions - 1)
-                        elif c_mode == "fixed":
-                            pid = barrier_route
-                        else:
-                            # Inlined resolve_partition.
-                            routed = child_op.routing(partitioner, child)
-                            if routed is not None:
-                                pid = routed
-                            elif vertex >= 0:
-                                if pcache_get is None or (
-                                    pid := pcache_get(vertex)
-                                ) is None:
-                                    pid = partitioner(vertex)
-                            else:
-                                pid = min(-vertex - 1, num_partitions - 1)
-                        if pid == self_pid:
-                            queue_append(child)
-                            # Deferred stage-count increment: contiguous
-                            # local children mostly share one stage key, so
-                            # batch the dict update. Flushed at run end —
-                            # before the next run's dec_stage_count (the only
-                            # reader during this _run) can observe the map.
-                            if c_key is lkey:
-                                lcount += 1
-                            else:
-                                if lcount:
-                                    stage_counts[lkey] = (
-                                        stage_counts.get(lkey, 0) + lcount
-                                    )
-                                lkey = c_key
-                                lcount = 1
-                        else:
-                            cpu += serialize_us
-                            # Inlined _buffer_traverser (hot path).
-                            if track_inflight:
-                                note_outbound(query_id)
-                            dst_node = pid // ppn
-                            buf = local_bufs[dst_node]
-                            if buf is None:
-                                buf = trav_buffers.get(dst_node)
-                                if buf is None:
-                                    buf = trav_buffers[dst_node] = []
-                                local_bufs[dst_node] = buf
-                                local_bytes[dst_node] = buffer_bytes.get(
-                                    dst_node, 0
-                                )
-                            if payload is last_payload:
-                                size = last_size
-                            else:
-                                last_payload = payload
-                                pk = id(payload)
-                                size = size_cache_get(pk)
-                                if size is None:
-                                    size = child.estimated_size_bytes()
-                                    size_cache[pk] = size
-                                last_size = size
-                            buf.append((pid, child, size))
-                            nbytes = local_bytes[dst_node] + size
-                            local_bytes[dst_node] = nbytes
-                            if nbytes >= flush_threshold:
-                                buffer_bytes[dst_node] = nbytes
-                                local_bufs[dst_node] = None
-                                cpu += flush(dst_node, t + cpu)
-                    else:
-                        # Inlined split_weight: same RNG draw sequence as the
-                        # scalar path (ops never consume the RNG, so drawing
-                        # after apply_batch instead of per apply is
-                        # invisible).
-                        parts = [getrandbits(64) for _ in range(nc - 1)]
-                        last = trav.weight % modulus
-                        for p in parts:
-                            last = (last - p) % modulus
-                        parts.append(last)
-                        for (vertex, c_idx, payload, loops), weight in zip(
-                            specs, parts
-                        ):
-                            if c_idx != last_idx:
-                                if c_idx < 0 or c_idx >= num_ops:
-                                    raise ExecutionError(
-                                        f"op {op.name} produced child with "
-                                        f"bad target index {c_idx}"
-                                    )
-                                c_stage, c_mode, child_op = route_info[c_idx]
-                                c_key = (query_id, c_stage)
-                                last_idx = c_idx
-                            child = Traverser(
-                                query_id, vertex, c_idx, payload, weight,
-                                c_stage, loops,
-                            )
-                            # Routing: same mode dispatch as execute_batch.
-                            if c_mode == "vertex":
-                                if pcache_get is None or (
-                                    pid := pcache_get(vertex)
-                                ) is None:
-                                    pid = partitioner(vertex)
-                            elif c_mode == "free":
-                                if vertex >= 0:
-                                    if pcache_get is None or (
-                                        pid := pcache_get(vertex)
-                                    ) is None:
-                                        pid = partitioner(vertex)
-                                else:
-                                    pid = min(-vertex - 1, num_partitions - 1)
-                            elif c_mode == "fixed":
-                                pid = barrier_route
-                            else:
-                                # Inlined resolve_partition.
-                                routed = child_op.routing(partitioner, child)
-                                if routed is not None:
-                                    pid = routed
-                                elif vertex >= 0:
-                                    if pcache_get is None or (
-                                        pid := pcache_get(vertex)
-                                    ) is None:
-                                        pid = partitioner(vertex)
-                                else:
-                                    pid = min(-vertex - 1, num_partitions - 1)
-                            if pid == self_pid:
-                                queue_append(child)
-                                if c_key is lkey:
-                                    lcount += 1
-                                else:
-                                    if lcount:
-                                        stage_counts[lkey] = (
-                                            stage_counts.get(lkey, 0) + lcount
-                                        )
-                                    lkey = c_key
-                                    lcount = 1
-                            else:
-                                cpu += serialize_us
-                                # Inlined _buffer_traverser (hot path).
-                                if track_inflight:
-                                    note_outbound(query_id)
-                                dst_node = pid // ppn
-                                buf = local_bufs[dst_node]
-                                if buf is None:
-                                    buf = trav_buffers.get(dst_node)
-                                    if buf is None:
-                                        buf = trav_buffers[dst_node] = []
-                                    local_bufs[dst_node] = buf
-                                    local_bytes[dst_node] = buffer_bytes.get(
-                                        dst_node, 0
-                                    )
-                                if payload is last_payload:
-                                    size = last_size
-                                else:
-                                    last_payload = payload
-                                    pk = id(payload)
-                                    size = size_cache_get(pk)
-                                    if size is None:
-                                        size = child.estimated_size_bytes()
-                                        size_cache[pk] = size
-                                    last_size = size
-                                buf.append((pid, child, size))
-                                nbytes = local_bytes[dst_node] + size
-                                local_bytes[dst_node] = nbytes
-                                if nbytes >= flush_threshold:
-                                    buffer_bytes[dst_node] = nbytes
-                                    local_bufs[dst_node] = None
-                                    cpu += flush(dst_node, t + cpu)
-                    if naive:
-                        sync_bufs()
-                        cpu += self._buffer_message(
-                            Message(
-                                MsgKind.PROGRESS,
-                                TRACKER_DST,
-                                ("delta", query_id, stage, len(specs) - 1),
-                                PROGRESS_MSG_BYTES,
-                                query_id,
-                            ),
-                            tracker_node,
-                            t + cpu,
-                        )
-                elif naive:
-                    sync_bufs()
-                    cpu += self._buffer_message(
-                        Message(
-                            MsgKind.PROGRESS,
-                            TRACKER_DST,
-                            ("delta", query_id, stage, -1),
-                            PROGRESS_MSG_BYTES,
-                            query_id,
-                        ),
-                        tracker_node,
-                        t + cpu,
-                    )
-                else:
-                    weight = trav.weight
-                    if weight:
-                        if coalesced:
-                            # Deferred to one absorb_many below: addition in
-                            # Z_{2^64} is associative and the accumulator is
-                            # only observed at flush time (end of _run).
-                            fin_total += weight
-                            fin_count += 1
-                        else:
-                            sync_bufs()
-                            cpu += self._buffer_message(
-                                Message(
-                                    MsgKind.PROGRESS,
-                                    TRACKER_DST,
-                                    ("weight", query_id, stage, weight),
-                                    PROGRESS_MSG_BYTES,
-                                    query_id,
-                                ),
-                                tracker_node,
-                                t + cpu,
-                            )
-            if lcount:
-                stage_counts[lkey] = stage_counts.get(lkey, 0) + lcount
-            if fin_count:
-                self._accum(query_id, stage).absorb_many(fin_total, fin_count)
-            spawned_total += run_spawned
-            if run_spawned:
-                op_spawned[op_idx] = op_spawned.get(op_idx, 0) + run_spawned
-                qmetrics.traversers_spawned += run_spawned
-
-        sync_bufs()
-        metrics = engine.metrics
-        metrics.steps_executed += steps
-        metrics.edges_scanned += edges_scanned
-        metrics.memo_ops += memo_ops_total
-        metrics.traversers_spawned += spawned_total
+        cpu = self.kernel.drain(self, t, touched)
 
         if budgets_armed and touched:
             engine._check_budgets_of(touched)
 
         # End of batch: flush coalesced weights of stages with no local work
-        # left (same rule as the scalar loop).
-        if coalesced:
+        # left (the paper's "flush before the thread sleeps" rule, refined to
+        # per-stage idleness so one busy query cannot stall another's
+        # termination).
+        if engine.config.progress_mode.coalesced:
             cpu += self._flush_idle_accums(t + cpu)
 
         cpu *= self.slowdown
@@ -965,9 +391,9 @@ class Worker:
         per-destination-partition batch messages at flush time, so the
         per-traverser bookkeeping stays off the hot path.
         """
-        engine = self.engine
-        if engine.track_inflight:
-            engine.note_outbound(child.query_id)
+        delivery = self.engine.delivery
+        if delivery.track_inflight:
+            delivery.note_outbound(child.query_id)
         buf = self._trav_buffers.setdefault(dst_node, [])
         size = child.estimated_size_bytes()
         buf.append((pid, child, size))
@@ -997,7 +423,7 @@ class Worker:
             return 0.0
         if msgs:
             self._buffers[dst_node] = []
-        gates = self.engine._gates
+        gates = self.engine.delivery.gates
         gated: List[Tuple[int, List[Traverser], int]] = []
         if pairs:
             self._trav_buffers[dst_node] = []
@@ -1082,31 +508,3 @@ class Worker:
         for dst_node in set(self._buffers) | set(self._trav_buffers):
             cost += self._flush(dst_node, when + cost)
         return cost
-
-
-class TrackerActor:
-    """The centralized progress tracker / query coordinator CPU.
-
-    A serial resource: progress and partial messages queue behind each
-    other, which is exactly the bottleneck weight coalescing relieves.
-    """
-
-    def __init__(self, engine: "AsyncPSTMEngine") -> None:
-        self.engine = engine
-        self.free_at = 0.0
-        self.messages_processed = 0
-
-    def submit(self, msg: Message, at: float, cost_us: float) -> None:
-        """Queue a message behind the tracker's serial CPU."""
-        start = max(self.free_at, at)
-        self.free_at = start + cost_us
-        self.messages_processed += 1
-        self.engine.clock.schedule_at(
-            self.free_at, lambda m=msg: self.engine.tracker_handle(m)
-        )
-
-    def charge(self, at: float, cost_us: float) -> float:
-        """Occupy the tracker CPU for ``cost_us``; returns completion time."""
-        start = max(self.free_at, at)
-        self.free_at = start + cost_us
-        return self.free_at

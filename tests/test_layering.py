@@ -1,0 +1,37 @@
+"""The runtime layering contract, enforced in tier-1 (and again in CI).
+
+``tools/check_layering.py`` is the single source of truth for the layer
+order and the module size budgets; this test just runs it so a layering
+regression fails the ordinary test suite, not only the CI job.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def test_runtime_layering_and_size_budgets():
+    proc = subprocess.run(
+        [sys.executable, str(REPO / "tools" / "check_layering.py")],
+        capture_output=True, text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_worker_does_not_import_engine_at_runtime():
+    """The satellite gate, stated directly: worker.py has no runtime
+    import of the engine or the delivery plane — workers reach both only
+    through the engine object handed to them (composition flows
+    downward). TYPE_CHECKING imports are fine; typing is not a runtime
+    dependency."""
+    sys.path.insert(0, str(REPO / "tools"))
+    try:
+        from check_layering import runtime_imports
+    finally:
+        sys.path.pop(0)
+    worker = REPO / "src" / "repro" / "runtime" / "worker.py"
+    targets = {mod for _lineno, mod in runtime_imports(worker)}
+    assert "engine" not in targets
+    assert "delivery" not in targets

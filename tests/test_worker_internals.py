@@ -6,8 +6,9 @@ from repro.core.progress import ProgressMode
 from repro.core.traverser import Traverser
 from repro.query.traversal import Traversal
 from repro.runtime.engine import AsyncPSTMEngine, EngineConfig
+from repro.runtime.delivery import TrackerActor
 from repro.runtime.metrics import MsgKind
-from repro.runtime.worker import PROGRESS_MSG_BYTES, TrackerActor
+from repro.runtime.worker import PROGRESS_MSG_BYTES
 from tests.conftest import random_graph
 
 

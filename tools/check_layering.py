@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Import-layering and size gates for the runtime package.
+
+The runtime is a strict layering (docs/ARCHITECTURE.md); each module may
+import only modules *strictly below* it:
+
+    simclock < config < metrics < lifecycle < costmodel < faults
+             < network < overload < kernels < worker < delivery < engine
+
+Everything above ``engine`` (bsp, hybrid, variants, reference, cluster,
+the package __init__) composes freely and is not constrained here.
+
+Two classes of violation fail the build:
+
+* an upward (or sideways) runtime import between layered modules — most
+  importantly, ``worker.py`` may not import ``engine`` or ``delivery`` at
+  runtime: workers reach the delivery plane only through the engine
+  object handed to them. ``if TYPE_CHECKING:`` blocks are exempt; typing
+  is not a runtime dependency.
+* a module outgrowing its budget: ``engine.py`` and ``worker.py`` must
+  each stay under 900 lines. The layered decomposition exists to keep
+  the god-module from reassembling itself.
+
+Stdlib only (ast); no third-party dependency. Exit 0 = clean.
+"""
+
+import ast
+import sys
+from pathlib import Path
+
+RUNTIME = Path(__file__).resolve().parent.parent / "src" / "repro" / "runtime"
+
+#: bottom to top; a module may import only strictly earlier entries
+LAYERS = [
+    "simclock",
+    "config",
+    "metrics",
+    "lifecycle",
+    "costmodel",
+    "faults",
+    "network",
+    "overload",
+    "kernels",
+    "worker",
+    "delivery",
+    "engine",
+]
+RANK = {name: i for i, name in enumerate(LAYERS)}
+
+#: maximum line count per module (the anti-god-module gate)
+MAX_LINES = {"engine.py": 900, "worker.py": 900}
+
+
+def _is_type_checking(test: ast.expr) -> bool:
+    return (isinstance(test, ast.Name) and test.id == "TYPE_CHECKING") or (
+        isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING"
+    )
+
+
+def runtime_imports(path: Path):
+    """Yield (lineno, module) for runtime-package imports outside
+    ``if TYPE_CHECKING:`` blocks (their bodies are skipped; else-branches
+    still count)."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+
+    def visit(node):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.If) and _is_type_checking(child.test):
+                for stmt in child.orelse:
+                    yield from visit(stmt)
+                continue
+            if (
+                isinstance(child, ast.ImportFrom)
+                and child.module
+                and child.module.startswith("repro.runtime.")
+            ):
+                yield child.lineno, child.module.split(".")[2]
+            elif isinstance(child, ast.Import):
+                for alias in child.names:
+                    if alias.name.startswith("repro.runtime."):
+                        yield child.lineno, alias.name.split(".")[2]
+            yield from visit(child)
+
+    yield from visit(tree)
+
+
+def main() -> int:
+    errors = []
+
+    for name in LAYERS:
+        path = RUNTIME / f"{name}.py"
+        if not path.exists():
+            errors.append(f"{path}: layered module missing")
+            continue
+        rank = RANK[name]
+        for lineno, target in runtime_imports(path):
+            if target == name:
+                continue
+            if target not in RANK:
+                errors.append(
+                    f"{path}:{lineno}: {name} imports unlayered runtime "
+                    f"module {target!r} (only {', '.join(LAYERS[:rank])} "
+                    f"are below it)"
+                )
+            elif RANK[target] >= rank:
+                errors.append(
+                    f"{path}:{lineno}: {name} imports {target} at runtime, "
+                    f"but {target} is layered at or above {name} "
+                    f"(move the import under TYPE_CHECKING or invert the "
+                    f"dependency)"
+                )
+
+    for filename, budget in MAX_LINES.items():
+        path = RUNTIME / filename
+        lines = sum(1 for _ in path.open())
+        if lines >= budget:
+            errors.append(
+                f"{path}: {lines} lines, budget is < {budget} — split "
+                f"responsibilities into a lower layer instead of growing "
+                f"the module"
+            )
+
+    if errors:
+        print("\n".join(errors))
+        print(f"\n{len(errors)} layering violation(s)")
+        return 1
+    checked = ", ".join(LAYERS)
+    print(f"layering OK ({checked}); "
+          + "; ".join(f"{f} under {n} lines" for f, n in MAX_LINES.items()))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
