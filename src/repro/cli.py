@@ -8,6 +8,7 @@ Usage::
     python -m repro demo                 # the Fig 1 quickstart query
     python -m repro explain khop3        # show a compiled plan
     python -m repro faults --drop-rate 0.01 --seed 1   # fault-injection demo
+    python -m repro trace --cancel --out trace.jsonl   # observability demo
 
 Experiment names map to the functions in :mod:`repro.bench.experiments`;
 heavyweight experiments accept their default (benchmark-suite) parameters.
@@ -258,6 +259,90 @@ def cmd_overload(args: argparse.Namespace) -> int:
     return overload.main(forwarded)
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run a traced k-hop batch, audit the trace, and print a summary.
+
+    The worked example of docs/OBSERVABILITY.md: a batch of k-hop queries
+    runs with ``EngineConfig.trace`` enabled (optionally under injected
+    faults and a mid-flight cancellation), the per-query trace summary and
+    event-kind histogram are printed, and the
+    :class:`~repro.runtime.trace.WeightLedgerAuditor` replays the trace to
+    re-derive the Theorem-1 ledger. Exit code 0 means zero violations.
+    """
+    import random as _random
+
+    from repro.datasets.synthetic import PowerLawConfig, powerlaw_graph
+    from repro.graph.partition import PartitionedGraph
+    from repro.query.traversal import Traversal
+    from repro.runtime.engine import AsyncPSTMEngine, EngineConfig
+    from repro.runtime.faults import FaultPlan
+    from repro.runtime.trace import WeightLedgerAuditor
+
+    nodes, wpn = 4, 2
+    config = PowerLawConfig("trace-demo", 400, 6.0)
+    graph = PartitionedGraph.from_graph(
+        powerlaw_graph(config, seed=7), nodes * wpn
+    )
+    plan = (
+        Traversal("khop3_count")
+        .v_param("start")
+        .khop(config.edge_label, k=3)
+        .count()
+        .compile(graph)
+    )
+    rng = _random.Random(42)
+    starts = [rng.randrange(config.num_vertices) for _ in range(args.queries)]
+
+    fault_plan = None
+    if args.drop_rate > 0:
+        fault_plan = FaultPlan(seed=args.seed, drop_rate=args.drop_rate)
+    engine = AsyncPSTMEngine(
+        graph, nodes, wpn,
+        config=EngineConfig(trace=True, fault_plan=fault_plan),
+        seed=args.seed,
+    )
+    sessions = [engine.submit(plan, {"start": s}) for s in starts]
+    if args.cancel and sessions:
+        engine.clock.schedule_at(
+            40.0, lambda: engine.cancel(sessions[0], "caller")
+        )
+    engine.clock.run_until_idle()
+    trace = engine.trace
+
+    print(f"{len(trace)} trace events from {len(sessions)} queries")
+    kinds: Dict[str, int] = {}
+    for ev in trace:
+        kinds[ev.kind] = kinds.get(ev.kind, 0) + 1
+    for kind in sorted(kinds, key=kinds.get, reverse=True):
+        print(f"  {kind:<16} {kinds[kind]:>7}")
+    print()
+    print(f"{'query':>6} {'events':>7} {'traversers':>10} "
+          f"{'spawned':>8} {'cpu_us':>10}")
+    for qid, row in sorted(engine.trace.summary().items()):
+        if qid < 0:
+            continue
+        print(f"{qid:>6} {row['events']:>7} {row['traversers']:>10} "
+              f"{row['spawned']:>8} {row['cpu_us']:>10.1f}")
+
+    if args.out:
+        if args.out.endswith(".json"):
+            import json as _json
+
+            with open(args.out, "w") as fh:
+                _json.dump(trace.to_chrome_trace(), fh)
+            print(f"\nwrote Chrome trace to {args.out} "
+                  f"(load in chrome://tracing or Perfetto)")
+        else:
+            n = trace.dump_jsonl(args.out, metrics=engine.metrics)
+            print(f"\nwrote {n} JSONL records to {args.out}")
+
+    report = WeightLedgerAuditor(trace.events).audit()
+    print(f"\n{report}")
+    for violation in report.violations[:10]:
+        print(f"  {violation}")
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command-line parser."""
     parser = argparse.ArgumentParser(
@@ -314,6 +399,22 @@ def build_parser() -> argparse.ArgumentParser:
     overload.add_argument("--out", default=None,
                           help="write a JSON report here")
     overload.set_defaults(fn=cmd_overload)
+    trace = sub.add_parser(
+        "trace",
+        help="observability demo: traced k-hop batch + weight-ledger audit",
+    )
+    trace.add_argument("--queries", type=int, default=12,
+                       help="k-hop queries per batch (default 12)")
+    trace.add_argument("--seed", type=int, default=1,
+                       help="engine/fault RNG seed (default 1)")
+    trace.add_argument("--drop-rate", type=float, default=0.0,
+                       help="also inject per-packet drops at this rate")
+    trace.add_argument("--cancel", action="store_true",
+                       help="cancel the first query mid-flight")
+    trace.add_argument("--out", default=None,
+                       help="dump the trace here (.json = Chrome trace "
+                            "format, anything else = JSONL)")
+    trace.set_defaults(fn=cmd_trace)
     return parser
 
 

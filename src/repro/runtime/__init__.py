@@ -35,6 +35,12 @@ from repro.runtime.lifecycle import (
 from repro.runtime.metrics import LatencyRecorder, MsgKind, QueryMetrics, RunMetrics
 from repro.runtime.reference import LocalExecutor
 from repro.runtime.simclock import SimClock
+from repro.runtime.trace import (
+    AuditReport,
+    TraceEvent,
+    TraceRecorder,
+    WeightLedgerAuditor,
+)
 from repro.runtime.variants import (
     SingleNodeEngine,
     make_banyan,
@@ -47,6 +53,7 @@ from repro.runtime.variants import (
 
 __all__ = [
     "AsyncPSTMEngine",
+    "AuditReport",
     "BSPEngine",
     "BatchKernel",
     "ClusterConfig",
@@ -81,6 +88,9 @@ __all__ = [
     "SMALL_CLUSTER",
     "SimClock",
     "SingleNodeEngine",
+    "TraceEvent",
+    "TraceRecorder",
+    "WeightLedgerAuditor",
     "WorkerFault",
     "estimate_plan_work",
     "make_banyan",

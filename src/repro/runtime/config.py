@@ -87,6 +87,10 @@ class EngineConfig:
     #: budget-cancelled queries whose final stage already holds partials
     #: return those partial rows (flagged partial) instead of raising
     allow_partial_results: bool = False
+    #: attach a TraceRecorder and emit structured events from every layer
+    #: (docs/OBSERVABILITY.md). Off by default: the disabled mode allocates
+    #: no event objects on the hot path.
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.io_mode not in (IO_SYNC, IO_TLC, IO_TLC_NLC):

@@ -36,6 +36,7 @@ from repro.errors import ExecutionError
 from repro.runtime.metrics import MsgKind
 from repro.runtime.network import TRACKER_DST, Message
 from repro.runtime.overload import CreditGate
+from repro.runtime.trace import MEMO_CLEAR, QUERY_CLOSE, RECLAIM, TRACKER_REPORT
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.engine import AsyncPSTMEngine
@@ -57,7 +58,8 @@ class DeliveryPlane:
         #: per-partition credit gates (None → backpressure disarmed)
         self.gates: Optional[List[CreditGate]] = (
             [
-                CreditGate(pid, config.inbox_capacity, engine.clock)
+                CreditGate(pid, config.inbox_capacity, engine.clock,
+                           trace=engine.trace)
                 for pid in range(engine.num_partitions)
             ]
             if config.inbox_capacity is not None
@@ -162,6 +164,11 @@ class DeliveryPlane:
         engine = self.engine
         if msg.kind is MsgKind.PROGRESS:
             tag, query_id, stage, value = msg.payload
+            if engine.trace is not None:
+                # core.progress stays trace-free (cross-package layering);
+                # every report passes through here, so emit at the boundary.
+                engine.trace.emit(TRACKER_REPORT, query_id, stage=stage,
+                                  tag=tag, value=value)
             if tag == "weight":
                 engine.progress.report_weight(query_id, stage, value)
             else:
@@ -209,6 +216,10 @@ class DeliveryPlane:
         ``session`` overrides the mid-cancellation lookup for queries no
         longer in :attr:`cancelling`.
         """
+        if self.engine.trace is not None:
+            self.engine.trace.emit(RECLAIM, query_id, stage=stage,
+                                   weight=weight % GROUP_MODULUS, count=count,
+                                   reported=report)
         if count:
             self.engine.metrics.traversers_reclaimed += count
             if session is None:
@@ -243,6 +254,8 @@ class DeliveryPlane:
         engine = self.engine
         runtime = engine.runtimes[pid]
         runtime.memo_store.clear_query(query_id)
+        if engine.trace is not None:
+            engine.trace.emit(MEMO_CLEAR, query_id, pid=pid, site="cancel")
         weight, n = self.purge_partition(runtime, query_id)
         for worker in engine.workers:
             if worker.runtime is runtime:
@@ -260,6 +273,8 @@ class DeliveryPlane:
         """
         engine = self.engine
         query_id = session.query_id
+        if engine.trace is not None:
+            engine.trace.emit(MEMO_CLEAR, query_id, pid=-1, site="teardown")
         for runtime in engine.runtimes:
             runtime.memo_store.clear_query(query_id)
             _w, n = self.purge_partition(runtime, query_id)
@@ -269,6 +284,8 @@ class DeliveryPlane:
             self.reclaim(query_id, -1, 0, n, report=False, session=session)
         self.inflight.pop(query_id, None)
         engine.progress.close_query(query_id)
+        if engine.trace is not None:
+            engine.trace.emit(QUERY_CLOSE, query_id, reason="teardown")
 
 
 class TrackerActor:

@@ -69,11 +69,13 @@ from repro.runtime.lifecycle import (
     QueryResult,
     QuerySession,
     QueryState,
+    salvage_partial,
 )
 from repro.runtime.metrics import LatencyRecorder, MsgKind, RunMetrics
 from repro.runtime.network import TRACKER_DST, Message, Network
 from repro.runtime.overload import AdmissionController
 from repro.runtime.simclock import SimClock
+from repro.runtime.trace import SEED_DISPATCH, STAGE_CLOSE, STAGE_OPEN, TraceRecorder
 from repro.runtime.worker import PartitionRuntime, Worker
 
 __all__ = [
@@ -135,6 +137,15 @@ class AsyncPSTMEngine:
 
         self.clock = SimClock()
         self.metrics = RunMetrics()
+        #: observability plane (docs/OBSERVABILITY.md); None → hooks are off
+        self.trace: Optional[TraceRecorder] = (
+            TraceRecorder(
+                self.clock, mode=config.progress_mode.value,
+                kernel="scalar" if config.scalar_execution else "batch",
+                nodes=nodes, partitions=self.num_partitions, seed=seed,
+            )
+            if config.trace else None
+        )
         #: fault source (None → no faults, no reliability layer, no watchdog)
         self.faults: Optional[FaultInjector] = (
             FaultInjector(config.fault_plan) if config.fault_plan is not None
@@ -154,6 +165,7 @@ class AsyncPSTMEngine:
             faults=self.faults,
             on_retransmit=self.recovery.note_retransmit,
             on_packet_fault=self.recovery.note_packet_fault,
+            trace=self.trace,
         )
         # Effective tier-1 flush threshold: IO_SYNC flushes every message.
         self._flush_threshold = (
@@ -260,6 +272,14 @@ class AsyncPSTMEngine:
             snap["admission_waiting"] = self._admission.waiting
             snap["admission_peak_waiting"] = self._admission.peak_waiting
         return snap
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """Flat counter snapshot with gate-derived counters synced first
+        (``credit_stalls`` lives in the gates between syncs)."""
+        self.metrics.credit_stalls = sum(
+            g.stalls for g in (self.delivery.gates or [])
+        )
+        return self.metrics.snapshot()
 
     # -- layer shims --------------------------------------------------------
 
@@ -452,7 +472,7 @@ class AsyncPSTMEngine:
             and not session.cursor.finished
             and session.plan.is_final_stage(session.cursor.current)
         ):
-            self._salvage_partial(session)
+            salvage_partial(self, session)
         now = self.clock.now
         stage = session.cursor.current if not session.cursor.finished else -1
         ledger = self.progress.ledger(query_id, stage)
@@ -487,35 +507,7 @@ class AsyncPSTMEngine:
                 now,
             )
 
-    def _salvage_partial(self, session: QuerySession) -> None:
-        """Best-effort partial result for a budget-cancelled final stage.
-
-        The final stage's barrier partials that already exist in partition
-        memos are gathered synchronously (no messages — the query is being
-        torn down, modelling its latency is pointless) and finalized into
-        rows flagged ``partial``. Degraded-mode answer, exact subset.
-        """
-        query_id = session.query_id
-        stage = session.cursor.current
-        barrier = session.cursor.barrier()
-        gathered: List[GatheredPartial] = []
-        for pid, runtime in enumerate(self.runtimes):
-            memo = runtime.memo_store.peek(query_id)
-            if memo is None:
-                continue
-            value = barrier.partial(memo)
-            if value is None:
-                continue
-            gathered.append(
-                GatheredPartial(pid, value, barrier.estimated_partial_size(value))
-            )
-        session.cursor.complete_stage(gathered, session.rng)
-        if session.cursor.finished:
-            session._salvaged = True
-            session.qmetrics.completed_at_us = self.clock.now
-            session.qmetrics.result_rows = len(session.cursor.results or [])
-
-    def _finalize_cancel(self, session: QuerySession) -> None:
+    def _finalize_cancel(self, session: QuerySession, stage: int = -1) -> None:
         """The cancelled stage's ledger closed: finish the teardown.
 
         By this point every partition has processed its CANCEL, all
@@ -527,6 +519,10 @@ class AsyncPSTMEngine:
         query_id = session.query_id
         if self.delivery.cancelling.pop(query_id, None) is None:
             return
+        if self.trace is not None:
+            # stage >= 0: the ledger closed by reclamation; -1: crash-forced.
+            self.trace.emit(STAGE_CLOSE, query_id, stage=stage,
+                            reason="cancelled" if stage >= 0 else "cancel_forced")
         session.lifecycle.to(
             QueryState.PARTIAL if session._salvaged else QueryState.FAILED,
             session.qmetrics.cancel_reason,
@@ -603,6 +599,8 @@ class AsyncPSTMEngine:
             )
             ready_at = self.tracker.charge(now, coord_setup)
         self.progress.open_stage(session.query_id, 0)
+        if self.trace is not None:
+            self.trace.emit(STAGE_OPEN, session.query_id, stage=0)
         seeds = self._stage0_seeds(session)
         if ready_at > now:
             self.clock.schedule_at(
@@ -638,6 +636,10 @@ class AsyncPSTMEngine:
         self, session: QuerySession, seeds: List[Traverser], now: float
     ) -> None:
         """Route seed traversers from the coordinator to their partitions."""
+        if self.trace is not None and seeds:
+            self.trace.emit(SEED_DISPATCH, session.query_id,
+                            stage=seeds[0].stage, n=len(seeds),
+                            weight=sum(t.weight for t in seeds))
         if self.config.progress_mode is ProgressMode.NAIVE_CENTRAL and seeds:
             # The coordinator knows the seed count; no message needed.
             self.progress.add_naive_active(
@@ -668,7 +670,7 @@ class AsyncPSTMEngine:
             # A cancelled stage's ledger closed: all outstanding weight was
             # executed or reclaimed, so nothing of the query remains queued,
             # buffered, or in flight — finish the teardown.
-            self._finalize_cancel(cancelling)
+            self._finalize_cancel(cancelling, stage)
             return
         session = self.sessions.get(query_id)
         if session is None or session.cursor.current != stage:
@@ -721,6 +723,9 @@ class AsyncPSTMEngine:
         # (retransmitted / stale) weight reports resolve to "unknown stage"
         # instead of accumulating terminated ledgers for the query's life.
         self.progress.close_stage(session.query_id, stage)
+        if self.trace is not None:
+            self.trace.emit(STAGE_CLOSE, session.query_id, stage=stage,
+                            reason="terminated")
         seeds = session.cursor.complete_stage(session.partials, session.rng)
         # Vacuously-empty intermediate stages terminate immediately.
         while not seeds and not session.cursor.finished:
@@ -729,6 +734,9 @@ class AsyncPSTMEngine:
             self._finish_query(session)
             return
         self.progress.open_stage(session.query_id, session.cursor.current)
+        if self.trace is not None:
+            self.trace.emit(STAGE_OPEN, session.query_id,
+                            stage=session.cursor.current)
         self._dispatch_seeds(session, seeds, self.clock.now)
 
     def _finish_query(self, session: QuerySession) -> None:

@@ -44,6 +44,12 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 from repro.core.subquery import StageCursor
 from repro.errors import ConfigurationError
 from repro.runtime.lifecycle import REASON_RETRY_BUDGET, QueryState
+from repro.runtime.trace import (
+    MEMO_CLEAR,
+    QUERY_CLOSE,
+    STAGE_OPEN,
+    WORKER_FAULT,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.engine import AsyncPSTMEngine
@@ -227,6 +233,9 @@ class RecoveryManager:
         worker = engine.workers[wf.wid]
         now = engine.clock.now
         engine.faults.note_worker_fault(wf.kind)
+        if engine.trace is not None:
+            engine.trace.emit(WORKER_FAULT, -1, wid=wf.wid, fault=wf.kind,
+                              down_us=wf.down_us)
         if wf.kind == CRASH:
             engine.metrics.worker_crashes += 1
             runtime = worker.runtime
@@ -356,6 +365,12 @@ class RecoveryManager:
         """
         engine = self.engine
         old_query_id = session.query_id
+        if engine.trace is not None:
+            # "recover" drops the abandoned attempt's open stage ledgers
+            # without the terminated/cancelled closing assertions: a crash
+            # or exhausted transport legitimately lost weight mid-stage.
+            engine.trace.emit(MEMO_CLEAR, old_query_id, pid=-1, site="recover")
+            engine.trace.emit(QUERY_CLOSE, old_query_id, reason="recover")
         for runtime in engine.runtimes:
             runtime.memo_store.clear_query(old_query_id)
             # purge_partition (not raw purge_query): inboxed traversers of
@@ -380,5 +395,8 @@ class RecoveryManager:
         session.expected_partials = 0
         engine.sessions[new_query_id] = session
         engine.progress.open_stage(new_query_id, 0)
+        if engine.trace is not None:
+            engine.trace.emit(STAGE_OPEN, new_query_id, stage=0,
+                              retry_of=old_query_id)
         engine._dispatch_seeds(session, engine._stage0_seeds(session), engine.clock.now)
         self.arm_watchdog(session)

@@ -34,6 +34,7 @@ from repro.core.weight import GROUP_MODULUS
 from repro.errors import ExecutionError
 from repro.runtime.metrics import MsgKind
 from repro.runtime.network import TRACKER_DST, Message
+from repro.runtime.trace import EXEC
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.engine import EngineConfig
@@ -82,6 +83,7 @@ class ScalarKernel:
         cm = engine.cost
         config = engine.config
         metrics = engine.metrics
+        trace = engine.trace
         sharers = len(runtime.workers)
         budgets_armed = touched is not None
         cpu = 0.0
@@ -130,6 +132,23 @@ class ScalarKernel:
                     session.op_spawned.get(op_idx, 0) + len(result.children)
                 )
                 session.qmetrics.traversers_spawned += len(result.children)
+
+            if trace is not None:
+                # Pure observation: by the machine's weight contract,
+                # w_in == w_out + w_fin exactly (children and finished
+                # weight are mutually exclusive), which the ledger auditor
+                # cross-checks per execution.
+                trace.emit(
+                    EXEC, trav.query_id, pid=runtime.pid, wid=worker.wid,
+                    stage=trav.stage, op_idx=op_idx, n=1,
+                    spawned=len(result.children),
+                    w_in=trav.weight % GROUP_MODULUS,
+                    w_fin=result.finished_weight % GROUP_MODULUS,
+                    w_out=sum(
+                        c.weight for c, _ in result.children
+                    ) % GROUP_MODULUS,
+                    cpu=cost_us,
+                )
 
             for child, routed in result.children:
                 pid = engine.resolve_target(child, routed)
@@ -210,8 +229,10 @@ class BatchKernel:
         delivery = engine.delivery
         sharers = len(runtime.workers)
         budgets_armed = touched is not None
+        trace = engine.trace
         cpu = 0.0
         budget = config.batch_size
+        run_cpu0 = 0.0
 
         cpu_scale = cm.cpu_scale
         step_base_us = cm.step_base_us
@@ -330,6 +351,8 @@ class BatchKernel:
                         dropped += trav.weight
                     delivery.reclaim(query_id, stage, dropped, n_run)
                 continue
+            if trace is not None:
+                run_cpu0 = cpu
             op = ops[op_idx]
             outcome = op.apply_batch(ctx, run)
             spec_rows = outcome.children
@@ -610,6 +633,11 @@ class BatchKernel:
                             fin_total += weight
                             fin_count += 1
                         else:
+                            if trace is not None:
+                                # Observation only: fin_count stays 0, so
+                                # the coalescing absorb below never fires —
+                                # fin_total just feeds the EXEC event.
+                                fin_total += weight
                             sync_bufs()
                             cpu += worker._buffer_message(
                                 Message(
@@ -626,6 +654,19 @@ class BatchKernel:
                 stage_counts[lkey] = stage_counts.get(lkey, 0) + lcount
             if fin_count:
                 worker._accum(query_id, stage).absorb_many(fin_total, fin_count)
+            if trace is not None:
+                # One EXEC event per fused run: per-traverser weights are
+                # not materialized here (that is the point of batching), so
+                # the event carries run totals; the auditor checks the
+                # active-weight ledger, not per-traverser conservation.
+                trace.emit(
+                    EXEC, query_id, pid=self_pid, wid=worker.wid,
+                    stage=stage, op_idx=op_idx, n=n_run,
+                    spawned=run_spawned,
+                    w_in=sum(tr.weight for tr in run) % modulus,
+                    w_fin=fin_total % modulus,
+                    cpu=cpu - run_cpu0,
+                )
             spawned_total += run_spawned
             if run_spawned:
                 op_spawned[op_idx] = op_spawned.get(op_idx, 0) + run_spawned

@@ -56,11 +56,13 @@ from repro.core.subquery import GatheredPartial, StageCursor
 from repro.errors import ExecutionError, LifecycleError
 from repro.query.plan import PhysicalPlan
 from repro.runtime.metrics import QueryMetrics
+from repro.runtime.trace import LIFECYCLE, MEMO_ATTACH
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from collections import Counter
 
     from repro.runtime.engine import AsyncPSTMEngine
+    from repro.runtime.trace import TraceRecorder
 
 
 class QueryState(Enum):
@@ -130,13 +132,19 @@ class QueryLifecycle:
     be audited after the fact.
     """
 
-    __slots__ = ("state", "reason", "_counts")
+    __slots__ = ("state", "reason", "_counts", "_trace", "_query_id")
 
-    def __init__(self, counts: Optional["Counter"] = None) -> None:
+    def __init__(self, counts: Optional["Counter"] = None,
+                 trace: Optional["TraceRecorder"] = None,
+                 query_id: int = -1) -> None:
         self.state = QueryState.QUEUED
         #: why a terminal state was entered ("timeout", "queue_full", ...)
         self.reason: Optional[str] = None
         self._counts = counts
+        # Trace events carry the submission-time query id: a crash-retried
+        # session keeps its lifecycle (and this id) across attempts.
+        self._trace = trace
+        self._query_id = query_id
 
     def to(self, state: QueryState, reason: Optional[str] = None) -> None:
         """Take one validated edge; illegal edges raise LifecycleError."""
@@ -144,6 +152,9 @@ class QueryLifecycle:
             raise LifecycleError(self.state.value, state.value)
         if self._counts is not None:
             self._counts[f"{self.state.value}->{state.value}"] += 1
+        if self._trace is not None:
+            self._trace.emit(LIFECYCLE, self._query_id, src=self.state.value,
+                             dst=state.value, reason=reason)
         self.state = state
         if reason is not None:
             self.reason = reason
@@ -273,7 +284,10 @@ class QuerySession:
         self.expected_partials = 0
         self.partials: List[GatheredPartial] = []
         #: the one source of truth for this query's outcome
-        self.lifecycle = QueryLifecycle(engine.metrics.lifecycle_transitions)
+        self.lifecycle = QueryLifecycle(
+            engine.metrics.lifecycle_transitions,
+            trace=getattr(engine, "trace", None), query_id=query_id,
+        )
         #: True while parked in the admission wait queue (queue bookkeeping
         #: owned by :class:`~repro.runtime.overload.AdmissionController`;
         #: distinct from the lifecycle because a QUEUED session may also be
@@ -372,6 +386,9 @@ class QuerySession:
                 self.params,
             )
             self._contexts[pid] = ctx
+            trace = getattr(self.engine, "trace", None)
+            if trace is not None:
+                trace.emit(MEMO_ATTACH, self.query_id, pid=pid)
         return ctx
 
     @property
@@ -380,3 +397,31 @@ class QuerySession:
         if self.cursor.results is None:
             raise ExecutionError(f"query {self.query_id} has not finished")
         return self.cursor.results
+
+
+def salvage_partial(engine: "AsyncPSTMEngine", session: QuerySession) -> None:
+    """Best-effort partial result for a budget-cancelled final stage.
+
+    The final stage's barrier partials that already exist in partition
+    memos are gathered synchronously (no messages — the query is being
+    torn down, modelling its latency is pointless) and finalized into
+    rows flagged ``partial``. Degraded-mode answer, exact subset.
+    """
+    query_id = session.query_id
+    barrier = session.cursor.barrier()
+    gathered: List[GatheredPartial] = []
+    for pid, runtime in enumerate(engine.runtimes):
+        memo = runtime.memo_store.peek(query_id)
+        if memo is None:
+            continue
+        value = barrier.partial(memo)
+        if value is None:
+            continue
+        gathered.append(
+            GatheredPartial(pid, value, barrier.estimated_partial_size(value))
+        )
+    session.cursor.complete_stage(gathered, session.rng)
+    if session.cursor.finished:
+        session._salvaged = True
+        session.qmetrics.completed_at_us = engine.clock.now
+        session.qmetrics.result_rows = len(session.cursor.results or [])

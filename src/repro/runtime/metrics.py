@@ -98,37 +98,27 @@ class RunMetrics:
         return sum(v for k, v in self.messages.items() if k is not MsgKind.PROGRESS)
 
     def snapshot(self) -> Dict[str, int]:
-        """All counters as a flat dict (for reports)."""
-        out = {
-            "steps_executed": self.steps_executed,
-            "traversers_spawned": self.traversers_spawned,
-            "edges_scanned": self.edges_scanned,
-            "memo_ops": self.memo_ops,
-            "packets_sent": self.packets_sent,
-            "bytes_sent": self.bytes_sent,
-            "flushes": self.flushes,
-            "local_deliveries": self.local_deliveries,
-            "supersteps": self.supersteps,
-            "retransmits": self.retransmits,
-            "packets_dropped": self.packets_dropped,
-            "packets_duplicated": self.packets_duplicated,
-            "packets_delayed": self.packets_delayed,
-            "duplicates_suppressed": self.duplicates_suppressed,
-            "acks_sent": self.acks_sent,
-            "worker_crashes": self.worker_crashes,
-            "worker_stalls": self.worker_stalls,
-            "query_retries": self.query_retries,
-            "queries_rejected": self.queries_rejected,
-            "admission_timeouts": self.admission_timeouts,
-            "queries_cancelled": self.queries_cancelled,
-            "budget_cancels": self.budget_cancels,
-            "traversers_reclaimed": self.traversers_reclaimed,
-            "weight_reclaim_reports": self.weight_reclaim_reports,
-            "credit_stalls": self.credit_stalls,
-            "lifecycle_transitions": sum(self.lifecycle_transitions.values()),
-        }
-        for kind in MsgKind:
-            out[f"messages_{kind.value}"] = self.message_count(kind)
+        """All counters as a flat dict (for reports and trace exports).
+
+        Derived from the dataclass fields rather than a hand-maintained
+        key list, so a counter added to :class:`RunMetrics` can never be
+        silently missing from reports — the metrics-completeness test
+        asserts exactly this property. The two Counter-valued fields are
+        flattened: ``messages`` to one ``messages_<kind>`` entry per
+        :class:`MsgKind` and ``lifecycle_transitions`` to its total (the
+        per-edge breakdown stays on the attribute for audits).
+        """
+        from dataclasses import fields
+
+        out: Dict[str, int] = {}
+        for f in fields(self):
+            if f.name == "messages":
+                for kind in MsgKind:
+                    out[f"messages_{kind.value}"] = self.message_count(kind)
+            elif f.name == "lifecycle_transitions":
+                out[f.name] = sum(self.lifecycle_transitions.values())
+            else:
+                out[f.name] = getattr(self, f.name)
         return out
 
 

@@ -37,6 +37,13 @@ from repro.runtime.costmodel import CostModel
 from repro.runtime.faults import FaultInjector
 from repro.runtime.metrics import MsgKind, RunMetrics
 from repro.runtime.simclock import SimClock
+from repro.runtime.trace import (
+    MSG_DELIVER,
+    MSG_FAULT,
+    MSG_RETRANSMIT,
+    MSG_SEND,
+    TraceRecorder,
+)
 
 #: destination pid used for the tracker/coordinator actor
 TRACKER_DST = -1
@@ -148,6 +155,7 @@ class Network:
         faults: Optional[FaultInjector] = None,
         on_retransmit: Optional[Callable[[List[Message]], None]] = None,
         on_packet_fault: Optional[Callable[[str, List[Message]], None]] = None,
+        trace: Optional[TraceRecorder] = None,
     ) -> None:
         self.clock = clock
         self.num_nodes = num_nodes
@@ -155,6 +163,8 @@ class Network:
         self.metrics = metrics
         self.deliver = deliver
         self.node_combining = node_combining
+        # message events carry query_id -1: a packed buffer mixes queries
+        self.trace = trace
         # per-node NIC egress availability
         self._nic_free_at = [0.0] * num_nodes
         # NLC: per (src, dst) pending messages and whether a send is armed
@@ -201,6 +211,9 @@ class Network:
                 counters[kind] += len(msg.payload)
             else:
                 counters[kind] += 1
+        if self.trace is not None:
+            self.trace.emit(MSG_SEND, -1, src=src_node, dst=dst_node,
+                            n=len(messages), bytes=total)
         if src_node == dst_node:
             self.metrics.local_deliveries += len(messages)
             arrival = when + self.cost.hardware.shm_latency_us
@@ -286,13 +299,20 @@ class Network:
         self.metrics.bytes_sent += packet.total
         packet.attempts += 1
         fate = self.faults.packet_fate()
+        trace = self.trace
         if fate.delay_us:
             arrival += fate.delay_us
             self.metrics.packets_delayed += 1
+            if trace is not None:
+                trace.emit(MSG_FAULT, -1, fault="delay", src=packet.src,
+                           dst=packet.dst, seq=packet.seq)
             if self.on_packet_fault is not None:
                 self.on_packet_fault("delay", packet.messages)
         if fate.drop:
             self.metrics.packets_dropped += 1
+            if trace is not None:
+                trace.emit(MSG_FAULT, -1, fault="drop", src=packet.src,
+                           dst=packet.dst, seq=packet.seq)
             if self.on_packet_fault is not None:
                 self.on_packet_fault("drop", packet.messages)
         else:
@@ -302,6 +322,9 @@ class Network:
         if fate.duplicate:
             # The network minted a second copy; it takes its own wire trip.
             self.metrics.packets_duplicated += 1
+            if trace is not None:
+                trace.emit(MSG_FAULT, -1, fault="duplicate", src=packet.src,
+                           dst=packet.dst, seq=packet.seq)
             if self.on_packet_fault is not None:
                 self.on_packet_fault("duplicate", packet.messages)
             dup_arrival = arrival + self.cost.hardware.network_latency_us
@@ -320,6 +343,10 @@ class Network:
         if (packet.src, packet.dst, packet.seq) not in self._unacked:
             return  # acknowledged in time
         self.metrics.retransmits += 1
+        if self.trace is not None:
+            self.trace.emit(MSG_RETRANSMIT, -1, src=packet.src,
+                            dst=packet.dst, seq=packet.seq,
+                            attempt=packet.attempts)
         if self.on_retransmit is not None:
             self.on_retransmit(packet.messages)
         self._transmit(packet, self.clock.now)
@@ -364,5 +391,7 @@ class Network:
 
     def _deliver_all(self, messages: List[Message]) -> None:
         """Hand every message of an arrived packet to the engine."""
+        if self.trace is not None:
+            self.trace.emit(MSG_DELIVER, -1, n=len(messages))
         for msg in messages:
             self.deliver(msg)

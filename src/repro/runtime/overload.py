@@ -26,10 +26,12 @@ from collections import deque
 from typing import TYPE_CHECKING, Callable, Deque, List, Tuple
 
 from repro.runtime.simclock import SimClock
+from repro.runtime.trace import CREDIT_ACQUIRE, CREDIT_RELEASE, CREDIT_STALL
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.engine import AsyncPSTMEngine
     from repro.runtime.lifecycle import QuerySession
+    from repro.runtime.trace import TraceRecorder
 
 
 class AdmissionController:
@@ -120,7 +122,13 @@ class CreditGate:
     a NIC-queue stall, so they charge no additional worker CPU.
     """
 
-    def __init__(self, pid: int, capacity: int, clock: SimClock) -> None:
+    def __init__(
+        self,
+        pid: int,
+        capacity: int,
+        clock: SimClock,
+        trace: "TraceRecorder | None" = None,
+    ) -> None:
         self.pid = pid
         self.capacity = capacity
         self.clock = clock
@@ -129,6 +137,8 @@ class CreditGate:
         #: sends that found the gate exhausted and had to wait
         self.stalls = 0
         self.peak_in_use = 0
+        # credit events carry no query id (a batch can mix queries)
+        self._trace = trace
 
     @property
     def in_use(self) -> int:
@@ -147,6 +157,11 @@ class CreditGate:
             send(when)
         else:
             self.stalls += 1
+            if self._trace is not None:
+                self._trace.emit(
+                    CREDIT_STALL, -1, pid=self.pid, n=n,
+                    waiting=len(self._waiters) + 1,
+                )
             self._waiters.append((n, send))
 
     def release(self, n: int = 1) -> None:
@@ -157,6 +172,8 @@ class CreditGate:
         network mid-event.
         """
         self.available += n
+        if self._trace is not None:
+            self._trace.emit(CREDIT_RELEASE, -1, pid=self.pid, n=n)
         if self.available > self.capacity:  # pragma: no cover - invariant
             raise AssertionError(
                 f"credit gate {self.pid} over-released: "
@@ -171,6 +188,10 @@ class CreditGate:
 
     def _take(self, n: int) -> None:
         self.available -= n
+        if self._trace is not None:
+            self._trace.emit(
+                CREDIT_ACQUIRE, -1, pid=self.pid, n=n, free=self.available
+            )
         used = self.capacity - self.available
         if used > self.peak_in_use:
             self.peak_in_use = used

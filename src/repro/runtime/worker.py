@@ -31,6 +31,7 @@ from repro.graph.partition import PartitionStore
 from repro.runtime.kernels import PROGRESS_MSG_BYTES, kernel_for
 from repro.runtime.metrics import MsgKind
 from repro.runtime.network import TRACKER_DST, Message
+from repro.runtime.trace import ACCUM_RECLAIM, CRASH_LOSS, WEIGHT_FLUSH
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.engine import AsyncPSTMEngine
@@ -242,6 +243,31 @@ class Worker:
         later detects. Partition memos are invalidated by the engine's
         crash handler, which also force-retries every affected query.
         """
+        trace = self.engine.trace
+        if trace is not None:
+            # Tally the progression weight about to vanish, per (query,
+            # stage), before the buffers are cleared. Accumulators are not
+            # tallied: their weight already left "active" at execution time
+            # and the recovery path drops the whole ledger anyway.
+            losses: Dict[Tuple[int, int], List[int]] = {}
+            for pairs in self._trav_buffers.values():
+                for _pid, trav, _size in pairs:
+                    entry = losses.setdefault(
+                        (trav.query_id, trav.stage), [0, 0]
+                    )
+                    entry[0] = (entry[0] + trav.weight) % GROUP_MODULUS
+                    entry[1] += 1
+            if len(self.runtime.workers) == 1:
+                for source in (self.runtime.queue, self.runtime.inbox):
+                    for trav in source:
+                        entry = losses.setdefault(
+                            (trav.query_id, trav.stage), [0, 0]
+                        )
+                        entry[0] = (entry[0] + trav.weight) % GROUP_MODULUS
+                        entry[1] += 1
+            for (qid, stage), (weight, count) in losses.items():
+                trace.emit(CRASH_LOSS, qid, stage=stage, wid=self.wid,
+                           weight=weight, count=count)
         self.alive = False
         self.scheduled = False
         self._buffers.clear()
@@ -306,10 +332,18 @@ class Worker:
                 self._trav_buffers[dst_node] = kept
                 left = self._buffer_bytes.get(dst_node, 0) - removed_bytes
                 self._buffer_bytes[dst_node] = max(0, left)
+        trace = self.engine.trace
         for key in [k for k in self._accums if k[0] == query_id]:
             pending = self._accums.pop(key).flush()
             if pending is not None:
                 weight += pending
+                if trace is not None:
+                    # The auditor moves this weight back from "finished" to
+                    # "active": it was absorbed at execution time but never
+                    # reported, and the combined reclaim below re-reports it.
+                    trace.emit(ACCUM_RECLAIM, query_id, stage=key[1],
+                               wid=self.wid,
+                               weight=pending % GROUP_MODULUS)
         return weight % GROUP_MODULUS, n
 
     # -- main loop -----------------------------------------------------------
@@ -482,14 +516,19 @@ class Worker:
     def _flush_idle_accums(self, when: float) -> float:
         """Flush finished-weight accumulators whose stage has drained here."""
         cost = 0.0
+        trace = self.engine.trace
         for (query_id, stage), accum in self._accums.items():
             if accum.pending_count == 0:
                 continue
             if self.runtime.stage_counts.get((query_id, stage), 0) > 0:
                 continue
+            count = accum.pending_count
             combined = accum.flush()
             if combined is None:
                 continue
+            if trace is not None:
+                trace.emit(WEIGHT_FLUSH, query_id, stage=stage, wid=self.wid,
+                           weight=combined % GROUP_MODULUS, count=count)
             cost += self._buffer_message(
                 Message(
                     MsgKind.PROGRESS,

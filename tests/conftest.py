@@ -1,4 +1,5 @@
-"""Shared fixtures: small graphs and step-context factories."""
+"""Shared fixtures: small graphs, step-context factories, and the seeded
+engine-run helpers used by the fault / overload / trace suites."""
 
 from __future__ import annotations
 
@@ -11,6 +12,8 @@ from repro.core.memo import MemoStore
 from repro.core.steps import StepContext
 from repro.graph.builder import GraphBuilder
 from repro.graph.partition import PartitionedGraph
+from repro.query.traversal import Traversal
+from repro.runtime.engine import AsyncPSTMEngine, EngineConfig
 
 
 def build_diamond(partitions: int = 4) -> PartitionedGraph:
@@ -64,6 +67,62 @@ class ContextFactory:
 
     def ctx_of_vertex(self, vid: int) -> StepContext:
         return self.ctx(self.graph.partition_of(vid))
+
+
+# -- seeded engine-run helpers (shared by test_faults, test_trace_audit) ----
+#
+# make_graph's exact construction (labels "v"/"e", weight range 1-50) is
+# part of the fault suites' contract: the seeds that make low fault rates
+# actually fire were chosen against these graphs. Do not merge it with
+# random_graph above.
+
+FAULT_NODES, FAULT_WPN = 2, 2
+
+
+def make_graph(seed: int, n: int = 200, degree: int = 8,
+               partitions: int = 4) -> PartitionedGraph:
+    """A seeded random graph in the fault suites' shape (labels v/e)."""
+    rng = random.Random(seed)
+    b = GraphBuilder("v")
+    for v in range(n):
+        b.vertex(v, "v", weight=rng.randint(1, 50))
+    for v in range(n):
+        for _ in range(degree):
+            u = rng.randrange(n)
+            if u != v:
+                b.edge(v, u, "e")
+    return PartitionedGraph.from_graph(b.build(), partitions)
+
+
+def khop3_count(graph: PartitionedGraph):
+    """The acceptance microbenchmark plan compiled against ``graph``."""
+    return (Traversal("khop3_count").v_param("s").khop("e", k=3).count()
+            .compile(graph))
+
+
+def run_one(graph, plan, params, config=None, nodes=FAULT_NODES,
+            wpn=FAULT_WPN):
+    """Run one query on a fresh engine; returns ``(engine, result)``."""
+    engine = AsyncPSTMEngine(graph, nodes, wpn, config=config or EngineConfig())
+    return engine, engine.run(plan, params)
+
+
+def run_batch(graph, plan, param_list, config=None, nodes=FAULT_NODES,
+              wpn=FAULT_WPN):
+    """Submit many queries into one engine run; more packets in flight
+    means low fault rates actually fire."""
+    engine = AsyncPSTMEngine(graph, nodes, wpn, config=config or EngineConfig())
+    sessions = [engine.submit(plan, p) for p in param_list]
+    engine.clock.run_until_idle()
+    return engine, sessions
+
+
+@pytest.fixture(scope="session")
+def soak_graph():
+    """The 400-vertex / 8-partition soak graph shared by the overload,
+    delivery-reclaim, and trace suites (built once per session; engines
+    never mutate the partitioned stores)."""
+    return random_graph(n=400, degree=6, partitions=8, seed=17)
 
 
 @pytest.fixture

@@ -27,15 +27,14 @@ from repro.query.traversal import Traversal
 from repro.runtime.engine import AsyncPSTMEngine, EngineConfig
 from repro.runtime.faults import FaultPlan, WorkerFault
 from repro.runtime.lifecycle import QueryState
-from tests.conftest import random_graph
 from tests.test_lifecycle import LEGAL_KEYS
 
 NODES, WPN = 4, 2
 
 
 @pytest.fixture(scope="module")
-def graph():
-    return random_graph(n=400, degree=6, partitions=NODES * WPN, seed=17)
+def graph(soak_graph):
+    return soak_graph
 
 
 def khop_plan(graph, k=4):

@@ -22,9 +22,6 @@ import pytest
 
 from repro.errors import ConfigurationError, RetryBudgetExceededError
 from repro.core.progress import ProgressMode
-from repro.graph.builder import GraphBuilder
-from repro.graph.partition import PartitionedGraph
-from repro.query.traversal import Traversal
 from repro.runtime.engine import AsyncPSTMEngine, EngineConfig
 from repro.runtime.faults import (
     CRASH,
@@ -33,41 +30,9 @@ from repro.runtime.faults import (
     FaultPlan,
     WorkerFault,
 )
+from tests.conftest import khop3_count, make_graph, run_batch, run_one
 
 NODES, WPN = 2, 2
-
-
-def make_graph(seed: int, n: int = 200, degree: int = 8,
-               partitions: int = 4) -> PartitionedGraph:
-    rng = random.Random(seed)
-    b = GraphBuilder("v")
-    for v in range(n):
-        b.vertex(v, "v", weight=rng.randint(1, 50))
-    for v in range(n):
-        for _ in range(degree):
-            u = rng.randrange(n)
-            if u != v:
-                b.edge(v, u, "e")
-    return PartitionedGraph.from_graph(b.build(), partitions)
-
-
-def khop3_count(graph: PartitionedGraph):
-    return (Traversal("khop3_count").v_param("s").khop("e", k=3).count()
-            .compile(graph))
-
-
-def run_one(graph, plan, params, config=None, nodes=NODES, wpn=WPN):
-    engine = AsyncPSTMEngine(graph, nodes, wpn, config=config or EngineConfig())
-    return engine, engine.run(plan, params)
-
-
-def run_batch(graph, plan, param_list, config=None, nodes=NODES, wpn=WPN):
-    """Submit many queries into one engine run; more packets in flight
-    means low fault rates actually fire."""
-    engine = AsyncPSTMEngine(graph, nodes, wpn, config=config or EngineConfig())
-    sessions = [engine.submit(plan, p) for p in param_list]
-    engine.clock.run_until_idle()
-    return engine, sessions
 
 
 # -- plan validation --------------------------------------------------------
@@ -214,6 +179,7 @@ class TestDropRecovery:
 # -- LDBC interactive-complex under drops -----------------------------------
 
 
+@pytest.mark.slow
 class TestLDBCUnderFaults:
     # Seeds chosen so a 1% drop rate hits this batch's ~50 packets.
     DROP_SEEDS = (1, 5, 6)

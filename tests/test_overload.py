@@ -19,14 +19,13 @@ from repro.query.exprs import X
 from repro.query.traversal import Traversal
 from repro.runtime.engine import AsyncPSTMEngine, EngineConfig
 from repro.runtime.faults import FaultPlan
-from tests.conftest import random_graph
 
 NODES, WPN = 4, 2  # 8 partitions: cancellation must fan out across >= 4
 
 
 @pytest.fixture(scope="module")
-def graph():
-    return random_graph(n=400, degree=6, partitions=NODES * WPN, seed=17)
+def graph(soak_graph):
+    return soak_graph
 
 
 def khop_plan(graph, k=4):

@@ -1,0 +1,186 @@
+"""Trace-audited invariant fuzzing: the Theorem-1 weight ledger, re-derived
+from the event stream by :class:`WeightLedgerAuditor`, must hold with zero
+violations under randomized interleavings of packet faults, worker crashes,
+caller cancellations, time limits and resource budgets — for both the
+scalar and the batched kernel (docs/OBSERVABILITY.md).
+
+Unlike test_faults / test_overload, which assert on *results* and residue,
+these tests assert on the *ledger at every traced event*: the auditor
+replays ``active + finished + reclaimed + lost ≡ 1 (mod 2^64)`` per
+(query, stage) and checks each cleanly-closed stage delivered exactly the
+root weight to the tracker. Any double-report, lost reclaim, or phantom
+weight anywhere in the runtime shows up as a violation here even when the
+query still happens to produce the right rows.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ResourceBudgetExceededError
+from repro.runtime.engine import AsyncPSTMEngine, EngineConfig
+from repro.runtime.faults import FaultPlan, WorkerFault
+from repro.runtime.trace import CRASH_LOSS, WeightLedgerAuditor
+from tests.conftest import FAULT_NODES, FAULT_WPN, khop3_count, make_graph
+
+#: the acceptance floor: at least 10 distinct seeded interleavings
+FUZZ_SEEDS = tuple(range(100, 110))
+EXTENDED_SEEDS = tuple(range(110, 125))  # slow-marked deepening of the same
+
+KERNELS = [pytest.param(False, id="batch"), pytest.param(True, id="scalar")]
+
+
+def fuzz_run(seed: int, scalar: bool, queries: int = 10):
+    """One randomized fault+cancel+budget interleaving, traced.
+
+    The fault plan, the cancel schedule and the per-query deadlines are all
+    drawn from ``seed``, so a reported failure replays exactly.
+    """
+    rng = random.Random(seed)
+    graph = make_graph(seed)
+    plan = khop3_count(graph)
+    worker_faults = ()
+    if rng.random() < 0.5:  # half the seeds include a recoverable crash
+        worker_faults = (WorkerFault(
+            wid=rng.randrange(FAULT_NODES * FAULT_WPN),
+            at_us=rng.uniform(50.0, 400.0), kind="crash",
+            down_us=rng.uniform(200.0, 800.0)),)
+    fault_plan = FaultPlan(
+        seed=seed,
+        drop_rate=rng.uniform(0.0, 0.08),
+        dup_rate=rng.uniform(0.0, 0.05),
+        delay_rate=rng.uniform(0.0, 0.08),
+        ack_drop_rate=rng.uniform(0.0, 0.08),
+        worker_faults=worker_faults,
+    )
+    config = EngineConfig(trace=True, scalar_execution=scalar,
+                          fault_plan=fault_plan)
+    engine = AsyncPSTMEngine(graph, FAULT_NODES, FAULT_WPN, config=config)
+
+    for _ in range(queries):
+        at = rng.uniform(0.0, 200.0)
+        fate = rng.random()
+        if fate < 0.25:  # caller cancel mid-flight
+            session = engine.submit(plan, {"s": rng.randrange(200)}, at=at)
+            engine.clock.schedule_at(at + rng.uniform(5.0, 120.0),
+                                     lambda s=session: engine.cancel(s))
+        elif fate < 0.45:  # tight deadline, likely to abort
+            engine.submit(plan, {"s": rng.randrange(200)}, at=at,
+                          time_limit_us=rng.uniform(20.0, 120.0))
+        else:  # allowed to finish
+            engine.submit(plan, {"s": rng.randrange(200)}, at=at)
+    engine.clock.run_until_idle()
+    return engine
+
+
+def assert_audit_ok(engine, seed):
+    report = WeightLedgerAuditor(engine.trace.events).audit()
+    assert report.ok, f"seed {seed}: {report.violations[:5]}"
+    assert report.stages_opened > 0, seed
+    assert report.stages_closed + report.stages_dropped == \
+        report.stages_opened, seed
+    return report
+
+
+class TestFuzzedInterleavings:
+    """The acceptance gate: >= 10 seeds x both kernels, zero violations."""
+
+    @pytest.mark.parametrize("scalar", KERNELS)
+    @pytest.mark.parametrize("seed", FUZZ_SEEDS)
+    def test_ledger_holds_under_fuzzed_faults(self, seed, scalar):
+        engine = fuzz_run(seed, scalar)
+        assert_audit_ok(engine, seed)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("scalar", KERNELS)
+    @pytest.mark.parametrize("seed", EXTENDED_SEEDS)
+    def test_ledger_holds_extended_seeds(self, seed, scalar):
+        engine = fuzz_run(seed, scalar, queries=16)
+        assert_audit_ok(engine, seed)
+
+
+class TestCrashAccounting:
+    """Seeds with a guaranteed crash: the destroyed weight must be traced
+    as CRASH_LOSS (not silently vanish), and the retried query's fresh
+    ledger must still close clean."""
+
+    @pytest.mark.parametrize("scalar", KERNELS)
+    def test_crash_loss_events_balance_the_books(self, scalar):
+        graph = make_graph(4)
+        plan = khop3_count(graph)
+        config = EngineConfig(
+            trace=True, scalar_execution=scalar,
+            fault_plan=FaultPlan(seed=2, worker_faults=(
+                WorkerFault(wid=1, at_us=40.0, kind="crash", down_us=500.0),)),
+            watchdog_timeout_us=20_000.0)
+        engine = AsyncPSTMEngine(graph, FAULT_NODES, FAULT_WPN, config=config)
+        sessions = [engine.submit(plan, {"s": v}) for v in range(6)]
+        engine.clock.run_until_idle()
+
+        assert engine.metrics.worker_crashes == 1
+        losses = engine.trace.by_kind(CRASH_LOSS)
+        assert losses, "a mid-flight crash must trace its destroyed weight"
+        assert all(e.data["wid"] == 1 for e in losses)
+        report = assert_audit_ok(engine, seed=2)
+        # Retried queries reopen stage 0 under a fresh query id.
+        assert report.stages_dropped > 0
+        assert all(s.results is not None for s in sessions)
+
+
+class TestBudgetsAndLimits:
+    @pytest.mark.parametrize("scalar", KERNELS)
+    def test_budget_cancel_reclaims_every_unit(self, scalar):
+        graph = make_graph(6)
+        config = EngineConfig(trace=True, scalar_execution=scalar,
+                              max_traversers_per_query=150)
+        engine = AsyncPSTMEngine(graph, FAULT_NODES, FAULT_WPN, config=config)
+        with pytest.raises(ResourceBudgetExceededError):
+            engine.run(khop3_count(graph), {"s": 3})
+        assert engine.metrics.budget_cancels == 1
+        assert_audit_ok(engine, seed="budget")
+
+    @pytest.mark.parametrize("scalar", KERNELS)
+    def test_deadline_abort_leaves_no_ledger_residue(self, scalar):
+        graph = make_graph(8)
+        config = EngineConfig(trace=True, scalar_execution=scalar)
+        engine = AsyncPSTMEngine(graph, FAULT_NODES, FAULT_WPN, config=config)
+        plan = khop3_count(graph)
+        engine.submit(plan, {"s": 1}, time_limit_us=30.0)
+        engine.submit(plan, {"s": 2})  # an untouched bystander
+        engine.clock.run_until_idle()
+        assert engine.metrics.queries_cancelled >= 1
+        assert_audit_ok(engine, seed="deadline")
+
+
+@pytest.mark.slow
+class TestLDBCTraced:
+    """IC9 on the tiny SNB dataset: the ledger discipline must hold on a
+    real multi-stage benchmark query, faults and all, not just k-hop."""
+
+    NODES, WPN = 4, 2
+
+    @pytest.fixture(scope="class")
+    def snb(self):
+        from repro.ldbc.generator import SNB_TINY, generate_snb
+        dataset = generate_snb(SNB_TINY)
+        return dataset, dataset.partitioned(self.NODES * self.WPN)
+
+    @pytest.mark.parametrize("scalar", KERNELS)
+    def test_ic9_traced_audit_clean(self, snb, scalar):
+        from repro.ldbc.queries.ic import IC_QUERIES
+        dataset, graph = snb
+        qdef = IC_QUERIES[9]
+        plan = qdef.build().compile(graph)
+        params = [qdef.make_params(dataset, random.Random(900 + i))
+                  for i in range(8)]
+        config = EngineConfig(
+            trace=True, scalar_execution=scalar,
+            fault_plan=FaultPlan(seed=5, drop_rate=0.01, dup_rate=0.01))
+        engine = AsyncPSTMEngine(graph, self.NODES, self.WPN, config=config)
+        sessions = [engine.submit(plan, p) for p in params]
+        engine.clock.run_until_idle()
+        report = assert_audit_ok(engine, seed="ic9")
+        assert report.stages_closed > 0
+        assert all(s.results is not None for s in sessions)

@@ -4,7 +4,7 @@
 The runtime is a strict layering (docs/ARCHITECTURE.md); each module may
 import only modules *strictly below* it:
 
-    simclock < config < metrics < lifecycle < costmodel < faults
+    simclock < config < metrics < trace < lifecycle < costmodel < faults
              < network < overload < kernels < worker < delivery < engine
 
 Everything above ``engine`` (bsp, hybrid, variants, reference, cluster,
@@ -20,6 +20,11 @@ Two classes of violation fail the build:
 * a module outgrowing its budget: ``engine.py`` and ``worker.py`` must
   each stay under 900 lines. The layered decomposition exists to keep
   the god-module from reassembling itself.
+* the observation leaf growing dependencies: ``trace.py`` may import
+  nothing from the runtime package at runtime except ``simclock`` — in
+  particular never ``engine`` or ``delivery``. Hooks hand the recorder
+  plain values; tracing must never be able to re-enter the machinery it
+  observes.
 
 Stdlib only (ast); no third-party dependency. Exit 0 = clean.
 """
@@ -35,6 +40,7 @@ LAYERS = [
     "simclock",
     "config",
     "metrics",
+    "trace",
     "lifecycle",
     "costmodel",
     "faults",
@@ -49,6 +55,10 @@ RANK = {name: i for i, name in enumerate(LAYERS)}
 
 #: maximum line count per module (the anti-god-module gate)
 MAX_LINES = {"engine.py": 900, "worker.py": 900}
+
+#: observation leaves: stricter than the layering rank — these modules may
+#: import only the listed runtime modules at runtime, nothing else
+LEAF_ALLOW = {"trace": {"simclock"}}
 
 
 def _is_type_checking(test: ast.expr) -> bool:
@@ -108,6 +118,13 @@ def main() -> int:
                     f"but {target} is layered at or above {name} "
                     f"(move the import under TYPE_CHECKING or invert the "
                     f"dependency)"
+                )
+            elif name in LEAF_ALLOW and target not in LEAF_ALLOW[name]:
+                errors.append(
+                    f"{path}:{lineno}: {name} is an observation leaf and "
+                    f"may import only "
+                    f"{{{', '.join(sorted(LEAF_ALLOW[name]))}}} from the "
+                    f"runtime package, not {target}"
                 )
 
     for filename, budget in MAX_LINES.items():
