@@ -1,17 +1,22 @@
-"""Wall-clock benchmark: scalar vs batched traverser execution.
+"""Wall-clock benchmark: scalar vs batch vs vector kernels, plus fusion.
 
 Unlike the rest of the benchmark suite — which reports *simulated* time —
 this module measures real wall-clock seconds of the simulator process
-itself. It exists to quantify the batched-kernel hot path: both execution
-modes produce bit-for-bit identical simulated results (the bench asserts
-this on every run), so the only difference worth measuring is how fast the
-simulation itself executes.
+itself. It quantifies the kernel tiers (docs/PERFORMANCE.md): all three
+produce bit-for-bit identical simulated results on the same plan (asserted
+on every run), so the only difference worth measuring is how fast the
+simulation executes. Plan-level operator fusion is measured on top: a
+fused plan returns the same result *rows* (also asserted) through fewer
+materialized traversers, so its simulated timings legitimately differ —
+the headline speedup is scalar-on-the-unfused-plan versus
+vector-on-the-fused-plan, i.e. everything PR6 stacks.
 
 Workloads:
 
 * ``khop3_count`` — the acceptance microbenchmark: a 3-hop neighborhood
   count over the LiveJournal-like power-law graph. Almost all work is the
-  Expand/Dedup/Count hot path, i.e. the code the batch kernels vectorize.
+  Expand/MinDistBranch/Count hot loop — the code the vector kernel and
+  the FusedMinDistCount rule target.
 * ``khop3_fig1``  — the paper's Fig 1 query (3-hop, filter, order-by,
   top-10) over the same graph; exercises property access and the bounded
   top-k aggregation.
@@ -20,12 +25,15 @@ Workloads:
 
 Usage::
 
-    PYTHONPATH=src python -m repro.bench.wallclock --out BENCH_PR1.json
+    PYTHONPATH=src python -m repro.bench.wallclock --out BENCH_PR6.json
     PYTHONPATH=src python -m repro.bench.wallclock --quick   # CI smoke
+    PYTHONPATH=src python -m repro.bench.wallclock --quick \
+        --baseline BENCH_PR6.json   # fail on >20% speedup regression
+    PYTHONPATH=src python -m repro.bench.wallclock --profile # hot spots
 
-The JSON report records, per workload: wall-clock seconds for each path
-(best of ``--repeats``), the speedup ratio, and whether the simulated
-outputs (rows and per-query latencies) matched exactly.
+The JSON report records, per workload: wall-clock seconds for each
+(kernel, plan) pair (best of ``--repeats``), the speedup ratios, and
+whether the simulated outputs matched exactly.
 """
 
 from __future__ import annotations
@@ -36,12 +44,13 @@ import random
 import sys
 import time
 from functools import lru_cache
-from typing import Any, Callable, Dict, List, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.bench.harness import (
     BENCH_CLUSTER,
     khop_plan,
     khop_starts,
+    khop_traversal,
     powerlaw_partitioned,
     snb_dataset,
     snb_graph,
@@ -50,6 +59,7 @@ from repro.ldbc.queries import IC_QUERIES
 from repro.query.plan import PhysicalPlan
 from repro.query.traversal import Traversal
 from repro.runtime.engine import AsyncPSTMEngine, EngineConfig
+from repro.runtime.runs import RunDrain
 from repro.runtime.variants import make_graphdance
 
 IC_MIX_NUMBERS = (2, 6, 9)
@@ -59,9 +69,27 @@ IC_PARAM_SEED = 4242
 #: is tuned for latency fairness under concurrency and is what the ablation
 #: studies sweep; this throughput microbenchmark uses a larger budget so
 #: per-run scheduling overhead does not drown the kernel cost being
-#: measured. Both execution paths run with the same value, so the
+#: measured. All execution paths run with the same value, so the
 #: equivalence check is unaffected.
 BENCH_BATCH_SIZE = 256
+
+#: (kernel, fused-plan) pairs measured per workload. ``scalar`` on the
+#: unfused plan is the reference/baseline; ``vector`` on the fused plan is
+#: the headline configuration.
+MODES: List[Tuple[str, bool]] = [
+    ("scalar", False),
+    ("batch", False),
+    ("vector", False),
+    ("scalar", True),
+    ("vector", True),
+]
+
+#: CI regression gate: fail when a workload's headline speedup drops below
+#: (1 - this) times the committed baseline's.
+MAX_SPEEDUP_REGRESSION = 0.20
+
+#: One workload runner: ``run((kernel, fused)) -> [(rows, latency_us)]``.
+Runner = Callable[[Tuple[str, bool]], List[Tuple[Any, float]]]
 
 
 def khop_count_traversal(k: int, edge_label: str = "knows") -> Traversal:
@@ -70,15 +98,25 @@ def khop_count_traversal(k: int, edge_label: str = "knows") -> Traversal:
 
 
 @lru_cache(maxsize=None)
-def khop_count_plan(name: str, partitions: int, k: int) -> PhysicalPlan:
+def khop_count_plan(
+    name: str, partitions: int, k: int, fused: bool = False
+) -> PhysicalPlan:
     graph = powerlaw_partitioned(name, partitions)
-    return khop_count_traversal(k).compile(graph)
+    return khop_count_traversal(k).compile(graph, fuse=fused)
 
 
-def _build_engine(scalar: bool, dataset: str, dataset_kind: str) -> AsyncPSTMEngine:
-    config = EngineConfig(
-        scalar_execution=scalar, batch_size=BENCH_BATCH_SIZE
-    )
+@lru_cache(maxsize=None)
+def khop_fig1_plan(
+    name: str, partitions: int, k: int, fused: bool = False
+) -> PhysicalPlan:
+    if not fused:
+        return khop_plan(name, partitions, k)
+    graph = powerlaw_partitioned(name, partitions)
+    return khop_traversal(k).compile(graph, fuse=True)
+
+
+def _build_engine(kernel: str, dataset: str, dataset_kind: str) -> AsyncPSTMEngine:
+    config = EngineConfig(kernel=kernel, batch_size=BENCH_BATCH_SIZE)
     if dataset_kind == "snb":
         graph = snb_graph(dataset, BENCH_CLUSTER.num_partitions)
     else:
@@ -97,26 +135,31 @@ def _run_khop_queries(
 
 
 def _workload_khop(
-    name: str, k: int, num_starts: int, plan_fn: Callable[[str, int, int], PhysicalPlan]
-) -> Callable[[bool], List[Tuple[Any, float]]]:
-    def run(scalar: bool) -> List[Tuple[Any, float]]:
-        engine = _build_engine(scalar, name, "powerlaw")
-        plan = plan_fn(name, BENCH_CLUSTER.num_partitions, k)
+    name: str,
+    k: int,
+    num_starts: int,
+    plan_fn: Callable[[str, int, int, bool], PhysicalPlan],
+) -> Runner:
+    def run(mode: Tuple[str, bool]) -> List[Tuple[Any, float]]:
+        kernel, fused = mode
+        engine = _build_engine(kernel, name, "powerlaw")
+        plan = plan_fn(name, BENCH_CLUSTER.num_partitions, k, fused)
         starts = khop_starts(name, num_starts)
         return _run_khop_queries(engine, plan, starts)
 
     return run
 
 
-def _workload_ic_mix(queries_per_ic: int) -> Callable[[bool], List[Tuple[Any, float]]]:
-    def run(scalar: bool) -> List[Tuple[Any, float]]:
-        engine = _build_engine(scalar, "sf300", "snb")
+def _workload_ic_mix(queries_per_ic: int) -> Runner:
+    def run(mode: Tuple[str, bool]) -> List[Tuple[Any, float]]:
+        kernel, fused = mode
+        engine = _build_engine(kernel, "sf300", "snb")
         dataset = snb_dataset("sf300")
         out = []
         for number in IC_MIX_NUMBERS:
             qdef = IC_QUERIES[number]
-            plan = qdef.build().compile(engine.graph)
-            # Same seed for both paths → same parameter sequence.
+            plan = qdef.build().compile(engine.graph, fuse=fused)
+            # Same seed for every mode → same parameter sequence.
             rng = random.Random(IC_PARAM_SEED + number)
             for _ in range(queries_per_ic):
                 params = qdef.make_params(dataset, rng)
@@ -127,48 +170,178 @@ def _workload_ic_mix(queries_per_ic: int) -> Callable[[bool], List[Tuple[Any, fl
     return run
 
 
-def _measure(
-    run: Callable[[bool], List[Tuple[Any, float]]], scalar: bool, repeats: int
-) -> Tuple[float, List[Tuple[Any, float]]]:
-    """Best-of-``repeats`` wall-clock seconds plus the simulated outputs."""
-    best = float("inf")
-    outputs: List[Tuple[Any, float]] = []
+def _measure_all(
+    run: Runner, repeats: int
+) -> Tuple[
+    Dict[Tuple[str, bool], float],
+    Dict[Tuple[str, bool], List[Tuple[Any, float]]],
+]:
+    """Best-of-``repeats`` wall-clock per mode, plus simulated outputs.
+
+    Repeats are interleaved round-robin across modes (repeat 1 of every
+    mode, then repeat 2, ...) so that drifting background load hits all
+    modes alike instead of skewing whichever mode ran during a slow
+    epoch — the reported numbers are *ratios* between modes.
+    """
+    timings: Dict[Tuple[str, bool], float] = {m: float("inf") for m in MODES}
+    outputs: Dict[Tuple[str, bool], List[Tuple[Any, float]]] = {}
     for _ in range(repeats):
-        t0 = time.perf_counter()
-        outputs = run(scalar)
-        best = min(best, time.perf_counter() - t0)
-    return best, outputs
+        for mode in MODES:
+            t0 = time.perf_counter()
+            outputs[mode] = run(mode)
+            timings[mode] = min(timings[mode], time.perf_counter() - t0)
+    return timings, outputs
 
 
-def run_workload(
-    label: str,
-    run: Callable[[bool], List[Tuple[Any, float]]],
-    repeats: int,
-) -> Dict[str, Any]:
-    """Time one workload in both modes and check output equivalence."""
-    # Warm-up (uncounted): builds the lru-cached graph + plan, and warms
-    # allocator/caches so neither timed path pays one-time costs.
-    run(False)
-    scalar_s, scalar_out = _measure(run, True, repeats)
-    batched_s, batched_out = _measure(run, False, repeats)
-    identical = scalar_out == batched_out
-    speedup = scalar_s / batched_s if batched_s > 0 else float("inf")
+def run_workload(label: str, run: Runner, repeats: int) -> Dict[str, Any]:
+    """Time one workload in every mode and check output equivalence.
+
+    The equivalence verdict combines:
+
+    * batch and vector reproduce scalar bit-for-bit on the unfused plan
+      (rows *and* simulated latency);
+    * vector reproduces scalar bit-for-bit on the fused plan;
+    * the fused plan's result rows equal the unfused plan's.
+    """
+    # Warm-up (uncounted): builds the lru-cached graphs + plans, and warms
+    # allocator/caches so no timed path pays one-time costs.
+    run(("batch", False))
+    timings, outputs = _measure_all(run, repeats)
+
+    ref = outputs[("scalar", False)]
+    fused_ref = outputs[("scalar", True)]
+    identical = (
+        outputs[("batch", False)] == ref
+        and outputs[("vector", False)] == ref
+        and outputs[("vector", True)] == fused_ref
+        and [rows for rows, _ in fused_ref] == [rows for rows, _ in ref]
+    )
+    scalar_s = timings[("scalar", False)]
+    vector_fused_s = timings[("vector", True)]
+
+    def ratio(a: float, b: float) -> float:
+        return a / b if b > 0 else float("inf")
+
     row = {
         "workload": label,
-        "queries": len(batched_out),
+        "queries": len(ref),
         "scalar_wall_s": round(scalar_s, 4),
-        "batched_wall_s": round(batched_s, 4),
-        "speedup": round(speedup, 2),
+        "batched_wall_s": round(timings[("batch", False)], 4),
+        "vector_wall_s": round(timings[("vector", False)], 4),
+        "scalar_fused_wall_s": round(timings[("scalar", True)], 4),
+        "vector_fused_wall_s": round(vector_fused_s, 4),
+        "speedup_batch": round(ratio(scalar_s, timings[("batch", False)]), 2),
+        "speedup_vector": round(ratio(scalar_s, timings[("vector", False)]), 2),
+        # The headline: everything stacked vs the reference loop.
+        "speedup": round(ratio(scalar_s, vector_fused_s), 2),
         "identical_simulated_output": identical,
     }
     print(
-        f"{label:<12} scalar {scalar_s:7.3f}s  batched {batched_s:7.3f}s  "
-        f"speedup {speedup:5.2f}x  identical={identical}"
+        f"{label:<12} scalar {scalar_s:7.3f}s  "
+        f"batch {timings[('batch', False)]:7.3f}s  "
+        f"vector {timings[('vector', False)]:7.3f}s  "
+        f"vector+fused {vector_fused_s:7.3f}s  "
+        f"speedup {row['speedup']:5.2f}x  identical={identical}"
     )
     return row
 
 
-def main(argv: List[str] | None = None) -> int:
+# -- per-operator profiling ----------------------------------------------------
+
+
+class _ProfilingBatchKernel:
+    """BatchKernel with per-operator wall-clock attribution.
+
+    Wraps the shared :class:`RunDrain` body and times each run's
+    ``execute_batch`` with ``perf_counter``, keyed by operator name. Used
+    by ``--profile`` to attribute the drain loop's real cost; simulated
+    output is untouched (the body is the reference one).
+    """
+
+    def __init__(self) -> None:
+        self.by_op: Dict[str, List[float]] = {}
+
+    def drain(self, worker: Any, t: float, touched: Any) -> float:
+        by_op = self.by_op
+        perf = time.perf_counter
+        d = RunDrain(worker, t, touched)
+        while (run := d.pop_run()) is not None:
+            t0 = perf()
+            d.execute_batch(run)
+            dt = perf() - t0
+            name = d.ops[d.run_op_idx].name
+            cell = by_op.get(name)
+            if cell is None:
+                cell = by_op[name] = [0.0, 0]
+            cell[0] += dt
+            cell[1] += len(run)
+        return d.finish()
+
+    def report(self, label: str) -> None:
+        total = sum(cell[0] for cell in self.by_op.values())
+        print(f"\n--profile {label}: drain wall-clock by operator "
+              f"(total {total:.3f}s)")
+        ranked = sorted(self.by_op.items(), key=lambda kv: -kv[1][0])
+        for name, (secs, travs) in ranked[:12]:
+            share = 100.0 * secs / total if total else 0.0
+            print(
+                f"  {name:<32} {secs:8.3f}s  {share:5.1f}%  "
+                f"{travs:>10} traversers"
+            )
+
+
+def profile_workload(label: str, run: Runner) -> None:
+    """Run one workload once on the batch tier with per-op timing."""
+    prof = _ProfilingBatchKernel()
+
+    real_build = _build_engine
+
+    def instrumented(kernel: str, dataset: str, kind: str) -> AsyncPSTMEngine:
+        engine = real_build(kernel, dataset, kind)
+        for worker in engine.workers:
+            worker.kernel = prof
+        return engine
+
+    globals()["_build_engine"] = instrumented
+    try:
+        run(("batch", False))
+    finally:
+        globals()["_build_engine"] = real_build
+    prof.report(label)
+
+
+# -- CLI -----------------------------------------------------------------------
+
+
+def check_baseline(
+    rows: List[Dict[str, Any]], baseline_path: str
+) -> List[str]:
+    """Compare headline speedups against a committed baseline report.
+
+    Returns failure messages for every shared workload whose speedup
+    regressed by more than :data:`MAX_SPEEDUP_REGRESSION`.
+    """
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    base_by_label = {
+        r["workload"]: r for r in baseline.get("results", [])
+    }
+    failures = []
+    for row in rows:
+        base = base_by_label.get(row["workload"])
+        if base is None or "speedup" not in base:
+            continue
+        floor = base["speedup"] * (1.0 - MAX_SPEEDUP_REGRESSION)
+        if row["speedup"] < floor:
+            failures.append(
+                f"{row['workload']}: speedup {row['speedup']:.2f}x fell "
+                f">{MAX_SPEEDUP_REGRESSION:.0%} below baseline "
+                f"{base['speedup']:.2f}x (floor {floor:.2f}x)"
+            )
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default=None, help="write a JSON report here")
@@ -185,18 +358,29 @@ def main(argv: List[str] | None = None) -> int:
         default=None,
         help="comma-separated subset (khop3_count,khop3_fig1,ic_mix)",
     )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="committed BENCH json; fail on >20%% speedup regression",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="per-operator wall-clock breakdown of the batch drain loop "
+        "(one pass per workload, no timings report)",
+    )
     args = parser.parse_args(argv)
 
     if args.quick:
-        workloads = {
+        workloads: Dict[str, Runner] = {
             "khop3_count": _workload_khop("lj", 3, 2, khop_count_plan),
-            "khop3_fig1": _workload_khop("lj", 3, 1, khop_plan),
+            "khop3_fig1": _workload_khop("lj", 3, 1, khop_fig1_plan),
         }
         repeats = 1
     else:
         workloads = {
             "khop3_count": _workload_khop("lj", 3, 12, khop_count_plan),
-            "khop3_fig1": _workload_khop("lj", 3, 6, khop_plan),
+            "khop3_fig1": _workload_khop("lj", 3, 6, khop_fig1_plan),
             "ic_mix": _workload_ic_mix(3),
         }
         repeats = args.repeats
@@ -204,10 +388,15 @@ def main(argv: List[str] | None = None) -> int:
         wanted = args.workloads.split(",")
         workloads = {k: v for k, v in workloads.items() if k in wanted}
 
+    if args.profile:
+        for label, run in workloads.items():
+            profile_workload(label, run)
+        return 0
+
     rows = [run_workload(label, run, repeats) for label, run in workloads.items()]
 
     report = {
-        "benchmark": "wallclock scalar-vs-batched",
+        "benchmark": "wallclock kernel tiers + fusion",
         "cluster": {
             "nodes": BENCH_CLUSTER.nodes,
             "workers_per_node": BENCH_CLUSTER.workers_per_node,
@@ -222,9 +411,16 @@ def main(argv: List[str] | None = None) -> int:
             fh.write("\n")
         print(f"wrote {args.out}")
 
-    failures = [r for r in rows if not r["identical_simulated_output"]]
+    failures = [
+        f"{r['workload']}: simulated outputs diverged between paths"
+        for r in rows
+        if not r["identical_simulated_output"]
+    ]
+    if args.baseline:
+        failures.extend(check_baseline(rows, args.baseline))
     if failures:
-        print("ERROR: simulated outputs diverged between paths", file=sys.stderr)
+        for message in failures:
+            print(f"ERROR: {message}", file=sys.stderr)
         return 1
     return 0
 

@@ -1158,8 +1158,11 @@ class _NegKey:
     def __lt__(self, other: "_NegKey") -> bool:
         return other.key < self.key
 
-    def __eq__(self, other: object) -> bool:
-        return isinstance(other, _NegKey) and other.key == self.key
+    def __eq__(self, other: "_NegKey") -> bool:
+        # Heap entries and sort keys are homogeneous per aggregate label,
+        # so the operand is always another _NegKey; this comparison is hot
+        # enough (every tuple compare starts with ==) to skip isinstance.
+        return other.key == self.key
 
 
 class GroupCountAgg(AggregateOp):
@@ -1235,12 +1238,18 @@ class CollectAgg(AggregateOp):
         order_key: Optional[Callable[[Any], Any]] = None,
         ascending: bool = True,
         limit: Optional[int] = None,
+        unique_order: bool = False,
     ) -> None:
         super().__init__("Collect")
         self.row_fn = row_fn or (lambda trav: trav.payload)
         self.order_key = order_key
         self.ascending = ascending
         self.limit = limit
+        #: declared by the query (``order_by(..., unique=True)``): the
+        #: order key is a total order over result rows, so :meth:`combine`
+        #: is arrival- and partition-order independent. Gates the fusion
+        #: pass's distributed top-N pushdown.
+        self.unique_order = unique_order
 
     def _bounded(self) -> bool:
         return self.order_key is not None and self.limit is not None
@@ -1260,11 +1269,17 @@ class CollectAgg(AggregateOp):
             # Deterministic tiebreak: arrival order within the partition.
             entry = (self.order_key(row), partial["n"], row)
             if self.ascending:
-                heapq.heappush(heap, _neg_entry3(entry))
+                entry = _neg_entry3(entry)
+            if self.unique_order and len(heap) >= self.limit:
+                # Total order declared → combine() fully determines the
+                # final rows, so the heap's internal layout is
+                # unobservable and below-cutoff rows can skip the heap.
+                if heap[0] < entry:
+                    heapq.heappushpop(heap, entry)
             else:
                 heapq.heappush(heap, entry)
-            if len(heap) > self.limit:
-                heapq.heappop(heap)
+                if len(heap) > self.limit:
+                    heapq.heappop(heap)
         else:
             partial.append(row)
 
@@ -1288,13 +1303,27 @@ class CollectAgg(AggregateOp):
             pop = heapq.heappop
             # Same push/pop sequence as absorb(): tied order keys resolve by
             # the heap's internal list order.
-            for trav in travs:
-                row = row_fn(trav)
-                count += 1
-                entry = (order_key(row), count, row)
-                push(heap, _neg_entry3(entry) if ascending else entry)
-                if len(heap) > limit:
-                    pop(heap)
+            if self.unique_order:
+                # Mirror of absorb()'s declared-total-order fast path.
+                pushpop = heapq.heappushpop
+                for trav in travs:
+                    row = row_fn(trav)
+                    count += 1
+                    entry = (order_key(row), count, row)
+                    if ascending:
+                        entry = _neg_entry3(entry)
+                    if len(heap) < limit:
+                        push(heap, entry)
+                    elif heap[0] < entry:
+                        pushpop(heap, entry)
+            else:
+                for trav in travs:
+                    row = row_fn(trav)
+                    count += 1
+                    entry = (order_key(row), count, row)
+                    push(heap, _neg_entry3(entry) if ascending else entry)
+                    if len(heap) > limit:
+                        pop(heap)
             partial["n"] = count
         else:
             append = partial.append

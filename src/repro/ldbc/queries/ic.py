@@ -68,6 +68,7 @@ def build_ic1() -> Traversal:
         .order_by(
             (X.binding("lastName"), "asc"),
             (X.binding("friend"), "asc"),
+            unique=True,
         )
         .limit(20)
     )
@@ -102,7 +103,8 @@ def build_ic2() -> Traversal:
         .values("date", S.CREATION_DATE)
         .as_("message")
         .select("friend", "message", "date")
-        .order_by((X.binding("date"), "desc"), (X.binding("message"), "asc"))
+        .order_by((X.binding("date"), "desc"), (X.binding("message"), "asc"),
+                  unique=True)
         .limit(20)
     )
 
@@ -306,7 +308,8 @@ def build_ic8() -> Traversal:
         .out(S.HAS_CREATOR)
         .as_("author")
         .select("author", "reply", "date")
-        .order_by((X.binding("date"), "desc"), (X.binding("reply"), "asc"))
+        .order_by((X.binding("date"), "desc"), (X.binding("reply"), "asc"),
+                  unique=True)
         .limit(20)
     )
 
@@ -332,7 +335,8 @@ def build_ic9() -> Traversal:
         .values("date", S.CREATION_DATE)
         .as_("message")
         .select("friend", "message", "date")
-        .order_by((X.binding("date"), "desc"), (X.binding("message"), "asc"))
+        .order_by((X.binding("date"), "desc"), (X.binding("message"), "asc"),
+                  unique=True)
         .limit(20)
     )
 

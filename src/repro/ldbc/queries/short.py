@@ -48,7 +48,8 @@ def build_is2() -> Traversal:
         .values("date", S.CREATION_DATE)
         .as_("message")
         .select("message", "date")
-        .order_by((X.binding("date"), "desc"), (X.binding("message"), "asc"))
+        .order_by((X.binding("date"), "desc"), (X.binding("message"), "asc"),
+                  unique=True)
         .limit(10)
     )
 
@@ -63,7 +64,8 @@ def build_is3() -> Traversal:
         .as_("friend")
         .values("firstName", S.FIRST_NAME)
         .select("friend", "firstName", "since")
-        .order_by((X.binding("since"), "desc"), (X.binding("friend"), "asc"))
+        .order_by((X.binding("since"), "desc"), (X.binding("friend"), "asc"),
+                  unique=True)
     )
 
 
@@ -123,7 +125,8 @@ def build_is7() -> Traversal:
         .as_("author")
         .values("authorName", S.FIRST_NAME)
         .select("reply", "date", "author", "authorName")
-        .order_by((X.binding("date"), "desc"), (X.binding("reply"), "asc"))
+        .order_by((X.binding("date"), "desc"), (X.binding("reply"), "asc"),
+                  unique=True)
     )
 
 

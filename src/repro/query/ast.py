@@ -230,3 +230,8 @@ class OrderLimitStep(LogicalStep):
 
     parts: List[Tuple[X, str]]  # (expr over bindings, "asc"/"desc")
     limit: Optional[int] = None
+    #: the query author's declaration that the combined sort key is a
+    #: total order over result rows (no ties) — e.g. it ends with a
+    #: unique id tiebreaker, as every LDBC interactive query's does.
+    #: Gates the distributed top-N pushdown in the fusion pass.
+    unique: bool = False

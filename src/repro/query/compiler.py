@@ -15,6 +15,7 @@ divert flow.
 
 from __future__ import annotations
 
+import operator
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core import steps as phys
@@ -37,10 +38,25 @@ class _Row:
         self.loops = 0
 
 
-def compile_traversal(traversal: Traversal, graph: Any) -> PhysicalPlan:
-    """Apply strategies and lower ``traversal`` for execution on ``graph``."""
+def compile_traversal(
+    traversal: Traversal, graph: Any, fuse: bool = False
+) -> PhysicalPlan:
+    """Apply strategies and lower ``traversal`` for execution on ``graph``.
+
+    ``fuse=True`` additionally runs the plan-level operator fusion pass
+    (:func:`repro.query.fusion.fuse_plan`), collapsing chains like
+    expand→filter→count into single fused ops. A fused plan returns the
+    same result rows; its simulated timings differ (fewer materialized
+    traversers), which is why fusion is opt-in rather than a default
+    strategy.
+    """
     steps = apply_strategies(traversal.logical_steps(), graph)
-    return _Compiler(traversal.name).compile(steps)
+    plan = _Compiler(traversal.name).compile(steps)
+    if fuse:
+        from repro.query.fusion import fuse_plan
+
+        plan = fuse_plan(plan, getattr(graph, "num_partitions", None))
+    return plan
 
 
 class _Compiler:
@@ -357,22 +373,32 @@ class _Compiler:
         """Terminal collector: rows, optional ordering, optional limit."""
         if self.out_names is not None:
             row_slots = tuple(self.slots[name] for name in self.out_names)
-            row_fn = lambda trav, s=row_slots: tuple(  # noqa: E731
-                trav.payload[i] for i in s
-            )
+            if len(row_slots) == 1:
+                s0 = row_slots[0]
+                row_fn = lambda trav, s=s0: (trav.payload[s],)  # noqa: E731
+            else:
+                # itemgetter builds the row tuple at C speed (hot: once
+                # per collected result row).
+                getter = operator.itemgetter(*row_slots)
+                row_fn = lambda trav, g=getter: g(trav.payload)  # noqa: E731
         else:
             row_fn = lambda trav: trav.vertex  # noqa: E731
 
         order_key = None
         ascending = True
         limit = None
+        unique_order = False
         if step is not None:
             limit = step.limit
             if step.parts:
                 if self.out_names is None:
                     raise CompilationError("order_by requires a prior select()")
                 order_key = self._row_sort_key(step.parts)
-        self.emit(phys.CollectAgg(row_fn, order_key, ascending, limit))
+                unique_order = step.unique
+        self.emit(
+            phys.CollectAgg(row_fn, order_key, ascending, limit,
+                            unique_order=unique_order)
+        )
         self.pending = []
         if not self.stage_entries:
             raise CompilationError("plan has no entry op")
@@ -397,12 +423,29 @@ class _Compiler:
                 )
             resolved.append((expr.resolve(row_slots), direction == "desc"))
 
+        adapter = _Row(())
+        neg_key = phys._NegKey
+
         def key(row: Tuple[Any, ...]) -> Tuple[Any, ...]:
-            adapter = _Row(row if isinstance(row, tuple) else (row,))
+            # The adapter is reused across calls (the simulation is
+            # single-threaded and sort-key evaluation never re-enters).
+            adapter.payload = row if type(row) is tuple else (row,)
             out = []
             for fn, desc in resolved:
                 value = fn(None, adapter)
-                out.append(phys._NegKey(value) if desc else value)
+                if desc:
+                    # Plain numerics invert exactly by negation (same
+                    # comparison outcomes as _NegKey, incl. ±0.0/inf/NaN),
+                    # and compare at C speed. bool is excluded by the
+                    # exact type check (mixed bool/int columns would
+                    # otherwise change equality classes — they don't, but
+                    # keep the wrapper for anything non-number anyway).
+                    tv = type(value)
+                    value = (
+                        -value if tv is int or tv is float
+                        else neg_key(value)
+                    )
+                out.append(value)
             return tuple(out)
 
         return key

@@ -267,12 +267,24 @@ class Traversal:
         self.steps.append(ast.SelectStep(list(names)))
         return self
 
-    def order_by(self, *parts: Tuple[X, str]) -> "Traversal":
-        """Order final rows by (expression, "asc"/"desc") pairs."""
+    def order_by(
+        self, *parts: Tuple[X, str], unique: bool = False
+    ) -> "Traversal":
+        """Order final rows by (expression, "asc"/"desc") pairs.
+
+        ``unique=True`` declares that the combined sort key is a total
+        order over the result rows — no two rows ever compare equal
+        (typically because the last part is a unique id tiebreaker).
+        The declaration lets the optimizer push the top-N bound below
+        the exchange (partition-local partial top-N); a false
+        declaration can change which of several tied rows survive the
+        limit cutoff.
+        """
         if self._order is None:
-            self._order = ast.OrderLimitStep(list(parts))
+            self._order = ast.OrderLimitStep(list(parts), unique=unique)
         else:
             self._order.parts.extend(parts)
+            self._order.unique = self._order.unique or unique
         return self
 
     def limit(self, n: int) -> "Traversal":
@@ -294,11 +306,17 @@ class Traversal:
             steps.append(self._order)
         return steps
 
-    def compile(self, graph: "PartitionedGraph") -> "PhysicalPlan":
-        """Apply traversal strategies and lower to a physical plan."""
+    def compile(
+        self, graph: "PartitionedGraph", fuse: bool = False
+    ) -> "PhysicalPlan":
+        """Apply traversal strategies and lower to a physical plan.
+
+        ``fuse=True`` also runs the operator fusion pass — same result
+        rows, fewer materialized traversers (see docs/PERFORMANCE.md).
+        """
         from repro.query.compiler import compile_traversal
 
-        return compile_traversal(self, graph)
+        return compile_traversal(self, graph, fuse=fuse)
 
     # -- internal -----------------------------------------------------------------------
 

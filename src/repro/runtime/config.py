@@ -53,6 +53,14 @@ class EngineConfig:
     #: and debugging, batched is the default because it is much faster in
     #: wall-clock terms.
     scalar_execution: bool = False
+    #: explicit kernel tier: "scalar" | "batch" | "vector" | None.
+    #: None auto-selects the fastest available tier — "vector" when NumPy
+    #: is importable, else "batch" (or "scalar" when ``scalar_execution``
+    #: is set). Asking for "vector" without NumPy raises
+    #: ConfigurationError at engine construction; every tier produces
+    #: bit-for-bit identical simulated output, so the choice only affects
+    #: wall-clock time.
+    kernel: Optional[str] = None
     #: fault schedule for chaos runs (None → perfect network, immortal
     #: workers, and a send path bit-identical to the pre-fault engine).
     #: Arming a plan also arms the ack/retransmit layer and the watchdog.
@@ -95,6 +103,18 @@ class EngineConfig:
     def __post_init__(self) -> None:
         if self.io_mode not in (IO_SYNC, IO_TLC, IO_TLC_NLC):
             raise ConfigurationError(f"unknown io_mode {self.io_mode!r}")
+        if self.kernel not in (None, "scalar", "batch", "vector"):
+            raise ConfigurationError(
+                f"unknown kernel {self.kernel!r}; expected 'scalar', "
+                f"'batch', 'vector', or None for auto-selection"
+            )
+        if self.kernel is not None and self.scalar_execution and (
+            self.kernel != "scalar"
+        ):
+            raise ConfigurationError(
+                f"kernel={self.kernel!r} conflicts with "
+                f"scalar_execution=True; set one or the other"
+            )
         for name in ("max_concurrent_queries", "max_traversers_per_query",
                      "max_memo_bytes_per_query", "inbox_capacity"):
             value = getattr(self, name)

@@ -61,6 +61,7 @@ from repro.runtime.costmodel import (
     validate_cluster,
 )
 from repro.runtime.delivery import DeliveryPlane, TrackerActor
+from repro.runtime.kernels import kernel_name_for
 from repro.runtime.faults import FaultInjector, RecoveryManager
 from repro.runtime.lifecycle import (
     REASON_ADMISSION_TIMEOUT,
@@ -141,7 +142,7 @@ class AsyncPSTMEngine:
         self.trace: Optional[TraceRecorder] = (
             TraceRecorder(
                 self.clock, mode=config.progress_mode.value,
-                kernel="scalar" if config.scalar_execution else "batch",
+                kernel=kernel_name_for(config),
                 nodes=nodes, partitions=self.num_partitions, seed=seed,
             )
             if config.trace else None
@@ -746,6 +747,8 @@ class AsyncPSTMEngine:
         for runtime in self.runtimes:
             runtime.memo_store.clear_query(session.query_id)
             runtime.drop_query(session.query_id)
+        for worker in self.workers:
+            worker.drop_query(session.query_id)
         self.delivery.inflight.pop(session.query_id, None)
         self.progress.close_query(session.query_id)
         self.sessions.pop(session.query_id, None)

@@ -9,15 +9,23 @@ engines, so exactly that part is a pluggable strategy object:
 
 * :class:`ScalarKernel` — the reference loop: one traverser per kernel
   call, costs priced through :meth:`CostModel.op_cost_us`, one progress
-  action per execution. Selected by ``EngineConfig.scalar_execution``.
-* :class:`BatchKernel` — the default: pops contiguous runs sharing
-  ``(query_id, op_idx)`` and hands each run to one vectorized
+  action per execution. Selected by ``EngineConfig.kernel="scalar"`` (or
+  the legacy ``scalar_execution`` flag).
+* :class:`BatchKernel` — pops contiguous runs sharing
+  ``(query_id, op_idx)`` and hands each run to one batched
   ``apply_batch`` call, with routing, buffering, and weight absorption
-  fused in. Bit-for-bit equivalent to the scalar kernel (same float
-  addition order, same RNG draw sequence, same buffer-flush times — the
-  equivalence suite asserts it); only wall-clock time differs.
+  fused in (the run machinery lives in :mod:`repro.runtime.runs`).
+  Bit-for-bit equivalent to the scalar kernel (same float addition order,
+  same RNG draw sequence, same buffer-flush times — the equivalence suite
+  asserts it); only wall-clock time differs.
+* :class:`~repro.runtime.vector.VectorKernel` — the same run structure
+  with NumPy array programs substituted for the per-element inner loops
+  on run shapes it can prove equivalent; falls back to the shared
+  :class:`~repro.runtime.runs.RunDrain` batched body elsewhere. Selected
+  by ``EngineConfig.kernel="vector"`` (the default when NumPy is
+  importable).
 
-Both kernels implement :class:`ExecutionKernel` and are stateless — all
+All kernels implement :class:`ExecutionKernel` and are stateless — all
 mutable state lives on the worker and the engine's layers — so module
 singletons are shared by every worker. Fault hooks, backpressure, and
 reclaim paths live once, in ``Worker._run`` and the delivery plane, not
@@ -26,22 +34,31 @@ per kernel.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Protocol, Set
+from typing import TYPE_CHECKING, Optional, Protocol, Set
 
 from repro.core.progress import ProgressMode
-from repro.core.traverser import Traverser
 from repro.core.weight import GROUP_MODULUS
-from repro.errors import ExecutionError
 from repro.runtime.metrics import MsgKind
 from repro.runtime.network import TRACKER_DST, Message
+from repro.runtime.runs import PROGRESS_MSG_BYTES, RunDrain, get_drain
 from repro.runtime.trace import EXEC
+from repro.runtime.vector import HAVE_NUMPY, VECTOR_KERNEL
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.engine import EngineConfig
     from repro.runtime.worker import Worker
 
-#: wire size of a progress report (weight or delta + headers)
-PROGRESS_MSG_BYTES = 16
+__all__ = [
+    "PROGRESS_MSG_BYTES",
+    "ExecutionKernel",
+    "ScalarKernel",
+    "BatchKernel",
+    "SCALAR_KERNEL",
+    "BATCH_KERNEL",
+    "KERNEL_NAMES",
+    "kernel_for",
+    "kernel_name_for",
+]
 
 
 class ExecutionKernel(Protocol):
@@ -68,8 +85,8 @@ class ExecutionKernel(Protocol):
 class ScalarKernel:
     """Reference execution: one traverser per kernel call.
 
-    Kept behind ``EngineConfig.scalar_execution`` so the equivalence
-    suite can assert the batched kernel reproduces it bit for bit.
+    Kept behind ``EngineConfig.kernel="scalar"`` so the equivalence suite
+    can assert the batched and vector kernels reproduce it bit for bit.
     """
 
     def drain(
@@ -201,492 +218,75 @@ class ScalarKernel:
 
 class BatchKernel:
     """Batched execution: drain homogeneous runs through one kernel call
-    each (the default path).
+    each.
 
     Pops contiguous runs of traversers sharing ``(query_id, op_idx)`` and
-    hands each run to one vectorized ``apply_batch`` call. Locally spawned
+    hands each run to one batched ``apply_batch`` call. Locally spawned
     children append to the queue *end*, so run-draining visits traversers
     in exactly the order the scalar kernel would; cost pricing, RNG draws,
     buffer-flush times, and progress reports all replay the scalar
     sequence, making simulated time bit-for-bit identical. The wall-clock
     win comes from amortizing dispatch: one kernel call, one
     session/context lookup, and one metrics update per run instead of per
-    traverser.
+    traverser. The run machinery itself lives in
+    :class:`~repro.runtime.runs.RunDrain`, shared with the vector kernel.
     """
 
     def drain(
         self, worker: "Worker", t: float, touched: Optional[Set[int]]
     ) -> float:
         """Pop and execute up to ``batch_size`` traversers as fused runs."""
-        engine = worker.engine
-        runtime = worker.runtime
-        queue = runtime.queue
-        queue_append = queue.append
-        stage_counts = runtime.stage_counts
-        cm = engine.cost
-        config = engine.config
-        sessions = engine.sessions
-        delivery = engine.delivery
-        sharers = len(runtime.workers)
-        budgets_armed = touched is not None
-        trace = engine.trace
-        cpu = 0.0
-        budget = config.batch_size
-        run_cpu0 = 0.0
-
-        cpu_scale = cm.cpu_scale
-        step_base_us = cm.step_base_us
-        edge_us = cm.edge_us
-        memo_op_us = cm.memo_op_us
-        prop_us = cm.prop_us
-        serialize_us = cm.serialize_us * cpu_scale
-        shared = sharers > 1
-        if shared:
-            # All workers' scheduled flags are frozen while this run executes
-            # (the event loop is serial), so the scalar loop's per-traverser
-            # busy count is a per-run constant.
-            busy = 1 + sum(
-                1 for w in runtime.workers if w is not worker and w.scheduled
-            )
-            locality = cm.shared_locality_factor
-            per_access = cm.latch_us + cm.latch_contention * max(busy - 1, 0)
-        mode = config.progress_mode
-        naive = mode is ProgressMode.NAIVE_CENTRAL
-        coalesced = mode.coalesced
-        self_pid = runtime.pid
-        ppn = engine.partitions_per_node
-        tracker_node = engine.tracker_node
-        modulus = GROUP_MODULUS
-
-        # Inlined _buffer_traverser state (hot path).
-        track_inflight = delivery.track_inflight
-        note_outbound = delivery.note_outbound
-        trav_buffers = worker._trav_buffers
-        buffer_bytes = worker._buffer_bytes
-        flush_threshold = engine.flush_threshold_bytes
-        flush = worker._flush
-        # estimated_size_bytes() depends only on the payload tuple, and every
-        # payload referenced during this drain stays reachable (run list,
-        # queue, buffers), so ids are stable for the cache's lifetime.
-        size_cache: Dict[int, int] = {}
-        size_cache_get = size_cache.get
-        # Siblings share their parent's payload reference, so one identity
-        # compare usually replaces the id()+dict lookup.
-        last_payload = object()
-        last_size = 0
-        # Node-indexed mirrors of the per-destination traverser buffers:
-        # a list index replaces three dict operations per remote child. The
-        # byte counts are written back to the dict around every _flush /
-        # _buffer_message call (their only other readers during this drain)
-        # and once after the drain loop.
-        num_nodes = engine.nodes
-        local_bufs: List = [None] * num_nodes
-        local_bytes = [0] * num_nodes
-
-        def sync_bufs() -> None:
-            for nd in range(num_nodes):
-                if local_bufs[nd] is not None:
-                    buffer_bytes[nd] = local_bytes[nd]
-                    local_bufs[nd] = None
-
-        dec_stage_count = runtime.dec_stage_count
-
-        steps = 0
-        edges_scanned = 0
-        memo_ops_total = 0
-        spawned_total = 0
-
-        # Per-query hoisted machine state; refreshed when a run's query
-        # differs from the previous run's. The loop below fuses
-        # PSTMMachine.execute_batch (kernel + weight split + child routing)
-        # with the enqueue/buffer/progress handling: with short runs the
-        # per-run call overhead and intermediate (child, pid) materialization
-        # are a measurable slice of the hot path. machine.execute_batch stays
-        # the reference implementation of exactly this sequence.
-        cur_qid = None
-        session = None
-
-        while budget > 0 and queue:
-            head = queue.popleft()
-            budget -= 1
-            query_id = head.query_id
-            op_idx = head.op_idx
-            run = [head]
-            while budget > 0 and queue:
-                nxt = queue[0]
-                if nxt.query_id != query_id or nxt.op_idx != op_idx:
-                    break
-                run.append(queue.popleft())
-                budget -= 1
-            n_run = len(run)
-            stage = head.stage
-            dec_stage_count((query_id, stage), n_run)
-            if query_id != cur_qid:
-                cur_qid = query_id
-                session = sessions.get(query_id)
-                if budgets_armed:
-                    touched.add(query_id)
-                if session is not None:
-                    machine = session.machine
-                    ctx = session.context(self_pid)
-                    getrandbits = session.rng.getrandbits
-                    ops = machine.plan.ops
-                    num_ops = len(ops)
-                    route_info = machine.route_info()
-                    partitioner = machine.partitioner
-                    pcache = getattr(partitioner, "_cache", None)
-                    pcache_get = None if pcache is None else pcache.get
-                    num_partitions = partitioner.num_partitions
-                    barrier_route = machine.barrier_route
-                    op_steps = session.op_steps
-                    op_spawned = session.op_spawned
-                    qmetrics = session.qmetrics
-            if session is None:
-                # Query already finished/cancelled. A cancelling query's
-                # dropped run carries progression weight that must be
-                # reclaimed, or its stage ledger never closes.
-                if delivery.cancelling and query_id in delivery.cancelling:
-                    dropped = 0
-                    for trav in run:
-                        dropped += trav.weight
-                    delivery.reclaim(query_id, stage, dropped, n_run)
-                continue
-            if trace is not None:
-                run_cpu0 = cpu
-            op = ops[op_idx]
-            outcome = op.apply_batch(ctx, run)
-            spec_rows = outcome.children
-            costs = outcome.costs
-            steps += n_run
-            qmetrics.steps_executed += n_run
-            op_steps[op_idx] = op_steps.get(op_idx, 0) + n_run
-            run_spawned = 0
-            fin_total = 0
-            fin_count = 0
-            prev_tuple = None
-            prev_cost_us = 0.0
-            prev_edges = 0
-            prev_memo_ops = 0
-            last_idx = -1
-            c_stage = c_mode = child_op = c_key = None
-            lkey = None
-            lcount = 0
-            for trav, specs, ct in zip(run, spec_rows, costs):
-                # Non-Expand kernels share one cost tuple across the run
-                # ([t] * n), so an identity hit replays the exact float
-                # computed for the previous traverser.
-                if ct is prev_tuple:
-                    cost_us = prev_cost_us
-                    edges = prev_edges
-                    memo_ops = prev_memo_ops
-                else:
-                    base, edges, memo_ops, props = ct
-                    # Same expression shape/order as CostModel.op_cost_us —
-                    # float addition is not associative, so the term order is
-                    # part of the equivalence contract.
-                    cost_us = cpu_scale * (
-                        base * step_base_us
-                        + edges * edge_us
-                        + memo_ops * memo_op_us
-                        + props * prop_us
-                    )
-                    if shared:
-                        cost_us = cost_us * locality
-                        cost_us += (memo_ops + props + edges * 0.25) * per_access
-                    prev_tuple = ct
-                    prev_cost_us = cost_us
-                    prev_edges = edges
-                    prev_memo_ops = memo_ops
-                cpu += cost_us
-                edges_scanned += edges
-                memo_ops_total += memo_ops
-                if specs:
-                    nc = len(specs)
-                    run_spawned += nc
-                    if nc == 1:
-                        # Single-child fast path (filter passes, dedup
-                        # admits, loop continues): no RNG draw — the child
-                        # inherits the parent weight — and no zip machinery.
-                        # The block below is textually duplicated in the
-                        # multi-child loop; keep the two in sync.
-                        vertex, c_idx, payload, loops = specs[0]
-                        weight = trav.weight % modulus
-                        if c_idx != last_idx:
-                            if c_idx < 0 or c_idx >= num_ops:
-                                raise ExecutionError(
-                                    f"op {op.name} produced child with bad "
-                                    f"target index {c_idx}"
-                                )
-                            c_stage, c_mode, child_op = route_info[c_idx]
-                            c_key = (query_id, c_stage)
-                            last_idx = c_idx
-                        child = Traverser(
-                            query_id, vertex, c_idx, payload, weight,
-                            c_stage, loops,
-                        )
-                        # Routing: same mode dispatch as execute_batch.
-                        if c_mode == "vertex":
-                            if pcache_get is None or (
-                                pid := pcache_get(vertex)
-                            ) is None:
-                                pid = partitioner(vertex)
-                        elif c_mode == "free":
-                            if vertex >= 0:
-                                if pcache_get is None or (
-                                    pid := pcache_get(vertex)
-                                ) is None:
-                                    pid = partitioner(vertex)
-                            else:
-                                pid = min(-vertex - 1, num_partitions - 1)
-                        elif c_mode == "fixed":
-                            pid = barrier_route
-                        else:
-                            # Inlined resolve_partition.
-                            routed = child_op.routing(partitioner, child)
-                            if routed is not None:
-                                pid = routed
-                            elif vertex >= 0:
-                                if pcache_get is None or (
-                                    pid := pcache_get(vertex)
-                                ) is None:
-                                    pid = partitioner(vertex)
-                            else:
-                                pid = min(-vertex - 1, num_partitions - 1)
-                        if pid == self_pid:
-                            queue_append(child)
-                            # Deferred stage-count increment: contiguous
-                            # local children mostly share one stage key, so
-                            # batch the dict update. Flushed at run end —
-                            # before the next run's dec_stage_count (the only
-                            # reader during this drain) can observe the map.
-                            if c_key is lkey:
-                                lcount += 1
-                            else:
-                                if lcount:
-                                    stage_counts[lkey] = (
-                                        stage_counts.get(lkey, 0) + lcount
-                                    )
-                                lkey = c_key
-                                lcount = 1
-                        else:
-                            cpu += serialize_us
-                            # Inlined _buffer_traverser (hot path).
-                            if track_inflight:
-                                note_outbound(query_id)
-                            dst_node = pid // ppn
-                            buf = local_bufs[dst_node]
-                            if buf is None:
-                                buf = trav_buffers.get(dst_node)
-                                if buf is None:
-                                    buf = trav_buffers[dst_node] = []
-                                local_bufs[dst_node] = buf
-                                local_bytes[dst_node] = buffer_bytes.get(
-                                    dst_node, 0
-                                )
-                            if payload is last_payload:
-                                size = last_size
-                            else:
-                                last_payload = payload
-                                pk = id(payload)
-                                size = size_cache_get(pk)
-                                if size is None:
-                                    size = child.estimated_size_bytes()
-                                    size_cache[pk] = size
-                                last_size = size
-                            buf.append((pid, child, size))
-                            nbytes = local_bytes[dst_node] + size
-                            local_bytes[dst_node] = nbytes
-                            if nbytes >= flush_threshold:
-                                buffer_bytes[dst_node] = nbytes
-                                local_bufs[dst_node] = None
-                                cpu += flush(dst_node, t + cpu)
-                    else:
-                        # Inlined split_weight: same RNG draw sequence as the
-                        # scalar path (ops never consume the RNG, so drawing
-                        # after apply_batch instead of per apply is
-                        # invisible).
-                        parts = [getrandbits(64) for _ in range(nc - 1)]
-                        last = trav.weight % modulus
-                        for p in parts:
-                            last = (last - p) % modulus
-                        parts.append(last)
-                        for (vertex, c_idx, payload, loops), weight in zip(
-                            specs, parts
-                        ):
-                            if c_idx != last_idx:
-                                if c_idx < 0 or c_idx >= num_ops:
-                                    raise ExecutionError(
-                                        f"op {op.name} produced child with "
-                                        f"bad target index {c_idx}"
-                                    )
-                                c_stage, c_mode, child_op = route_info[c_idx]
-                                c_key = (query_id, c_stage)
-                                last_idx = c_idx
-                            child = Traverser(
-                                query_id, vertex, c_idx, payload, weight,
-                                c_stage, loops,
-                            )
-                            # Routing: same mode dispatch as execute_batch.
-                            if c_mode == "vertex":
-                                if pcache_get is None or (
-                                    pid := pcache_get(vertex)
-                                ) is None:
-                                    pid = partitioner(vertex)
-                            elif c_mode == "free":
-                                if vertex >= 0:
-                                    if pcache_get is None or (
-                                        pid := pcache_get(vertex)
-                                    ) is None:
-                                        pid = partitioner(vertex)
-                                else:
-                                    pid = min(-vertex - 1, num_partitions - 1)
-                            elif c_mode == "fixed":
-                                pid = barrier_route
-                            else:
-                                # Inlined resolve_partition.
-                                routed = child_op.routing(partitioner, child)
-                                if routed is not None:
-                                    pid = routed
-                                elif vertex >= 0:
-                                    if pcache_get is None or (
-                                        pid := pcache_get(vertex)
-                                    ) is None:
-                                        pid = partitioner(vertex)
-                                else:
-                                    pid = min(-vertex - 1, num_partitions - 1)
-                            if pid == self_pid:
-                                queue_append(child)
-                                if c_key is lkey:
-                                    lcount += 1
-                                else:
-                                    if lcount:
-                                        stage_counts[lkey] = (
-                                            stage_counts.get(lkey, 0) + lcount
-                                        )
-                                    lkey = c_key
-                                    lcount = 1
-                            else:
-                                cpu += serialize_us
-                                # Inlined _buffer_traverser (hot path).
-                                if track_inflight:
-                                    note_outbound(query_id)
-                                dst_node = pid // ppn
-                                buf = local_bufs[dst_node]
-                                if buf is None:
-                                    buf = trav_buffers.get(dst_node)
-                                    if buf is None:
-                                        buf = trav_buffers[dst_node] = []
-                                    local_bufs[dst_node] = buf
-                                    local_bytes[dst_node] = buffer_bytes.get(
-                                        dst_node, 0
-                                    )
-                                if payload is last_payload:
-                                    size = last_size
-                                else:
-                                    last_payload = payload
-                                    pk = id(payload)
-                                    size = size_cache_get(pk)
-                                    if size is None:
-                                        size = child.estimated_size_bytes()
-                                        size_cache[pk] = size
-                                    last_size = size
-                                buf.append((pid, child, size))
-                                nbytes = local_bytes[dst_node] + size
-                                local_bytes[dst_node] = nbytes
-                                if nbytes >= flush_threshold:
-                                    buffer_bytes[dst_node] = nbytes
-                                    local_bufs[dst_node] = None
-                                    cpu += flush(dst_node, t + cpu)
-                    if naive:
-                        sync_bufs()
-                        cpu += worker._buffer_message(
-                            Message(
-                                MsgKind.PROGRESS,
-                                TRACKER_DST,
-                                ("delta", query_id, stage, len(specs) - 1),
-                                PROGRESS_MSG_BYTES,
-                                query_id,
-                            ),
-                            tracker_node,
-                            t + cpu,
-                        )
-                elif naive:
-                    sync_bufs()
-                    cpu += worker._buffer_message(
-                        Message(
-                            MsgKind.PROGRESS,
-                            TRACKER_DST,
-                            ("delta", query_id, stage, -1),
-                            PROGRESS_MSG_BYTES,
-                            query_id,
-                        ),
-                        tracker_node,
-                        t + cpu,
-                    )
-                else:
-                    weight = trav.weight
-                    if weight:
-                        if coalesced:
-                            # Deferred to one absorb_many below: addition in
-                            # Z_{2^64} is associative and the accumulator is
-                            # only observed at flush time (end of the run).
-                            fin_total += weight
-                            fin_count += 1
-                        else:
-                            if trace is not None:
-                                # Observation only: fin_count stays 0, so
-                                # the coalescing absorb below never fires —
-                                # fin_total just feeds the EXEC event.
-                                fin_total += weight
-                            sync_bufs()
-                            cpu += worker._buffer_message(
-                                Message(
-                                    MsgKind.PROGRESS,
-                                    TRACKER_DST,
-                                    ("weight", query_id, stage, weight),
-                                    PROGRESS_MSG_BYTES,
-                                    query_id,
-                                ),
-                                tracker_node,
-                                t + cpu,
-                            )
-            if lcount:
-                stage_counts[lkey] = stage_counts.get(lkey, 0) + lcount
-            if fin_count:
-                worker._accum(query_id, stage).absorb_many(fin_total, fin_count)
-            if trace is not None:
-                # One EXEC event per fused run: per-traverser weights are
-                # not materialized here (that is the point of batching), so
-                # the event carries run totals; the auditor checks the
-                # active-weight ledger, not per-traverser conservation.
-                trace.emit(
-                    EXEC, query_id, pid=self_pid, wid=worker.wid,
-                    stage=stage, op_idx=op_idx, n=n_run,
-                    spawned=run_spawned,
-                    w_in=sum(tr.weight for tr in run) % modulus,
-                    w_fin=fin_total % modulus,
-                    cpu=cpu - run_cpu0,
-                )
-            spawned_total += run_spawned
-            if run_spawned:
-                op_spawned[op_idx] = op_spawned.get(op_idx, 0) + run_spawned
-                qmetrics.traversers_spawned += run_spawned
-
-        sync_bufs()
-        metrics = engine.metrics
-        metrics.steps_executed += steps
-        metrics.edges_scanned += edges_scanned
-        metrics.memo_ops += memo_ops_total
-        metrics.traversers_spawned += spawned_total
-
-        return cpu
+        d = get_drain(worker, t, touched)
+        execute_batch = d.execute_batch
+        pop_run = d.pop_run
+        while (run := pop_run()) is not None:
+            execute_batch(run)
+        return d.finish()
 
 
 #: shared stateless kernel instances (one per strategy, not per worker)
 SCALAR_KERNEL = ScalarKernel()
 BATCH_KERNEL = BatchKernel()
 
+#: config.kernel values, in fallback order
+KERNEL_NAMES = ("scalar", "batch", "vector")
+
+
+def kernel_name_for(config: "EngineConfig") -> str:
+    """The tier name ``kernel_for`` would resolve (for traces/reports)."""
+    if config.kernel is not None:
+        return config.kernel
+    if config.scalar_execution:
+        return "scalar"
+    return "vector" if HAVE_NUMPY else "batch"
+
 
 def kernel_for(config: "EngineConfig") -> ExecutionKernel:
-    """Select the execution kernel an engine configuration asks for."""
-    return SCALAR_KERNEL if config.scalar_execution else BATCH_KERNEL
+    """Select the execution kernel an engine configuration asks for.
+
+    ``config.kernel`` takes precedence; ``None`` auto-selects the fastest
+    available tier (vector when NumPy is importable, else batch), unless
+    the legacy ``scalar_execution`` flag forces the reference loop.
+    Every tier is bit-for-bit equivalent on simulated output, so
+    auto-selection can never change results — only wall-clock time.
+    """
+    name = config.kernel
+    if name is None:
+        if config.scalar_execution:
+            return SCALAR_KERNEL
+        return VECTOR_KERNEL if HAVE_NUMPY else BATCH_KERNEL
+    if name == "scalar":
+        return SCALAR_KERNEL
+    if name == "batch":
+        return BATCH_KERNEL
+    if name == "vector":
+        if not HAVE_NUMPY:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                "EngineConfig.kernel='vector' requires NumPy, which is not "
+                "installed. Install the optional extra (pip install "
+                "'repro[fast]') or use kernel='batch'."
+            )
+        return VECTOR_KERNEL
+    raise AssertionError(f"unknown kernel {name!r}")  # pragma: no cover

@@ -513,8 +513,22 @@ class Worker:
             gates[pid].submit(len(travs), send, when)
         return cost * cm.cpu_scale
 
+    def drop_query(self, query_id: int) -> None:
+        """Drop a finished query's flushed-out weight accumulators so the
+        per-drain idle sweep stops iterating dead entries. Only empty
+        ones: cancellation harvests pending weight via
+        :meth:`reclaim_query` instead."""
+        accums = self._accums
+        for key in [
+            k for k, a in accums.items()
+            if k[0] == query_id and a.pending_count == 0
+        ]:
+            del accums[key]
+
     def _flush_idle_accums(self, when: float) -> float:
         """Flush finished-weight accumulators whose stage has drained here."""
+        if not self._accums:
+            return 0.0
         cost = 0.0
         trace = self.engine.trace
         for (query_id, stage), accum in self._accums.items():
@@ -544,6 +558,11 @@ class Worker:
 
     def _flush_all(self, when: float) -> float:
         cost = 0.0
-        for dst_node in set(self._buffers) | set(self._trav_buffers):
-            cost += self._flush(dst_node, when + cost)
+        bufs = self._buffers
+        tbufs = self._trav_buffers
+        for dst_node in set(bufs) | set(tbufs):
+            # Empty flushes are no-ops; skip the call (buffers persist
+            # across drains, so most retained keys are usually empty).
+            if bufs.get(dst_node) or tbufs.get(dst_node):
+                cost += self._flush(dst_node, when + cost)
         return cost

@@ -12,14 +12,19 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.fused import FusedCollectSink, FusedGroupCountSink
+from repro.errors import ConfigurationError
 from repro.graph.builder import GraphBuilder
 from repro.graph.partition import PartitionedGraph
 from repro.query.exprs import X
 from repro.query.traversal import Traversal
+from repro.runtime import kernels as kernels_mod
 from repro.runtime.bsp import BSPEngine
 from repro.runtime.cluster import ClusterConfig
 from repro.runtime.engine import AsyncPSTMEngine, EngineConfig
+from repro.runtime.faults import FaultPlan
 from repro.runtime.reference import LocalExecutor
+from repro.runtime.vector import HAVE_NUMPY
 from repro.core.progress import ProgressMode
 
 CLUSTER = ClusterConfig(nodes=2, workers_per_node=2)
@@ -112,6 +117,146 @@ def test_every_query_under_every_progress_mode(mode, query_index):
     )
     got = engine.run(plan, {"s": 11}).rows
     assert normalized(got, query_index) == normalized(expected, query_index)
+
+
+# -- kernel tiers and fused plans ----------------------------------------------
+#
+# The second equivalence axis: on the SAME compiled plan, every kernel
+# tier (scalar / batch / vector) must reproduce not just the rows but the
+# exact simulated latency — bit for bit, float for float. A fused plan is
+# a DIFFERENT plan, so it only owes the same result rows as its unfused
+# source (its simulated timings differ by design — that is the win).
+
+KERNELS = ["scalar", "batch"] + (["vector"] if HAVE_NUMPY else [])
+
+
+def _run_kernel(graph, plan, start, kernel, fault_plan=None):
+    engine = AsyncPSTMEngine(
+        graph, CLUSTER.nodes, CLUSTER.workers_per_node,
+        config=EngineConfig(kernel=kernel, fault_plan=fault_plan),
+    )
+    result = engine.run(plan, {"s": start})
+    return result.rows, result.latency_us
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    query_index=st.integers(min_value=0, max_value=len(QUERY_BUILDERS) - 1),
+    start=st.integers(min_value=0, max_value=39),
+    fuse=st.booleans(),
+)
+@settings(max_examples=25, deadline=None)
+def test_kernel_tiers_bit_identical(seed, query_index, start, fuse):
+    """scalar == batch == vector on rows AND exact simulated latency, on
+    both the unfused and the fused lowering of every fixed-shape query."""
+    graph = make_graph(seed)
+    plan = QUERY_BUILDERS[query_index]().compile(graph, fuse=fuse)
+    reference = _run_kernel(graph, plan, start, "scalar")
+    for kernel in KERNELS[1:]:
+        assert _run_kernel(graph, plan, start, kernel) == reference
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    query_index=st.integers(min_value=0, max_value=len(QUERY_BUILDERS) - 1),
+    start=st.integers(min_value=0, max_value=39),
+)
+@settings(max_examples=25, deadline=None)
+def test_fused_plan_rows_match_unfused(seed, query_index, start):
+    graph = make_graph(seed)
+    builder = QUERY_BUILDERS[query_index]
+    unfused = builder().compile(graph)
+    fused = builder().compile(graph, fuse=True)
+    expected, _ = _run_kernel(graph, unfused, start, KERNELS[-1])
+    got, _ = _run_kernel(graph, fused, start, KERNELS[-1])
+    assert normalized(got, query_index) == normalized(expected, query_index)
+
+
+@pytest.mark.parametrize("fault_seed", [1, 7, 23])
+@pytest.mark.parametrize("fuse", [False, True])
+def test_kernel_tiers_bit_identical_under_faults(fault_seed, fuse):
+    """A seeded fault plan (drops, dups, delays) arms the ack/retransmit
+    layer; the kernel tiers must still agree bit for bit."""
+    graph = make_graph(99)
+    plan = QUERY_BUILDERS[2]().compile(graph, fuse=fuse)
+    fault = FaultPlan(
+        seed=fault_seed, drop_rate=0.15, dup_rate=0.1, delay_rate=0.1
+    )
+    reference = _run_kernel(graph, plan, 11, "scalar", fault)
+    for kernel in KERNELS[1:]:
+        assert _run_kernel(graph, plan, 11, kernel, fault) == reference
+
+
+def test_kernel_fallback_without_numpy(monkeypatch):
+    """With NumPy absent, auto-selection degrades to the batch tier (and
+    still answers correctly); asking for "vector" explicitly is a clear
+    configuration error naming the repro[fast] extra."""
+    monkeypatch.setattr(kernels_mod, "HAVE_NUMPY", False)
+    assert kernels_mod.kernel_name_for(EngineConfig()) == "batch"
+    assert kernels_mod.kernel_for(EngineConfig()) is kernels_mod.BATCH_KERNEL
+    with pytest.raises(ConfigurationError, match=r"repro\[fast\]"):
+        kernels_mod.kernel_for(EngineConfig(kernel="vector"))
+    graph = make_graph(5)
+    plan = QUERY_BUILDERS[0]().compile(graph)
+    expected = LocalExecutor(graph).run(plan, {"s": 3})
+    engine = AsyncPSTMEngine(graph, CLUSTER.nodes, CLUSTER.workers_per_node)
+    got = engine.run(plan, {"s": 3}).rows
+    assert normalized(got, 0) == normalized(expected, 0)
+
+
+# -- aggregation pushdown (fusion rule 5) --------------------------------------
+
+
+def _topn_query(unique: bool) -> Traversal:
+    # dedup() makes the vertex binding unique per row, so (w desc, v asc)
+    # really is a total order and the unique declaration is truthful.
+    return (
+        Traversal("topn").v_param("s").out("e").dedup()
+        .values("w", "weight").as_("v").select("v", "w")
+        .order_by((X.binding("w"), "desc"), (X.binding("v"), "asc"),
+                  unique=unique)
+        .limit(4)
+    )
+
+
+def test_collect_pushdown_gated_on_unique_declaration():
+    graph = make_graph(321)
+    gated = _topn_query(True).compile(graph, fuse=True)
+    assert any(type(op) is FusedCollectSink for op in gated.ops)
+    plain = _topn_query(False).compile(graph, fuse=True)
+    assert not any(type(op) is FusedCollectSink for op in plain.ops)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2_000),
+    start=st.integers(min_value=0, max_value=39),
+)
+@settings(max_examples=20, deadline=None)
+def test_collect_pushdown_rows_exact(seed, start):
+    """The distributed top-N pushdown returns exactly the unfused rows —
+    order included — whenever the declared total order is truthful."""
+    graph = make_graph(seed)
+    unfused = _topn_query(True).compile(graph)
+    fused = _topn_query(True).compile(graph, fuse=True)
+    rows_u, _ = _run_kernel(graph, unfused, start, KERNELS[-1])
+    rows_f, _ = _run_kernel(graph, fused, start, KERNELS[-1])
+    assert rows_f == rows_u
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2_000),
+    start=st.integers(min_value=0, max_value=39),
+)
+@settings(max_examples=20, deadline=None)
+def test_group_count_pushdown_rows_exact(seed, start):
+    graph = make_graph(seed)
+    q = lambda: (Traversal("gc").v_param("s").out("e").both("e")
+                 .filter_(X.prop("weight").gt(10)).group_count(limit=6))
+    fused = q().compile(graph, fuse=True)
+    assert any(type(op) is FusedGroupCountSink for op in fused.ops)
+    rows_u, _ = _run_kernel(graph, q().compile(graph), start, KERNELS[-1])
+    rows_f, _ = _run_kernel(graph, fused, start, KERNELS[-1])
+    assert rows_f == rows_u
 
 
 @given(seed=st.integers(min_value=0, max_value=1000))

@@ -16,8 +16,10 @@ from repro.graph.builder import GraphBuilder
 from repro.graph.partition import PartitionedGraph
 from repro.query.exprs import X
 from repro.query.traversal import Traversal
-from repro.runtime.engine import AsyncPSTMEngine
+from repro.runtime.engine import AsyncPSTMEngine, EngineConfig
+from repro.runtime.faults import FaultPlan
 from repro.runtime.reference import LocalExecutor
+from repro.runtime.vector import HAVE_NUMPY
 
 PARTS = 4
 
@@ -59,13 +61,21 @@ def apply_step(t: Traversal, code: int) -> Traversal:
 
 
 def apply_terminal(t: Traversal, code: int) -> Traversal:
-    choice = code % 4
+    choice = code % 5
     if choice == 0:
         return t.count()
     if choice == 1:
         return t.dedup().group_count()
     if choice == 2:
         return t.values("w", "weight").sum_("w")
+    if choice == 3:
+        # Ordered + limited collect with a truthfully-declared total
+        # order (dedup makes the vertex binding unique per row) — the
+        # shape that arms the fusion pass's top-N pushdown.
+        return (t.dedup().values("w", "weight").as_("v").select("v", "w")
+                .order_by((X.binding("w"), "desc"), (X.binding("v"), "asc"),
+                          unique=True)
+                .limit(5))
     return t.as_("v").select("v")
 
 
@@ -73,7 +83,7 @@ def apply_terminal(t: Traversal, code: int) -> Traversal:
     graph_seed=st.integers(min_value=0, max_value=50),
     steps=st.lists(st.integers(min_value=0, max_value=63),
                    min_size=1, max_size=4),
-    terminal=st.integers(min_value=0, max_value=3),
+    terminal=st.integers(min_value=0, max_value=4),
     start=st.integers(min_value=0, max_value=29),
 )
 @settings(max_examples=60, deadline=None)
@@ -89,6 +99,77 @@ def test_random_chains_agree_across_engines(graph_seed, steps, terminal, start):
     engine = AsyncPSTMEngine(graph, 2, 2)
     got = engine.run(plan, params).rows
     assert sorted(map(repr, got)) == sorted(map(repr, expected))
+
+
+# -- kernel tiers and fused plans ----------------------------------------------
+
+KERNELS = ["scalar", "batch"] + (["vector"] if HAVE_NUMPY else [])
+
+
+def _build_chain(steps, terminal):
+    t = Traversal("fuzz").v_param("s")
+    for code in steps:
+        t = apply_step(t, code)
+    return apply_terminal(t, terminal)
+
+
+def _run_kernel(graph, plan, start, kernel, fault_plan=None):
+    engine = AsyncPSTMEngine(
+        graph, 2, 2,
+        config=EngineConfig(kernel=kernel, fault_plan=fault_plan),
+    )
+    result = engine.run(plan, {"s": start})
+    return result.rows, result.latency_us
+
+
+@given(
+    graph_seed=st.integers(min_value=0, max_value=50),
+    steps=st.lists(st.integers(min_value=0, max_value=63),
+                   min_size=1, max_size=4),
+    terminal=st.integers(min_value=0, max_value=4),
+    start=st.integers(min_value=0, max_value=29),
+)
+@settings(max_examples=40, deadline=None)
+def test_random_chains_kernels_and_fusion_agree(
+    graph_seed, steps, terminal, start
+):
+    """On each generated chain: every kernel tier reproduces the scalar
+    rows and exact simulated latency on both lowerings, and the fused
+    lowering's rows equal the unfused lowering's."""
+    graph = make_graph(graph_seed)
+    t = _build_chain(steps, terminal)
+    unfused = t.compile(graph)
+    fused = t.compile(graph, fuse=True)
+    ref_u = _run_kernel(graph, unfused, start, "scalar")
+    ref_f = _run_kernel(graph, fused, start, "scalar")
+    for kernel in KERNELS[1:]:
+        assert _run_kernel(graph, unfused, start, kernel) == ref_u
+        assert _run_kernel(graph, fused, start, kernel) == ref_f
+    assert sorted(map(repr, ref_f[0])) == sorted(map(repr, ref_u[0]))
+
+
+@given(
+    graph_seed=st.integers(min_value=0, max_value=20),
+    steps=st.lists(st.integers(min_value=0, max_value=63),
+                   min_size=1, max_size=3),
+    terminal=st.integers(min_value=0, max_value=4),
+    start=st.integers(min_value=0, max_value=29),
+    fault_seed=st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=25, deadline=None)
+def test_random_chains_kernels_agree_under_faults(
+    graph_seed, steps, terminal, start, fault_seed
+):
+    """Same agreement with a seeded fault plan armed: drops, dups, and
+    delays exercise the ack/retransmit layer identically per tier."""
+    graph = make_graph(graph_seed)
+    plan = _build_chain(steps, terminal).compile(graph, fuse=True)
+    fault = FaultPlan(
+        seed=fault_seed, drop_rate=0.1, dup_rate=0.1, delay_rate=0.1
+    )
+    reference = _run_kernel(graph, plan, start, "scalar", fault)
+    for kernel in KERNELS[1:]:
+        assert _run_kernel(graph, plan, start, kernel, fault) == reference
 
 
 @given(

@@ -5,7 +5,8 @@ The runtime is a strict layering (docs/ARCHITECTURE.md); each module may
 import only modules *strictly below* it:
 
     simclock < config < metrics < trace < lifecycle < costmodel < faults
-             < network < overload < kernels < worker < delivery < engine
+             < network < overload < runs < vector < kernels < worker
+             < delivery < engine
 
 Everything above ``engine`` (bsp, hybrid, variants, reference, cluster,
 the package __init__) composes freely and is not constrained here.
@@ -46,6 +47,8 @@ LAYERS = [
     "faults",
     "network",
     "overload",
+    "runs",
+    "vector",
     "kernels",
     "worker",
     "delivery",
@@ -53,8 +56,11 @@ LAYERS = [
 ]
 RANK = {name: i for i, name in enumerate(LAYERS)}
 
-#: maximum line count per module (the anti-god-module gate)
-MAX_LINES = {"engine.py": 900, "worker.py": 900}
+#: maximum line count per module (the anti-god-module gate).
+#: ``kernels.py`` is budgeted so the kernel tiers stay thin dispatch
+#: shells: shared run-partitioning machinery belongs in ``runs.py`` and
+#: vector fast paths in ``vector.py``.
+MAX_LINES = {"engine.py": 900, "worker.py": 900, "kernels.py": 400}
 
 #: observation leaves: stricter than the layering rank — these modules may
 #: import only the listed runtime modules at runtime, nothing else
