@@ -259,54 +259,207 @@ def cmd_overload(args: argparse.Namespace) -> int:
     return overload.main(forwarded)
 
 
-def cmd_trace(args: argparse.Namespace) -> int:
-    """Run a traced k-hop batch, audit the trace, and print a summary.
+def cmd_recovery(args: argparse.Namespace) -> int:
+    """Run the recovery bench (crash + force-retry vs checkpoint restore)."""
+    from repro.bench import recovery
 
-    The worked example of docs/OBSERVABILITY.md: a batch of k-hop queries
-    runs with ``EngineConfig.trace`` enabled (optionally under injected
-    faults and a mid-flight cancellation), the per-query trace summary and
-    event-kind histogram are printed, and the
-    :class:`~repro.runtime.trace.WeightLedgerAuditor` replays the trace to
-    re-derive the Theorem-1 ledger. Exit code 0 means zero violations.
+    forwarded: List[str] = []
+    if args.quick:
+        forwarded.append("--quick")
+    if args.check:
+        forwarded.append("--check")
+    if args.out:
+        forwarded.extend(["--out", args.out])
+    return recovery.main(forwarded)
+
+
+def _parse_crash(spec: str):
+    """``WID:AT_US[:DOWN_US]`` → a WorkerFault tuple (empty spec → ())."""
+    from repro.runtime.faults import WorkerFault
+
+    if not spec:
+        return ()
+    fields = spec.split(":")
+    if len(fields) not in (2, 3):
+        raise ValueError("crash spec expects WID:AT_US[:DOWN_US]")
+    return (
+        WorkerFault(
+            wid=int(fields[0]),
+            at_us=float(fields[1]),
+            down_us=float(fields[2]) if len(fields) == 3 else None,
+        ),
+    )
+
+
+def _trace_run(recipe: Dict):
+    """Execute one traced batch described by a replay recipe dict.
+
+    The recipe is the *complete* input of a traced run — workload, query
+    count, engine/fault seed, drop rate, cancel flag, crash spec, and
+    checkpoint interval. The simulator is deterministic, so the same
+    recipe always produces the same trace, which is what makes
+    ``python -m repro trace --replay`` a bit-for-bit check. Returns the
+    drained ``(engine, sessions)``.
     """
     import random as _random
 
-    from repro.datasets.synthetic import PowerLawConfig, powerlaw_graph
     from repro.graph.partition import PartitionedGraph
-    from repro.query.traversal import Traversal
     from repro.runtime.engine import AsyncPSTMEngine, EngineConfig
     from repro.runtime.faults import FaultPlan
-    from repro.runtime.trace import WeightLedgerAuditor
 
     nodes, wpn = 4, 2
-    config = PowerLawConfig("trace-demo", 400, 6.0)
-    graph = PartitionedGraph.from_graph(
-        powerlaw_graph(config, seed=7), nodes * wpn
-    )
-    plan = (
-        Traversal("khop3_count")
-        .v_param("start")
-        .khop(config.edge_label, k=3)
-        .count()
-        .compile(graph)
-    )
+    workload = recipe.get("workload", "khop3")
+    queries = int(recipe["queries"])
     rng = _random.Random(42)
-    starts = [rng.randrange(config.num_vertices) for _ in range(args.queries)]
+    if workload == "khop3":
+        from repro.datasets.synthetic import PowerLawConfig, powerlaw_graph
+        from repro.query.traversal import Traversal
 
+        config = PowerLawConfig("trace-demo", 400, 6.0)
+        graph = PartitionedGraph.from_graph(
+            powerlaw_graph(config, seed=7), nodes * wpn
+        )
+        plan = (
+            Traversal("khop3_count")
+            .v_param("start")
+            .khop(config.edge_label, k=3)
+            .count()
+            .compile(graph)
+        )
+        params = [
+            {"start": rng.randrange(config.num_vertices)}
+            for _ in range(queries)
+        ]
+    elif workload == "ic9":
+        from repro.ldbc.generator import SNB_TINY, generate_snb
+        from repro.ldbc.queries.ic import IC_QUERIES
+
+        dataset = generate_snb(SNB_TINY)
+        graph = dataset.partitioned(nodes * wpn)
+        qdef = IC_QUERIES[9]
+        plan = qdef.build().compile(graph)
+        params = [qdef.make_params(dataset, rng) for _ in range(queries)]
+    else:
+        raise ValueError(f"unknown trace workload {workload!r}")
+
+    worker_faults = _parse_crash(recipe.get("crash") or "")
+    drop_rate = float(recipe.get("drop_rate", 0.0))
     fault_plan = None
-    if args.drop_rate > 0:
-        fault_plan = FaultPlan(seed=args.seed, drop_rate=args.drop_rate)
+    if drop_rate > 0 or worker_faults:
+        fault_plan = FaultPlan(
+            seed=int(recipe["seed"]), drop_rate=drop_rate,
+            worker_faults=worker_faults,
+        )
     engine = AsyncPSTMEngine(
         graph, nodes, wpn,
-        config=EngineConfig(trace=True, fault_plan=fault_plan),
-        seed=args.seed,
+        config=EngineConfig(
+            trace=True, fault_plan=fault_plan,
+            checkpoint_interval_us=recipe.get("checkpoint_interval_us"),
+        ),
+        seed=int(recipe["seed"]),
     )
-    sessions = [engine.submit(plan, {"start": s}) for s in starts]
-    if args.cancel and sessions:
+    sessions = [engine.submit(plan, p) for p in params]
+    if recipe.get("cancel") and sessions:
         engine.clock.schedule_at(
             40.0, lambda: engine.cancel(sessions[0], "caller")
         )
     engine.clock.run_until_idle()
+    return engine, sessions
+
+
+def _cmd_trace_replay(path: str) -> int:
+    """Deterministically re-execute a dumped trace and compare bit for bit.
+
+    Reads the JSONL dump, extracts its ``replay_recipe`` record, re-runs
+    the exact engine configuration, and compares every regenerated event
+    (kind, timestamp, query id, full payload) against the recorded ones.
+    The simulator is deterministic, so any mismatch means the runtime's
+    behavior changed since the dump — or the dump was edited. Exit 0 =
+    identical and the regenerated trace audits clean.
+    """
+    import json as _json
+
+    from repro.runtime.trace import WeightLedgerAuditor
+
+    recipe = None
+    recorded: List[Dict] = []
+    with open(path) as fh:
+        for line in fh:
+            rec = _json.loads(line)
+            if rec.get("kind") == "replay_recipe":
+                recipe = rec
+            elif rec.get("kind") == "run_metrics":
+                continue
+            else:
+                recorded.append(rec)
+    if recipe is None:
+        print(f"{path}: no replay_recipe record — re-dump it with "
+              f"`python -m repro trace --out {path}` first", file=sys.stderr)
+        return 2
+
+    engine, _sessions = _trace_run(recipe)
+    # Normalize through one JSON round trip so the comparison sees exactly
+    # what a dump of the regenerated trace would contain.
+    regenerated = [
+        _json.loads(_json.dumps(ev.as_dict())) for ev in engine.trace.events
+    ]
+    print(f"replaying {recipe.get('workload', 'khop3')} "
+          f"({recipe['queries']} queries, seed {recipe['seed']}) "
+          f"from {path}")
+    print(f"recorded events:    {len(recorded)}")
+    print(f"regenerated events: {len(regenerated)}")
+    identical = regenerated == recorded
+    if not identical:
+        shown = 0
+        for i, (old, new) in enumerate(zip(recorded, regenerated)):
+            if old != new:
+                print(f"  first divergence at event {i}:")
+                print(f"    recorded:    {old}")
+                print(f"    regenerated: {new}")
+                shown = 1
+                break
+        if not shown:
+            print("  one trace is a prefix of the other")
+    report = WeightLedgerAuditor(engine.trace.events).audit()
+    print(f"replay {'IDENTICAL' if identical else 'DIVERGED'}; {report}")
+    return 0 if identical and report.ok else 1
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run a traced batch, audit the trace, and print a summary.
+
+    The worked example of docs/OBSERVABILITY.md: a batch of queries
+    (k-hop by default, LDBC IC9 with ``--workload ic9``) runs with
+    ``EngineConfig.trace`` enabled (optionally under injected faults, a
+    worker crash, checkpointing, and a mid-flight cancellation), the
+    per-query trace summary and event-kind histogram are printed, and the
+    :class:`~repro.runtime.trace.WeightLedgerAuditor` replays the trace to
+    re-derive the Theorem-1 ledger. Exit code 0 means zero violations.
+
+    JSONL dumps embed a ``replay_recipe`` record; ``--replay FILE``
+    re-executes a dump's recipe and verifies the regenerated trace is
+    bit-for-bit identical (docs/OBSERVABILITY.md, docs/RECOVERY.md).
+    """
+    from repro.runtime.trace import WeightLedgerAuditor
+
+    if args.replay:
+        return _cmd_trace_replay(args.replay)
+    try:
+        _parse_crash(args.crash)
+    except ValueError as exc:
+        print(f"--crash: {exc}", file=sys.stderr)
+        return 2
+    recipe = {
+        "kind": "replay_recipe",
+        "workload": args.workload,
+        "queries": args.queries,
+        "seed": args.seed,
+        "drop_rate": args.drop_rate,
+        "cancel": bool(args.cancel),
+        "crash": args.crash,
+        "checkpoint_interval_us": args.checkpoint_interval,
+    }
+    engine, sessions = _trace_run(recipe)
     trace = engine.trace
 
     print(f"{len(trace)} trace events from {len(sessions)} queries")
@@ -333,8 +486,16 @@ def cmd_trace(args: argparse.Namespace) -> int:
             print(f"\nwrote Chrome trace to {args.out} "
                   f"(load in chrome://tracing or Perfetto)")
         else:
+            import json as _json
+
             n = trace.dump_jsonl(args.out, metrics=engine.metrics)
-            print(f"\nwrote {n} JSONL records to {args.out}")
+            # Append the replay recipe so the dump is self-reproducing:
+            # `python -m repro trace --replay <file>` re-runs it bit for bit.
+            with open(args.out, "a") as fh:
+                fh.write(_json.dumps(recipe))
+                fh.write("\n")
+            print(f"\nwrote {n + 1} JSONL records to {args.out} "
+                  f"(incl. the replay recipe)")
 
     report = WeightLedgerAuditor(trace.events).audit()
     print(f"\n{report}")
@@ -401,20 +562,50 @@ def build_parser() -> argparse.ArgumentParser:
     overload.set_defaults(fn=cmd_overload)
     trace = sub.add_parser(
         "trace",
-        help="observability demo: traced k-hop batch + weight-ledger audit",
+        help="observability demo: traced batch + weight-ledger audit "
+             "+ deterministic replay",
     )
     trace.add_argument("--queries", type=int, default=12,
-                       help="k-hop queries per batch (default 12)")
+                       help="queries per batch (default 12)")
     trace.add_argument("--seed", type=int, default=1,
                        help="engine/fault RNG seed (default 1)")
+    trace.add_argument("--workload", choices=("khop3", "ic9"),
+                       default="khop3",
+                       help="traced workload: synthetic 3-hop count or "
+                            "LDBC IC9 (default khop3)")
     trace.add_argument("--drop-rate", type=float, default=0.0,
                        help="also inject per-packet drops at this rate")
     trace.add_argument("--cancel", action="store_true",
                        help="cancel the first query mid-flight")
+    trace.add_argument("--crash", metavar="WID:AT_US[:DOWN_US]", default="",
+                       help="also crash worker WID at AT_US (recovering "
+                            "after DOWN_US if given)")
+    trace.add_argument("--checkpoint-interval", type=float, default=None,
+                       metavar="US",
+                       help="arm stage-boundary checkpointing at this "
+                            "interval (0 = every boundary; see "
+                            "docs/RECOVERY.md)")
     trace.add_argument("--out", default=None,
                        help="dump the trace here (.json = Chrome trace "
-                            "format, anything else = JSONL)")
+                            "format, anything else = JSONL with an "
+                            "embedded replay recipe)")
+    trace.add_argument("--replay", metavar="FILE", default=None,
+                       help="re-execute a JSONL dump's recipe and verify "
+                            "the regenerated trace is bit-for-bit "
+                            "identical (ignores the other options)")
     trace.set_defaults(fn=cmd_trace)
+    recovery = sub.add_parser(
+        "recovery",
+        help="recovery bench: crash + force-retry vs checkpoint restore",
+    )
+    recovery.add_argument("--quick", action="store_true",
+                          help="CI variant: fewer crash points")
+    recovery.add_argument("--check", action="store_true",
+                          help="exit nonzero unless restore replays "
+                               "strictly less work than force-retry")
+    recovery.add_argument("--out", default=None,
+                          help="write a JSON report here")
+    recovery.set_defaults(fn=cmd_recovery)
     return parser
 
 

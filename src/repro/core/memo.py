@@ -32,6 +32,29 @@ BYTES_PER_RECORD = 48
 #: modelled extra bytes per element of a list-valued record (join builds)
 BYTES_PER_LIST_ELEMENT = 16
 
+#: a snapshot of one query's memo shard: label -> {key: value} with every
+#: mutable container value copied (see :meth:`QueryMemo.snapshot`)
+MemoSnapshot = Dict[str, Dict[Hashable, Any]]
+
+
+def _copy_value(value: Any) -> Any:
+    """Copy a memo record value so a snapshot cannot alias live state.
+
+    Operator-written values are ints, tuples, strings, or the three
+    mutable containers the operators build in place: lists (join build
+    sides, Collect partials), dicts (GroupCount partials), and sets. One
+    level of copying suffices — the operators never nest a mutable
+    container inside another memo value.
+    """
+    t = type(value)
+    if t is list:
+        return list(value)
+    if t is dict:
+        return dict(value)
+    if t is set:
+        return set(value)
+    return value
+
 
 class QueryMemo:
     """All memo records one query owns within one partition."""
@@ -121,6 +144,32 @@ class QueryMemo:
             tbl[key] = value
         return tbl[key]
 
+    # -- checkpointing ---------------------------------------------------
+
+    def snapshot(self) -> MemoSnapshot:
+        """Copy every table for a checkpoint (docs/RECOVERY.md).
+
+        The copy is value-deep enough that later operator mutations (list
+        appends, dict updates) cannot leak into a stored checkpoint; the
+        snapshot is taken at a stage boundary, where no traverser of the
+        query is executing, so it is trivially consistent.
+        """
+        return {
+            label: {k: _copy_value(v) for k, v in tbl.items()}
+            for label, tbl in self._tables.items()
+        }
+
+    @classmethod
+    def from_snapshot(cls, tables: MemoSnapshot) -> "QueryMemo":
+        """Rebuild a memo from a snapshot, copying again so one stored
+        checkpoint can seed several restore attempts independently."""
+        memo = cls()
+        memo._tables = {
+            label: {k: _copy_value(v) for k, v in tbl.items()}
+            for label, tbl in tables.items()
+        }
+        return memo
+
     # -- introspection ---------------------------------------------------
 
     def items(self, label: str) -> Iterator[Tuple[Hashable, Any]]:
@@ -184,6 +233,15 @@ class MemoStore:
     def clear_query(self, query_id: int) -> None:
         """Drop all memo records of a terminated query."""
         self._memos.pop(query_id, None)
+
+    def install(self, query_id: int, memo: QueryMemo) -> None:
+        """Install a rebuilt memo for a query (checkpoint restore).
+
+        Replaces whatever the query currently holds here: a restore rolls
+        the shard back to the checkpointed stage boundary, so any records
+        written after the snapshot must vanish (docs/RECOVERY.md).
+        """
+        self._memos[query_id] = memo
 
     def active_queries(self) -> List[int]:
         """Ids of queries holding memo records here."""

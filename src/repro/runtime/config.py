@@ -71,6 +71,17 @@ class EngineConfig:
     #: a query showing zero progress for this long is declared stuck and
     #: recovered (only armed when fault_plan is set)
     watchdog_timeout_us: float = 100_000.0
+    #: arm stage-boundary checkpointing (docs/RECOVERY.md): a query's
+    #: frontier seeds, per-partition memo shards, and RNG state are
+    #: snapshotted at each certified stage boundary at most this often
+    #: (0.0 → every boundary; None → checkpointing off). Recovery then
+    #: restores from the last checkpoint and replays only post-checkpoint
+    #: work instead of force-retrying the whole query. Requires a
+    #: weighted progress mode — the quiescent cut *is* the closed ledger.
+    checkpoint_interval_us: Optional[float] = None
+    #: checkpoints retained per query (older boundaries are evicted);
+    #: restore always uses the newest
+    checkpoint_retention: int = 1
     # -- overload protection (docs/OVERLOAD.md; all default to "off" so the
     # -- default config stays bit-for-bit identical to the pre-overload
     # -- engine, which the equivalence suites assert) ----------------------
@@ -130,6 +141,27 @@ class EngineConfig:
                 f"admission_timeout_us must be > 0, "
                 f"got {self.admission_timeout_us}"
             )
+        if self.checkpoint_interval_us is not None:
+            if self.checkpoint_interval_us < 0:
+                raise ConfigurationError(
+                    f"checkpoint_interval_us must be >= 0, "
+                    f"got {self.checkpoint_interval_us}"
+                )
+            if self.checkpoint_retention < 1:
+                raise ConfigurationError(
+                    f"checkpoint_retention must be >= 1, "
+                    f"got {self.checkpoint_retention}"
+                )
+            if not self.progress_mode.is_weighted:
+                # The checkpoint cut is certified by the stage ledger
+                # reaching the root weight; naive active counters provide
+                # no such certificate, so a "boundary" there proves nothing
+                # about in-flight traversers.
+                raise ConfigurationError(
+                    "checkpointing requires a weighted progress mode; the "
+                    "quiescent stage boundary is certified by the weight "
+                    "ledger (Theorem 1), which NAIVE_CENTRAL lacks"
+                )
         if self.fault_plan is not None:
             if self.progress_mode is ProgressMode.NAIVE_CENTRAL:
                 # Naive active counters cannot survive loss: a dropped

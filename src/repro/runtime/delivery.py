@@ -27,7 +27,7 @@ budgets, or the query lifecycle — those stay above it in the engine.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from repro.core.progress import ProgressMode
 from repro.core.traverser import Traverser
@@ -55,6 +55,14 @@ class DeliveryPlane:
         #: queries mid-cancellation: cancelled but their stage ledger has
         #: not yet re-absorbed all outstanding progression weight
         self.cancelling: Dict[int, "QuerySession"] = {}
+        #: retired attempt ids being replaced by a checkpoint restore:
+        #: their reclaims must NOT report to the tracker (docs/RECOVERY.md).
+        #: The restored attempt re-dispatches the checkpointed frontier
+        #: itself; letting the dead attempt's purged weight also reach its
+        #: still-open ledger would double-count the same progression
+        #: weight and could spuriously "complete" the dead stage mid-
+        #: restore. The exactly-once funnel stays exactly-once by fencing.
+        self.fenced: Set[int] = set()
         #: per-partition credit gates (None → backpressure disarmed)
         self.gates: Optional[List[CreditGate]] = (
             [
@@ -215,11 +223,23 @@ class DeliveryPlane:
         the ledger is being closed outright, so weight is discarded.
         ``session`` overrides the mid-cancellation lookup for queries no
         longer in :attr:`cancelling`.
+
+        A query id in :attr:`fenced` (a retired attempt being replaced by
+        a checkpoint restore) takes the no-op path regardless of
+        ``report``: its traverser counters are still charged, but the
+        tracker never hears about the weight. The restored attempt
+        replays the checkpointed frontier itself; reporting the dead
+        attempt's purged weight here too would double-count it in the
+        ProgressTracker and could spuriously close the dead stage's
+        still-open ledger mid-restore.
         """
+        fenced = query_id in self.fenced
+        if fenced:
+            report = False
         if self.engine.trace is not None:
             self.engine.trace.emit(RECLAIM, query_id, stage=stage,
                                    weight=weight % GROUP_MODULUS, count=count,
-                                   reported=report)
+                                   reported=report, fenced=fenced)
         if count:
             self.engine.metrics.traversers_reclaimed += count
             if session is None:

@@ -74,7 +74,8 @@ from repro.runtime.lifecycle import (
 )
 from repro.runtime.metrics import LatencyRecorder, MsgKind, RunMetrics
 from repro.runtime.network import TRACKER_DST, Message, Network
-from repro.runtime.overload import AdmissionController
+from repro.runtime.checkpoint import CheckpointPlane
+from repro.runtime.overload import MEMO_CHECK_INTERVAL, AdmissionController
 from repro.runtime.simclock import SimClock
 from repro.runtime.trace import SEED_DISPATCH, STAGE_CLOSE, STAGE_OPEN, TraceRecorder
 from repro.runtime.worker import PartitionRuntime, Worker
@@ -95,11 +96,6 @@ __all__ = [
 
 #: wire size of one CANCEL control message (tag + query id + stage)
 CANCEL_MSG_BYTES = 16
-
-#: memo-byte budgets are checked every Nth worker run per query: the memo
-#: walk is O(records), so sampling keeps enforcement off the hot path while
-#: still bounding the overshoot to a few runs' worth of growth.
-MEMO_CHECK_INTERVAL = 16
 
 
 class AsyncPSTMEngine:
@@ -156,6 +152,13 @@ class AsyncPSTMEngine:
         self.delivery = DeliveryPlane(self)
         #: worker faults, progress watchdog, bounded query retry
         self.recovery = RecoveryManager(self)
+        #: stage-boundary checkpoint store (docs/RECOVERY.md); None → off,
+        #: and recovery falls back to force-retry from stage 0
+        self.checkpoints: Optional[CheckpointPlane] = (
+            CheckpointPlane(config.checkpoint_interval_us,
+                            config.checkpoint_retention)
+            if config.checkpoint_interval_us is not None else None
+        )
         self.network = Network(
             self.clock,
             nodes,
@@ -402,6 +405,8 @@ class AsyncPSTMEngine:
         """Single exit point for sessions that held an execution slot:
         record completion, release the admission slot (dispatching the next
         waiter), and fire ``on_done``."""
+        if self.checkpoints is not None:
+            self.checkpoints.drop(session.query_id)
         self.completed[session.query_id] = session
         if self._admission is not None:
             self._admission.on_closed()
@@ -530,49 +535,6 @@ class AsyncPSTMEngine:
         )
         self.delivery.teardown(session)
         self._retire(session)
-
-    # -- resource budgets ---------------------------------------------------
-
-    def _check_budgets_of(self, query_ids: set) -> None:
-        """Budget sweep over the queries a worker run just touched."""
-        for query_id in query_ids:
-            session = self.sessions.get(query_id)
-            if session is not None and session.query_id == query_id:
-                self._check_budgets(session)
-
-    def _check_budgets(self, session: QuerySession) -> None:
-        cfg = self.config
-        limit = cfg.max_traversers_per_query
-        if limit is not None and session.qmetrics.traversers_spawned > limit:
-            self._trip_budget(
-                session,
-                "traversers",
-                f"spawned {session.qmetrics.traversers_spawned} traversers "
-                f"(budget {limit})",
-            )
-            return
-        limit = cfg.max_memo_bytes_per_query
-        if limit is None:
-            return
-        # O(records) walk — sample every MEMO_CHECK_INTERVAL-th run.
-        session._memo_check_tick = (session._memo_check_tick + 1) % MEMO_CHECK_INTERVAL
-        if session._memo_check_tick != 0:
-            return
-        total = sum(
-            runtime.memo_store.bytes_of(session.query_id)
-            for runtime in self.runtimes
-        )
-        if total > session.qmetrics.peak_memo_bytes:
-            session.qmetrics.peak_memo_bytes = total
-        if total > limit:
-            self._trip_budget(
-                session, "memo_bytes", f"memos hold ~{total} bytes (budget {limit})"
-            )
-
-    def _trip_budget(self, session: QuerySession, budget: str, detail: str) -> None:
-        session.budget_error = (budget, detail)
-        self.metrics.budget_cancels += 1
-        self._begin_cancel(session, f"budget:{budget}")
 
     # -- dispatch -----------------------------------------------------------
 
@@ -738,6 +700,15 @@ class AsyncPSTMEngine:
         if self.trace is not None:
             self.trace.emit(STAGE_OPEN, session.query_id,
                             stage=session.cursor.current)
+        if (
+            self.checkpoints is not None
+            and session.lifecycle.state is QueryState.RUNNING
+        ):
+            # The certified quiescent cut: the closed ledger proves no
+            # traverser of the query exists anywhere, the next stage's
+            # seeds are split but not yet dispatched. The lifecycle fence
+            # keeps cancelling/torn-down sessions out of the store.
+            self.checkpoints.maybe_snapshot(self, session, seeds)
         self._dispatch_seeds(session, seeds, self.clock.now)
 
     def _finish_query(self, session: QuerySession) -> None:

@@ -57,6 +57,11 @@ class RunMetrics:
     worker_crashes: int = 0  # injected crashes (state lost)
     worker_stalls: int = 0  # injected stalls (state kept)
     query_retries: int = 0  # watchdog-triggered query re-executions
+    # Checkpoint/restore counters (all stay 0 when checkpointing is
+    # disarmed; see docs/RECOVERY.md).
+    checkpoints_taken: int = 0  # stage-boundary snapshots stored
+    checkpoint_restores: int = 0  # recoveries resumed from a checkpoint
+    checkpoint_fallbacks: int = 0  # recoveries with no checkpoint: full retry
     # Overload-protection counters (all stay 0 without admission control,
     # budgets, or backpressure configured; see docs/OVERLOAD.md).
     queries_rejected: int = 0  # shed at submission (admission queue full)
@@ -136,6 +141,9 @@ class QueryMetrics:
     traversers_spawned: int = 0
     # Fault-recovery accounting (all stay 0 without a FaultPlan).
     retries: int = 0  # watchdog-triggered re-executions of this query
+    #: of those retries, how many resumed from a stage-boundary checkpoint
+    #: instead of re-executing from stage 0 (docs/RECOVERY.md)
+    restores: int = 0
     retransmits: int = 0  # packet retransmits carrying this query's traffic
     faults_injected: int = 0  # injected faults that hit this query's packets
     # Overload-protection accounting (see docs/OVERLOAD.md).
@@ -159,10 +167,17 @@ class QueryMetrics:
         """True when the result was produced by a crash-recovery retry.
 
         The rows are still exact — re-execution starts from invalidated
-        memos — but the latency includes the lost attempt(s) and the
-        per-operator profile mixes both executions.
+        memos (or, with checkpointing armed, from a certified
+        stage-boundary snapshot) — but the latency includes the lost
+        attempt(s) and the per-operator profile mixes the executions.
         """
         return self.retries > 0
+
+    @property
+    def resumed(self) -> bool:
+        """True when at least one retry resumed from a checkpoint instead
+        of re-executing the query from stage 0 (docs/RECOVERY.md)."""
+        return self.restores > 0
 
 
 class LatencyRecorder:

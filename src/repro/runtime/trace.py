@@ -51,7 +51,11 @@ LIFECYCLE = "lifecycle"            # state-machine edge: src, dst, reason
 STAGE_OPEN = "stage_open"          # ledger opened: stage
 SEED_DISPATCH = "seed_dispatch"    # stage seeds sent: stage, n, weight
 STAGE_CLOSE = "stage_close"        # stage, reason: terminated|cancelled|cancel_forced
-QUERY_CLOSE = "query_close"        # reason: teardown|recover
+QUERY_CLOSE = "query_close"        # reason: teardown|recover|restore
+CHECKPOINT = "checkpoint"          # stage-boundary snapshot: stage, n_seeds,
+#                                    partitions, records
+RESTORE = "restore"                # resumed from a checkpoint: stage,
+#                                    restored_from (old attempt id), n_seeds
 EXEC = "exec"                      # kernel run: pid, wid, stage, op_idx, n,
 #                                    spawned, w_in, w_fin[, w_out], cpu
 WEIGHT_FLUSH = "weight_flush"      # coalesced accumulator flushed: wid, stage, weight

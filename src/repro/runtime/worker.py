@@ -22,7 +22,7 @@ reclaim paths exist exactly once.
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, Deque, Dict, List, Tuple
+from typing import TYPE_CHECKING, Deque, Dict, List, Set, Tuple
 
 from repro.core.memo import MemoStore
 from repro.core.traverser import Traverser
@@ -31,6 +31,7 @@ from repro.graph.partition import PartitionStore
 from repro.runtime.kernels import PROGRESS_MSG_BYTES, kernel_for
 from repro.runtime.metrics import MsgKind
 from repro.runtime.network import TRACKER_DST, Message
+from repro.runtime.overload import check_budgets_of
 from repro.runtime.trace import ACCUM_RECLAIM, CRASH_LOSS, WEIGHT_FLUSH
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -302,6 +303,24 @@ class Worker:
         self.busy_until = max(self.busy_until, now)
         self.runtime.wake(now)
 
+    def resident_queries(self) -> Set[int]:
+        """Ids of every query with state resident on this worker or its
+        runtime: queued or inboxed traversers, tier-1 buffered traversers
+        and control messages, and coalescing accumulators. Crash handling
+        recovers exactly this set (plus the partition's memo holders) —
+        any such query loses progression weight or buffered results when
+        the worker dies."""
+        affected: Set[int] = set()
+        runtime = self.runtime
+        affected.update(t.query_id for t in runtime.queue)
+        affected.update(t.query_id for t in runtime.inbox)
+        affected.update(key[0] for key in self._accums)
+        for pairs in self._trav_buffers.values():
+            affected.update(t.query_id for _pid, t, _size in pairs)
+        for msgs in self._buffers.values():
+            affected.update(m.query_id for m in msgs if m.query_id >= 0)
+        return affected
+
     # -- cancellation -------------------------------------------------------
 
     def reclaim_query(self, query_id: int) -> Tuple[int, int]:
@@ -386,7 +405,7 @@ class Worker:
         cpu = self.kernel.drain(self, t, touched)
 
         if budgets_armed and touched:
-            engine._check_budgets_of(touched)
+            check_budgets_of(engine, touched)
 
         # End of batch: flush coalesced weights of stages with no local work
         # left (the paper's "flush before the thread sleeps" rule, refined to

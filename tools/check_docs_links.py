@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Dead-link gate for README.md and docs/*.md.
+
+The docs cross-reference each other and the source tree two ways:
+
+* markdown links — ``[text](docs/FAULTS.md)``, possibly with an anchor
+  (``docs/FAULTS.md#fencing``); the file part must exist;
+* backticked path references — ``docs/OVERLOAD.md``, ``FAULTS.md``,
+  ``tests/test_faults.py``, ``core/progress.py`` — the idiom the prose
+  actually uses.
+
+Every such reference must resolve to a real file, trying in order: the
+referencing file's own directory (so docs can name siblings bare), the
+repository root, and — for source shorthand like ``core/progress.py`` —
+the ``src/`` and ``src/repro/`` prefixes. Bare ``*.py`` names without a
+directory (``worker.py``) are module shorthand established by context and
+are not checked. ``http(s)://`` targets and pure anchors are skipped.
+
+Stdlib only (like ``tools/check_layering.py``). Exit 0 = no dead links.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: [text](target) — markdown links, target captured up to the closing paren
+MD_LINK = re.compile(r"\]\(([^)\s]+)\)")
+#: `path/to/file.md` — backticked path references (also bare `FILE.md`)
+TICKED = re.compile(r"`([A-Za-z0-9_./-]+\.(?:md|py|yml|json|jsonl))`")
+
+#: prefixes tried (in order) after the referencing file's own directory
+SEARCH_ROOTS = ("", "src", "src/repro")
+
+
+def candidates(path: Path):
+    """Yield (lineno, target) references found in one markdown file."""
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        for match in MD_LINK.finditer(line):
+            yield lineno, match.group(1)
+        for match in TICKED.finditer(line):
+            yield lineno, match.group(1)
+
+
+def resolves(base: Path, target: str) -> bool:
+    if (base.parent / target).is_file():
+        return True
+    return any((ROOT / prefix / target).is_file() for prefix in SEARCH_ROOTS)
+
+
+def main() -> int:
+    files = [ROOT / "README.md"] + sorted((ROOT / "docs").glob("*.md"))
+    errors = []
+    checked = 0
+    for path in files:
+        for lineno, raw in candidates(path):
+            target = raw.split("#", 1)[0]
+            if not target or raw.startswith(("http://", "https://", "#")):
+                continue
+            if "/" not in target and target.endswith(".py"):
+                continue  # bare module shorthand, context-dependent
+            checked += 1
+            if not resolves(path, target):
+                errors.append(
+                    f"{path.relative_to(ROOT)}:{lineno}: dead reference "
+                    f"{raw!r} (no such file relative to the doc, the repo "
+                    f"root, or src/)"
+                )
+    if errors:
+        print("\n".join(errors))
+        print(f"\n{len(errors)} dead link(s)")
+        return 1
+    print(f"docs links OK: {checked} references across {len(files)} files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
