@@ -273,6 +273,20 @@ def cmd_recovery(args: argparse.Namespace) -> int:
     return recovery.main(forwarded)
 
 
+def cmd_preempt(args: argparse.Namespace) -> int:
+    """Run the preemption bench (interactive tail latency, pause/resume)."""
+    from repro.bench import preempt
+
+    forwarded: List[str] = []
+    if args.quick:
+        forwarded.append("--quick")
+    if args.check:
+        forwarded.append("--check")
+    if args.out:
+        forwarded.extend(["--out", args.out])
+    return preempt.main(forwarded)
+
+
 def _parse_crash(spec: str):
     """``WID:AT_US[:DOWN_US]`` → a WorkerFault tuple (empty spec → ())."""
     from repro.runtime.faults import WorkerFault
@@ -606,6 +620,20 @@ def build_parser() -> argparse.ArgumentParser:
     recovery.add_argument("--out", default=None,
                           help="write a JSON report here")
     recovery.set_defaults(fn=cmd_recovery)
+    preempt = sub.add_parser(
+        "preempt",
+        help="preemption bench: interactive tail latency with "
+             "pause/evict/resume on one slot",
+    )
+    preempt.add_argument("--quick", action="store_true",
+                         help="CI variant: fewer arrivals")
+    preempt.add_argument("--check", action="store_true",
+                         help="exit nonzero unless preemption strictly "
+                              "improves interactive P99 with analytics "
+                              "resumed, not shed")
+    preempt.add_argument("--out", default=None,
+                         help="write a JSON report here")
+    preempt.set_defaults(fn=cmd_preempt)
     return parser
 
 

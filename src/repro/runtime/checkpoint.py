@@ -27,8 +27,10 @@ otherwise), and per-partition run queues hold no traverser of it.
 
 **Fencing.** The engine takes snapshots only from the stage-completion
 path while the session's :class:`~repro.runtime.lifecycle.QueryLifecycle`
-is in RUNNING — a CANCELLING or torn-down query is never snapshotted, so
-a snapshot can never straddle a reclaim. Restore (in
+is in RUNNING — or PAUSING, for the forced snapshot a voluntary
+preemption takes at the boundary it yields at — a CANCELLING or
+torn-down query is never snapshotted, so a snapshot can never straddle a
+reclaim. Restore (in
 :class:`~repro.runtime.faults.RecoveryManager`) re-keys the dead
 attempt's checkpoints to the fresh query id, so a second crash can
 restore again from the same boundary.
@@ -126,6 +128,7 @@ class CheckpointPlane:
         engine: "AsyncPSTMEngine",
         session: "QuerySession",
         seeds: List["Traverser"],
+        force: bool = False,
     ) -> bool:
         """Snapshot one stage boundary if the interval gate allows it.
 
@@ -134,11 +137,16 @@ class CheckpointPlane:
         are dispatched — the certified quiescent instant. The caller has
         already applied the lifecycle fence (session RUNNING). Returns
         True when a checkpoint was stored.
+
+        ``force=True`` bypasses the interval gate: a voluntary preemption
+        (docs/RECOVERY.md) must capture the boundary it yields at, because
+        that snapshot *is* the evicted query — skipping it would lose the
+        frontier.
         """
         query_id = session.query_id
         now = engine.clock.now
         last = self._last_ts.get(query_id)
-        if last is not None and now - last < self.interval_us:
+        if not force and last is not None and now - last < self.interval_us:
             return False
         memos: Dict[int, MemoSnapshot] = {}
         for pid, runtime in enumerate(engine.runtimes):
@@ -165,6 +173,7 @@ class CheckpointPlane:
             engine.trace.emit(
                 CHECKPOINT, query_id, stage=ckpt.stage, n_seeds=len(seeds),
                 partitions=len(memos), records=ckpt.record_count(),
+                forced=force,
             )
         return True
 

@@ -106,6 +106,21 @@ class EngineConfig:
     #: budget-cancelled queries whose final stage already holds partials
     #: return those partial rows (flagged partial) instead of raising
     allow_partial_results: bool = False
+    #: arm the voluntary-preemption policy (docs/RECOVERY.md): when a
+    #: higher-priority waiter is parked and no slot is free, the admission
+    #: controller preempts the lowest-priority resident query — it yields
+    #: at its next certified stage boundary, takes a forced snapshot, is
+    #: evicted, and later resumes from that snapshot. Requires admission
+    #: control (``max_concurrent_queries``) and an armed checkpoint plane
+    #: (``checkpoint_interval_us``); ``engine.preempt()`` stays callable
+    #: without this flag as long as the checkpoint plane is armed.
+    preemption: bool = False
+    #: preemption victims must hold at least this many stored checkpoints
+    #: ("past its first checkpoint" with the default of 1) — a query that
+    #: has not yet crossed a boundary is left alone, since evicting it
+    #: saves a frontier no cheaper than its own resubmission (0 → any
+    #: resident query is fair game)
+    preemption_min_checkpoints: int = 1
     #: attach a TraceRecorder and emit structured events from every layer
     #: (docs/OBSERVABILITY.md). Off by default: the disabled mode allocates
     #: no event objects on the hot path.
@@ -162,6 +177,24 @@ class EngineConfig:
                     "quiescent stage boundary is certified by the weight "
                     "ledger (Theorem 1), which NAIVE_CENTRAL lacks"
                 )
+        if self.preemption:
+            if self.max_concurrent_queries is None:
+                raise ConfigurationError(
+                    "preemption requires admission control: set "
+                    "max_concurrent_queries (the policy exists to free "
+                    "slots for parked waiters)"
+                )
+            if self.checkpoint_interval_us is None:
+                raise ConfigurationError(
+                    "preemption requires an armed checkpoint plane: set "
+                    "checkpoint_interval_us (a paused query IS its forced "
+                    "boundary snapshot)"
+                )
+        if self.preemption_min_checkpoints < 0:
+            raise ConfigurationError(
+                f"preemption_min_checkpoints must be >= 0, "
+                f"got {self.preemption_min_checkpoints}"
+            )
         if self.fault_plan is not None:
             if self.progress_mode is ProgressMode.NAIVE_CENTRAL:
                 # Naive active counters cannot survive loss: a dropped

@@ -134,9 +134,16 @@ class DeliveryPlane:
             runtime.enqueue(travs, engine.clock.now)
         elif msg.kind is MsgKind.CONTROL:
             tag, query_id, stage = msg.payload
-            if tag != "cancel":  # pragma: no cover - single control verb
+            if tag == "cancel":
+                self.cancel_at_partition(query_id, stage, msg.dst_pid)
+            elif tag == "preempt":
+                # Voluntary preemption (docs/RECOVERY.md): the partition
+                # drops nothing — the query yields at the coordinator when
+                # the stage ledger closes, and this arrival just models
+                # the control-plane fan-out cost (like CANCEL's).
+                pass
+            else:  # pragma: no cover - no other control verbs exist
                 raise ExecutionError(f"unexpected control message {tag!r}")
-            self.cancel_at_partition(query_id, stage, msg.dst_pid)
         else:  # pragma: no cover - no other worker-bound kinds exist
             raise ExecutionError(f"unexpected worker message kind {msg.kind}")
 

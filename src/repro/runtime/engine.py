@@ -76,6 +76,8 @@ from repro.runtime.metrics import LatencyRecorder, MsgKind, RunMetrics
 from repro.runtime.network import TRACKER_DST, Message, Network
 from repro.runtime.checkpoint import CheckpointPlane
 from repro.runtime.overload import MEMO_CHECK_INTERVAL, AdmissionController
+from repro.runtime.preempt import (cancel_paused, pause_at_boundary,
+                                   request_preempt, resume_session, try_resume)
 from repro.runtime.simclock import SimClock
 from repro.runtime.trace import SEED_DISPATCH, STAGE_CLOSE, STAGE_OPEN, TraceRecorder
 from repro.runtime.worker import PartitionRuntime, Worker
@@ -372,6 +374,7 @@ class AsyncPSTMEngine:
                 session.on_done(session)
         else:
             adm.enqueue(session, session.priority)
+            adm.maybe_preempt()
             if self.config.admission_timeout_us is not None:
                 self.clock.schedule_at(
                     self.clock.now + self.config.admission_timeout_us,
@@ -379,8 +382,12 @@ class AsyncPSTMEngine:
                 )
 
     def _start_admitted(self, session: QuerySession) -> None:
-        """Take an execution slot and dispatch the session."""
+        """Take an execution slot and dispatch (or resume) the session."""
         self._admission.acquire()
+        if session.lifecycle.state is QueryState.PAUSED:
+            session.lifecycle.to(QueryState.ADMITTED)
+            resume_session(self, session)
+            return
         session.lifecycle.to(QueryState.ADMITTED)
         self.sessions[session.query_id] = session
         self._do_submit(session)
@@ -392,8 +399,8 @@ class AsyncPSTMEngine:
 
     def _admission_expired(self, session: QuerySession) -> None:
         """Admission deadline passed while the session was still waiting."""
-        if not session.parked:
-            return  # dispatched (or rejected) in time
+        if not session.parked or session.lifecycle.state is not QueryState.QUEUED:
+            return  # dispatched/rejected in time, or re-parked by a pause
         self._admission.withdraw(session)
         session.lifecycle.to(QueryState.REJECTED, REASON_ADMISSION_TIMEOUT)
         self.metrics.admission_timeouts += 1
@@ -434,6 +441,9 @@ class AsyncPSTMEngine:
         was not running (already finished, rejected, or still waiting for
         admission — a waiter is simply withdrawn).
         """
+        if session.lifecycle.state is QueryState.PAUSED:
+            cancel_paused(self, session, reason)
+            return True
         if session.parked:
             self._admission.withdraw(session)
             session.qmetrics.cancelled = True
@@ -448,6 +458,20 @@ class AsyncPSTMEngine:
             return False
         self._begin_cancel(session, reason)
         return True
+
+    # -- voluntary preemption (docs/RECOVERY.md) ----------------------------
+
+    def preempt(self, session: QuerySession, reason: str = "caller") -> bool:
+        """Pause a running query at its next certified stage boundary; it
+        snapshots, evicts, and later resumes bit-for-bit through admission
+        or :meth:`resume`. Requires an armed checkpoint plane; returns
+        False when the session cannot pause (docs/RECOVERY.md)."""
+        return request_preempt(self, session, reason)
+
+    def resume(self, session: QuerySession) -> bool:
+        """Resume a PAUSED query from its boundary snapshot now. False
+        unless it is PAUSED (and a slot is free, under admission)."""
+        return try_resume(self, session)
 
     def _begin_cancel(self, session: QuerySession, reason: str) -> None:
         """Start tearing down a running query (timeout / budget / caller).
@@ -695,6 +719,11 @@ class AsyncPSTMEngine:
             seeds = session.cursor.complete_stage([], session.rng)
         if session.cursor.finished:
             self._finish_query(session)
+            return
+        if session.lifecycle.state is QueryState.PAUSING:
+            # Voluntary yield point: quiescence is certified and the next
+            # stage's ledger is not open yet — snapshot the seeds and evict.
+            pause_at_boundary(self, session, seeds)
             return
         self.progress.open_stage(session.query_id, session.cursor.current)
         if self.trace is not None:

@@ -26,6 +26,17 @@ state machine::
                         |  reclaimed weight closed the ledger
                         +-----> FAILED or PARTIAL
 
+Voluntary preemption (docs/RECOVERY.md) adds a pause loop on the left::
+
+                  preempt         boundary snapshot
+      RUNNING ------------> PAUSING ------------> PAUSED
+         ^                     |                    |
+         |    slot re-acquired |  final stage       | re-enters the
+         +---- ADMITTED <------+--> DONE            | admission queue
+                   ^           |                    |
+                   |           +--> CANCELLING <----+   (cancel while
+                   +--------------------------------+    pausing/paused)
+
 Before this module existed the same facts were scattered over eight
 independent booleans on the session (``rejected``, ``timed_out``,
 ``cancelled``, ``failed``, ...), several of which could be set in
@@ -85,6 +96,12 @@ class QueryState(Enum):
     REJECTED = "rejected"
     #: terminal: budget cancellation salvaged exact final-stage partials
     PARTIAL = "partial"
+    #: a preempt request is outstanding; the query yields at its next
+    #: certified stage boundary (docs/RECOVERY.md)
+    PAUSING = "pausing"
+    #: evicted onto the checkpoint plane; no cluster state remains, the
+    #: session waits (usually parked in the admission queue) to resume
+    PAUSED = "paused"
 
     @property
     def terminal(self) -> bool:
@@ -112,6 +129,22 @@ LEGAL_TRANSITIONS = frozenset(
         (QueryState.RUNNING, QueryState.PARTIAL),
         (QueryState.CANCELLING, QueryState.FAILED),
         (QueryState.CANCELLING, QueryState.PARTIAL),
+        # -- voluntary preemption (docs/RECOVERY.md) --
+        (QueryState.RUNNING, QueryState.PAUSING),
+        # forced boundary snapshot taken, cluster state evicted
+        (QueryState.PAUSING, QueryState.PAUSED),
+        # the final stage terminated before a boundary arrived: the
+        # preempt request is overtaken by completion
+        (QueryState.PAUSING, QueryState.DONE),
+        # cancelled while yielding (ledger still open → cooperative)
+        (QueryState.PAUSING, QueryState.CANCELLING),
+        # crash-while-pausing recovery exhausted the retry budget, or a
+        # non-cooperative cancel landed in the boundary window
+        (QueryState.PAUSING, QueryState.FAILED),
+        # slot re-acquired: resumes from the boundary checkpoint
+        (QueryState.PAUSED, QueryState.ADMITTED),
+        # cancelled while paused (checkpoints dropped, closes immediately)
+        (QueryState.PAUSED, QueryState.CANCELLING),
     }
 )
 
@@ -303,6 +336,9 @@ class QuerySession:
         self.budget_error: Optional[Tuple[str, str]] = None
         #: set when a budget cancellation salvaged final-stage partials
         self._salvaged = False
+        #: simulated instant the session was evicted to PAUSED (None while
+        #: not paused); drives the ``pause_wait_us`` counters on resume
+        self.paused_at_us: Optional[float] = None
         #: sampling phase for the memo-byte budget check
         self._memo_check_tick = 0
         #: per-operator execution counts (op index → traversers executed),
@@ -363,6 +399,11 @@ class QuerySession:
     def partial_result(self) -> bool:
         """True when a budget cancellation salvaged final-stage partials."""
         return self._salvaged
+
+    @property
+    def paused(self) -> bool:
+        """True while evicted onto the checkpoint plane (docs/RECOVERY.md)."""
+        return self.lifecycle.state is QueryState.PAUSED
 
     @property
     def failed(self) -> bool:

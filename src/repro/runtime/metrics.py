@@ -62,6 +62,11 @@ class RunMetrics:
     checkpoints_taken: int = 0  # stage-boundary snapshots stored
     checkpoint_restores: int = 0  # recoveries resumed from a checkpoint
     checkpoint_fallbacks: int = 0  # recoveries with no checkpoint: full retry
+    # Voluntary-preemption counters (all stay 0 unless a preempt is
+    # requested; see docs/RECOVERY.md and docs/OVERLOAD.md).
+    preemptions: int = 0  # queries paused and evicted at a stage boundary
+    resumes: int = 0  # paused queries re-admitted and resumed
+    pause_wait_us: float = 0.0  # total simulated time queries spent paused
     # Overload-protection counters (all stay 0 without admission control,
     # budgets, or backpressure configured; see docs/OVERLOAD.md).
     queries_rejected: int = 0  # shed at submission (admission queue full)
@@ -144,6 +149,12 @@ class QueryMetrics:
     #: of those retries, how many resumed from a stage-boundary checkpoint
     #: instead of re-executing from stage 0 (docs/RECOVERY.md)
     restores: int = 0
+    #: voluntary preemptions: times this query was paused and evicted at a
+    #: stage boundary, then resumed from the forced snapshot — does NOT
+    #: consume the retry budget (no work was lost; docs/RECOVERY.md)
+    pauses: int = 0
+    #: total simulated time this query spent evicted (paused → resumed)
+    pause_wait_us: float = 0.0
     retransmits: int = 0  # packet retransmits carrying this query's traffic
     faults_injected: int = 0  # injected faults that hit this query's packets
     # Overload-protection accounting (see docs/OVERLOAD.md).

@@ -25,6 +25,7 @@ import heapq
 from collections import deque
 from typing import TYPE_CHECKING, Callable, Deque, List, Tuple
 
+from repro.runtime.lifecycle import QueryState
 from repro.runtime.simclock import SimClock
 from repro.runtime.trace import CREDIT_ACQUIRE, CREDIT_RELEASE, CREDIT_STALL
 
@@ -165,6 +166,42 @@ class AdmissionController:
             self.waiting -= 1
             self.engine._start_admitted(session)
             return
+
+    def maybe_preempt(self) -> bool:
+        """Voluntary-preemption policy (docs/RECOVERY.md).
+
+        Called after a new waiter parks: when ``EngineConfig.preemption``
+        is armed, no slot is free, and a resident query of strictly lower
+        priority than the best parked waiter has crossed at least
+        ``preemption_min_checkpoints`` stage boundaries, ask the
+        lowest-priority such resident to pause — it yields at its next
+        boundary, and the freed slot dispatches the waiter through the
+        normal :meth:`on_closed` handoff. Returns True when a preempt
+        request was issued.
+        """
+        engine = self.engine
+        cfg = engine.config
+        if not cfg.preemption or self.has_slot or engine.checkpoints is None:
+            return False
+        best = min(
+            (prio for prio, _seq, s in self._heap if s.parked), default=None
+        )
+        if best is None:
+            return False
+        victim = None
+        for session in engine.sessions.values():
+            if session.lifecycle.state is not QueryState.RUNNING:
+                continue  # already pausing/cancelling, or not resident
+            if session.priority <= best:
+                continue  # only preempt strictly lower-priority work
+            count = engine.checkpoints.count(session.query_id)
+            if count < cfg.preemption_min_checkpoints:
+                continue  # not past its first checkpoint yet
+            if victim is None or session.priority > victim.priority:
+                victim = session
+        if victim is None:
+            return False
+        return engine.preempt(victim, reason="policy")
 
 
 class CreditGate:

@@ -51,11 +51,17 @@ LIFECYCLE = "lifecycle"            # state-machine edge: src, dst, reason
 STAGE_OPEN = "stage_open"          # ledger opened: stage
 SEED_DISPATCH = "seed_dispatch"    # stage seeds sent: stage, n, weight
 STAGE_CLOSE = "stage_close"        # stage, reason: terminated|cancelled|cancel_forced
-QUERY_CLOSE = "query_close"        # reason: teardown|recover|restore
+QUERY_CLOSE = "query_close"        # reason: teardown|recover|restore|pause
 CHECKPOINT = "checkpoint"          # stage-boundary snapshot: stage, n_seeds,
 #                                    partitions, records
 RESTORE = "restore"                # resumed from a checkpoint: stage,
 #                                    restored_from (old attempt id), n_seeds
+PREEMPT = "preempt"                # preempt requested: stage, reason
+PAUSE = "pause"                    # evicted at a certified boundary: stage
+#                                    (the resume point), n_seeds, records
+RESUME = "resume"                  # paused query re-admitted: stage,
+#                                    resumed_from (paused attempt id),
+#                                    n_seeds, wait_us
 EXEC = "exec"                      # kernel run: pid, wid, stage, op_idx, n,
 #                                    spawned, w_in, w_fin[, w_out], cpu
 WEIGHT_FLUSH = "weight_flush"      # coalesced accumulator flushed: wid, stage, weight
@@ -404,8 +410,13 @@ class WeightLedgerAuditor:
                 else:
                     # cancel_forced: a crash destroyed the cancelling
                     # query's weight; the ledger never closes and the
-                    # teardown below accounts for the remains.
-                    rep.stages_dropped += 1
+                    # teardown below accounts for the remains. stage=-1
+                    # marks a forced finalize with no ledger attached —
+                    # the query's open stages are dropped by its
+                    # teardown QUERY_CLOSE, so counting here would
+                    # double-book the drop.
+                    if st is not None:
+                        rep.stages_dropped += 1
 
             elif kind == QUERY_CLOSE:
                 for key in [k for k in stages if k[0] == qid]:

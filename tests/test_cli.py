@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import argparse
+import json
+
 import pytest
 
-from repro.cli import EXPERIMENTS, main
+from repro.cli import EXPERIMENTS, build_parser, main
 
 
 class TestList:
@@ -86,7 +89,48 @@ class TestOverload:
         assert "saturation" in text
 
 
+def all_subcommands():
+    """Every registered subcommand name, straight from the parser."""
+    parser = build_parser()
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return sorted(action.choices)
+    raise AssertionError("CLI has no subparsers")
+
+
+class TestPreempt:
+    def test_quick_check_gates_pass_and_report_written(self, tmp_path, capsys):
+        out = tmp_path / "preempt.json"
+        assert main(["preempt", "--quick", "--check", "--out",
+                     str(out)]) == 0
+        report = json.loads(out.read_text())
+        assert report["ok"] is True
+        assert report["gates"]["interactive_p99_improves"] is True
+        assert report["gates"]["analytics_resumed_not_shed"] is True
+        assert report["interactive_p99_speedup"] > 1.0
+        assert report["runs"]["on"]["resumes"] >= 1
+        text = capsys.readouterr().out
+        assert "better with preemption" in text
+
+
 class TestParser:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_expected_subcommands_registered(self):
+        names = all_subcommands()
+        for expected in ("list", "run", "demo", "explain", "faults",
+                         "overload", "trace", "recovery", "preempt"):
+            assert expected in names, expected
+
+    @pytest.mark.parametrize("name", all_subcommands())
+    def test_every_subcommand_help_exits_clean(self, name, capsys):
+        """Smoke: `repro <cmd> --help` must exit 0 for every subcommand —
+        a lazy import error or a broken parser registration fails here
+        before any functional test would reach it."""
+        with pytest.raises(SystemExit) as exc:
+            main([name, "--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert "usage:" in out

@@ -19,6 +19,7 @@ from repro.query.exprs import X
 from repro.query.traversal import Traversal
 from repro.runtime.engine import AsyncPSTMEngine, EngineConfig
 from repro.runtime.faults import FaultPlan
+from repro.runtime.lifecycle import QueryState
 
 NODES, WPN = 4, 2  # 8 partitions: cancellation must fan out across >= 4
 
@@ -305,6 +306,107 @@ class TestResourceBudgets:
         engine = AsyncPSTMEngine(graph, NODES, WPN, config=config)
         with pytest.raises(ResourceBudgetExceededError):
             engine.run(count_plan(graph), {"s": 3})
+
+
+class TestAdmissionSlotAccounting:
+    """Regression guards for the withdraw/on_closed bookkeeping: every
+    exit from the wait queue (dispatch, timeout, cancel, pause re-park)
+    must free or skip its slot exactly once and land the session in a
+    terminal state — never stuck QUEUED, never double-freed."""
+
+    def test_expired_waiters_are_skipped_not_started(self, graph):
+        """A slot freeing after its waiters expired pops the stale heap
+        entries and starts none of them; the expired sessions are
+        terminal REJECTED and the slot is still usable."""
+        config = EngineConfig(
+            max_concurrent_queries=1,
+            admission_queue_size=8,
+            admission_timeout_us=5.0,
+        )
+        engine = AsyncPSTMEngine(graph, NODES, WPN, config=config)
+        engine.submit(khop_plan(graph), {"s": 3})  # holds the slot ~170us
+        waiters = [engine.submit(count_plan(graph), {"s": s})
+                   for s in (1, 2)]
+        engine.clock.run_until_idle()
+        for waiter in waiters:
+            assert waiter.admission_timed_out and not waiter.qmetrics.done
+            assert waiter.lifecycle.state is QueryState.REJECTED
+        assert engine.metrics.admission_timeouts == 2
+        assert engine._admission.running == 0
+        assert engine._admission.waiting == 0
+        # The slot was freed exactly once and still works.
+        late = engine.submit(count_plan(graph), {"s": 3})
+        engine.clock.run_until_idle()
+        assert late.qmetrics.done
+        assert engine._admission.running == 0
+        assert_no_residue(engine)
+
+    def test_cancel_then_expiry_withdraws_once(self, graph):
+        """A waiter cancelled before its admission deadline stays
+        cancelled: the later timer finds it no longer QUEUED and must not
+        expire it again (or drive ``waiting`` negative)."""
+        config = EngineConfig(
+            max_concurrent_queries=1,
+            admission_queue_size=8,
+            admission_timeout_us=30.0,
+        )
+        engine = AsyncPSTMEngine(graph, NODES, WPN, config=config)
+        engine.submit(khop_plan(graph), {"s": 3})
+        waiter = engine.submit(count_plan(graph), {"s": 1})
+        engine.clock.schedule_at(
+            10.0, lambda: engine.cancel(waiter, "changed my mind"))
+        engine.clock.run_until_idle()
+        assert waiter.cancelled and not waiter.admission_timed_out
+        assert waiter.lifecycle.state is QueryState.REJECTED
+        assert engine.metrics.admission_timeouts == 0
+        assert engine.metrics.queries_cancelled == 1
+        assert engine._admission.running == 0
+        assert engine._admission.waiting == 0
+        assert_no_residue(engine)
+
+    def test_stale_expiry_ignores_a_reparked_paused_session(self, graph):
+        """The expiry timer armed when a session first parked must not
+        fire on the *re-parked* entry a pause creates later: the session
+        is PAUSED (not QUEUED) and resumes normally.
+
+        Timeline (soak graph, one slot): a short blocker holds the slot
+        until ~50us, so the analytics query parks at t=0 and arms its
+        280us deadline; it dispatches at ~50, checkpoints its first
+        boundary at ~127, and at t=150 a higher-priority arrival preempts
+        it — it pauses at ~197 and re-enters the wait queue. The stale
+        timer fires at 280, inside the paused window, and must be a
+        no-op."""
+        config = EngineConfig(
+            max_concurrent_queries=1,
+            admission_queue_size=8,
+            admission_timeout_us=280.0,
+            checkpoint_interval_us=0.0,
+            preemption=True,
+        )
+        engine = AsyncPSTMEngine(graph, NODES, WPN, config=config)
+        staged3 = (
+            Traversal("staged3").v_param("s").khop("knows", k=2)
+            .as_("a").group_count("a").out("knows")
+            .as_("b").group_count("b").out("knows").count()
+        ).compile(graph)
+        solo = AsyncPSTMEngine(graph, NODES, WPN).run(staged3, {"s": 3})
+        engine.submit(  # blocker: forces the analytics query to park
+            (Traversal("short").v_param("s").out("knows").count())
+            .compile(graph),
+            {"s": 7},
+        )
+        analytics = engine.submit(staged3, {"s": 3}, priority=1)
+        engine.submit(khop_plan(graph), {"s": 7}, priority=0, at=150.0)
+        engine.clock.run_until_idle()
+        assert engine.metrics.preemptions == 1
+        assert engine.metrics.resumes == 1
+        assert analytics.qmetrics.pauses == 1
+        assert not analytics.admission_timed_out
+        assert engine.metrics.admission_timeouts == 0
+        assert engine.result_of(analytics).rows == solo.rows
+        assert engine._admission.running == 0
+        assert engine._admission.waiting == 0
+        assert_no_residue(engine)
 
 
 class TestInvariantUnderMixedOutcomes:

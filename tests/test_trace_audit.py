@@ -1,8 +1,8 @@
 """Trace-audited invariant fuzzing: the Theorem-1 weight ledger, re-derived
 from the event stream by :class:`WeightLedgerAuditor`, must hold with zero
 violations under randomized interleavings of packet faults, worker crashes,
-caller cancellations, time limits and resource budgets — for both the
-scalar and the batched kernel (docs/OBSERVABILITY.md).
+caller cancellations, voluntary preemptions, time limits and resource
+budgets — for every kernel tier (docs/OBSERVABILITY.md).
 
 Unlike test_faults / test_overload, which assert on *results* and residue,
 these tests assert on the *ledger at every traced event*: the auditor
@@ -11,6 +11,12 @@ replays ``active + finished + reclaimed + lost ≡ 1 (mod 2^64)`` per
 root weight to the tracker. Any double-report, lost reclaim, or phantom
 weight anywhere in the runtime shows up as a violation here even when the
 query still happens to produce the right rows.
+
+The fuzz arms the checkpoint plane and mixes pause/resume ops into the
+schedule, so the interleavings include crash-while-pausing,
+cancel-while-paused, and double preempt/resume — the preemption splice
+(docs/RECOVERY.md) must keep the ledger closed exactly like cancellation
+and crash-restore do.
 """
 
 from __future__ import annotations
@@ -20,27 +26,41 @@ import random
 import pytest
 
 from repro.errors import ResourceBudgetExceededError
+from repro.query.traversal import Traversal
 from repro.runtime.engine import AsyncPSTMEngine, EngineConfig
 from repro.runtime.faults import FaultPlan, WorkerFault
+from repro.runtime.lifecycle import QueryState
 from repro.runtime.trace import CRASH_LOSS, WeightLedgerAuditor
+from repro.runtime.vector import HAVE_NUMPY
 from tests.conftest import FAULT_NODES, FAULT_WPN, khop3_count, make_graph
 
 #: the acceptance floor: at least 10 distinct seeded interleavings
 FUZZ_SEEDS = tuple(range(100, 110))
 EXTENDED_SEEDS = tuple(range(110, 125))  # slow-marked deepening of the same
 
-KERNELS = [pytest.param(False, id="batch"), pytest.param(True, id="scalar")]
+KERNELS = ["batch", "scalar"] + (["vector"] if HAVE_NUMPY else [])
 
 
-def fuzz_run(seed: int, scalar: bool, queries: int = 10):
-    """One randomized fault+cancel+budget interleaving, traced.
+def staged_plan(graph):
+    """A three-stage plan (two certified boundaries): the only kind of
+    query a preempt can actually pause mid-run."""
+    return (
+        Traversal("staged").v_param("s").khop("e", k=2)
+        .as_("a").group_count("a").out("e")
+        .as_("b").group_count("b").out("e").count()
+    ).compile(graph)
 
-    The fault plan, the cancel schedule and the per-query deadlines are all
-    drawn from ``seed``, so a reported failure replays exactly.
+
+def fuzz_run(seed: int, kernel: str, queries: int = 10):
+    """One randomized fault+cancel+preempt+budget interleaving, traced.
+
+    The fault plan, the cancel/pause schedule and the per-query deadlines
+    are all drawn from ``seed``, so a reported failure replays exactly.
     """
     rng = random.Random(seed)
     graph = make_graph(seed)
     plan = khop3_count(graph)
+    staged = staged_plan(graph)
     worker_faults = ()
     if rng.random() < 0.5:  # half the seeds include a recoverable crash
         worker_faults = (WorkerFault(
@@ -55,23 +75,58 @@ def fuzz_run(seed: int, scalar: bool, queries: int = 10):
         ack_drop_rate=rng.uniform(0.0, 0.08),
         worker_faults=worker_faults,
     )
-    config = EngineConfig(trace=True, scalar_execution=scalar,
-                          fault_plan=fault_plan)
+    config = EngineConfig(trace=True, kernel=kernel, fault_plan=fault_plan,
+                          checkpoint_interval_us=0.0, checkpoint_retention=2)
     engine = AsyncPSTMEngine(graph, FAULT_NODES, FAULT_WPN, config=config)
 
+    sessions = []
     for _ in range(queries):
         at = rng.uniform(0.0, 200.0)
         fate = rng.random()
-        if fate < 0.25:  # caller cancel mid-flight
+        if fate < 0.2:  # preempted mid-flight, resumed later
+            session = engine.submit(staged, {"s": rng.randrange(200)}, at=at)
+            t_pause = at + rng.uniform(5.0, 120.0)
+            engine.clock.schedule_at(t_pause,
+                                     lambda s=session: engine.preempt(s))
+            if rng.random() < 0.5:  # double preempt: second must refuse
+                engine.clock.schedule_at(t_pause + rng.uniform(1.0, 40.0),
+                                         lambda s=session: engine.preempt(s))
+            t_resume = t_pause + rng.uniform(150.0, 500.0)
+            engine.clock.schedule_at(t_resume,
+                                     lambda s=session: engine.resume(s))
+            if rng.random() < 0.5:  # double resume: second must refuse
+                engine.clock.schedule_at(t_resume + rng.uniform(1.0, 40.0),
+                                         lambda s=session: engine.resume(s))
+        elif fate < 0.35:  # preempted, then cancelled (often while paused)
+            session = engine.submit(staged, {"s": rng.randrange(200)}, at=at)
+            t_pause = at + rng.uniform(5.0, 120.0)
+            engine.clock.schedule_at(t_pause,
+                                     lambda s=session: engine.preempt(s))
+            engine.clock.schedule_at(t_pause + rng.uniform(30.0, 300.0),
+                                     lambda s=session: engine.cancel(s))
+        elif fate < 0.55:  # caller cancel mid-flight
             session = engine.submit(plan, {"s": rng.randrange(200)}, at=at)
             engine.clock.schedule_at(at + rng.uniform(5.0, 120.0),
                                      lambda s=session: engine.cancel(s))
-        elif fate < 0.45:  # tight deadline, likely to abort
-            engine.submit(plan, {"s": rng.randrange(200)}, at=at,
-                          time_limit_us=rng.uniform(20.0, 120.0))
+        elif fate < 0.7:  # tight deadline, likely to abort
+            session = engine.submit(plan, {"s": rng.randrange(200)}, at=at,
+                                    time_limit_us=rng.uniform(20.0, 120.0))
         else:  # allowed to finish
-            engine.submit(plan, {"s": rng.randrange(200)}, at=at)
+            session = engine.submit(plan, {"s": rng.randrange(200)}, at=at)
+        sessions.append(session)
     engine.clock.run_until_idle()
+    # A scheduled resume that fired before its pause landed (or a pause
+    # delayed past it by a crash) leaves the query evicted at idle; drain
+    # those so every fuzzed pause also exercises the resume splice.
+    for _ in range(4):
+        paused = [s for s in sessions
+                  if s.lifecycle.state is QueryState.PAUSED]
+        if not paused:
+            break
+        for session in paused:
+            engine.resume(session)
+        engine.clock.run_until_idle()
+    assert not any(s.lifecycle.state is QueryState.PAUSED for s in sessions)
     return engine
 
 
@@ -85,20 +140,24 @@ def assert_audit_ok(engine, seed):
 
 
 class TestFuzzedInterleavings:
-    """The acceptance gate: >= 10 seeds x both kernels, zero violations."""
+    """The acceptance gate: >= 10 seeds x every kernel tier, zero
+    violations — and the checkpoint plane drains (a paused query either
+    resumed and retired or was cancelled with its snapshots dropped)."""
 
-    @pytest.mark.parametrize("scalar", KERNELS)
+    @pytest.mark.parametrize("kernel", KERNELS)
     @pytest.mark.parametrize("seed", FUZZ_SEEDS)
-    def test_ledger_holds_under_fuzzed_faults(self, seed, scalar):
-        engine = fuzz_run(seed, scalar)
+    def test_ledger_holds_under_fuzzed_faults(self, seed, kernel):
+        engine = fuzz_run(seed, kernel)
         assert_audit_ok(engine, seed)
+        assert engine.checkpoints.stored == 0, seed
 
     @pytest.mark.slow
-    @pytest.mark.parametrize("scalar", KERNELS)
+    @pytest.mark.parametrize("kernel", KERNELS)
     @pytest.mark.parametrize("seed", EXTENDED_SEEDS)
-    def test_ledger_holds_extended_seeds(self, seed, scalar):
-        engine = fuzz_run(seed, scalar, queries=16)
+    def test_ledger_holds_extended_seeds(self, seed, kernel):
+        engine = fuzz_run(seed, kernel, queries=16)
         assert_audit_ok(engine, seed)
+        assert engine.checkpoints.stored == 0, seed
 
 
 class TestCrashAccounting:
@@ -106,12 +165,12 @@ class TestCrashAccounting:
     as CRASH_LOSS (not silently vanish), and the retried query's fresh
     ledger must still close clean."""
 
-    @pytest.mark.parametrize("scalar", KERNELS)
-    def test_crash_loss_events_balance_the_books(self, scalar):
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_crash_loss_events_balance_the_books(self, kernel):
         graph = make_graph(4)
         plan = khop3_count(graph)
         config = EngineConfig(
-            trace=True, scalar_execution=scalar,
+            trace=True, kernel=kernel,
             fault_plan=FaultPlan(seed=2, worker_faults=(
                 WorkerFault(wid=1, at_us=40.0, kind="crash", down_us=500.0),)),
             watchdog_timeout_us=20_000.0)
@@ -130,10 +189,10 @@ class TestCrashAccounting:
 
 
 class TestBudgetsAndLimits:
-    @pytest.mark.parametrize("scalar", KERNELS)
-    def test_budget_cancel_reclaims_every_unit(self, scalar):
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_budget_cancel_reclaims_every_unit(self, kernel):
         graph = make_graph(6)
-        config = EngineConfig(trace=True, scalar_execution=scalar,
+        config = EngineConfig(trace=True, kernel=kernel,
                               max_traversers_per_query=150)
         engine = AsyncPSTMEngine(graph, FAULT_NODES, FAULT_WPN, config=config)
         with pytest.raises(ResourceBudgetExceededError):
@@ -141,10 +200,10 @@ class TestBudgetsAndLimits:
         assert engine.metrics.budget_cancels == 1
         assert_audit_ok(engine, seed="budget")
 
-    @pytest.mark.parametrize("scalar", KERNELS)
-    def test_deadline_abort_leaves_no_ledger_residue(self, scalar):
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_deadline_abort_leaves_no_ledger_residue(self, kernel):
         graph = make_graph(8)
-        config = EngineConfig(trace=True, scalar_execution=scalar)
+        config = EngineConfig(trace=True, kernel=kernel)
         engine = AsyncPSTMEngine(graph, FAULT_NODES, FAULT_WPN, config=config)
         plan = khop3_count(graph)
         engine.submit(plan, {"s": 1}, time_limit_us=30.0)
@@ -167,8 +226,8 @@ class TestLDBCTraced:
         dataset = generate_snb(SNB_TINY)
         return dataset, dataset.partitioned(self.NODES * self.WPN)
 
-    @pytest.mark.parametrize("scalar", KERNELS)
-    def test_ic9_traced_audit_clean(self, snb, scalar):
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_ic9_traced_audit_clean(self, snb, kernel):
         from repro.ldbc.queries.ic import IC_QUERIES
         dataset, graph = snb
         qdef = IC_QUERIES[9]
@@ -176,7 +235,7 @@ class TestLDBCTraced:
         params = [qdef.make_params(dataset, random.Random(900 + i))
                   for i in range(8)]
         config = EngineConfig(
-            trace=True, scalar_execution=scalar,
+            trace=True, kernel=kernel,
             fault_plan=FaultPlan(seed=5, drop_rate=0.01, dup_rate=0.01))
         engine = AsyncPSTMEngine(graph, self.NODES, self.WPN, config=config)
         sessions = [engine.submit(plan, p) for p in params]

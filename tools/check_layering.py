@@ -5,8 +5,8 @@ The runtime is a strict layering (docs/ARCHITECTURE.md); each module may
 import only modules *strictly below* it:
 
     simclock < config < metrics < trace < checkpoint < lifecycle
-             < costmodel < faults < network < overload < runs < vector
-             < kernels < worker < delivery < engine
+             < costmodel < faults < network < overload < preempt < runs
+             < vector < kernels < worker < delivery < engine
 
 Everything above ``engine`` (bsp, hybrid, variants, reference, cluster,
 the package __init__) composes freely and is not constrained here.
@@ -48,6 +48,7 @@ LAYERS = [
     "faults",
     "network",
     "overload",
+    "preempt",
     "runs",
     "vector",
     "kernels",
