@@ -287,6 +287,20 @@ def cmd_preempt(args: argparse.Namespace) -> int:
     return preempt.main(forwarded)
 
 
+def cmd_migrate(args: argparse.Namespace) -> int:
+    """Run the migration bench (mined live migration vs static hash)."""
+    from repro.bench import migration
+
+    forwarded: List[str] = []
+    if args.quick:
+        forwarded.append("--quick")
+    if args.check:
+        forwarded.append("--check")
+    if args.out:
+        forwarded.extend(["--out", args.out])
+    return migration.main(forwarded)
+
+
 def _parse_crash(spec: str):
     """``WID:AT_US[:DOWN_US]`` → a WorkerFault tuple (empty spec → ())."""
     from repro.runtime.faults import WorkerFault
@@ -634,6 +648,20 @@ def build_parser() -> argparse.ArgumentParser:
     preempt.add_argument("--out", default=None,
                          help="write a JSON report here")
     preempt.set_defaults(fn=cmd_preempt)
+    migrate = sub.add_parser(
+        "migrate",
+        help="migration bench: mined live vertex migration vs static "
+             "hash placement on a Zipf-skewed workload",
+    )
+    migrate.add_argument("--quick", action="store_true",
+                         help="CI variant: fewer queries per wave")
+    migrate.add_argument("--check", action="store_true",
+                         help="exit nonzero unless migration cuts wave-3 "
+                              "traverser messages by >= 25%% with identical "
+                              "rows and clean audits on every kernel tier")
+    migrate.add_argument("--out", default=None,
+                         help="write a JSON report here")
+    migrate.set_defaults(fn=cmd_migrate)
     return parser
 
 

@@ -1,8 +1,10 @@
-"""Graph partitioning: the hash function ``H`` and per-partition stores.
+"""Graph partitioning: placement-owned sharding and per-partition stores.
 
 The paper (§II-C) divides the vertex set across partitions with a hash
 function ``H: V → PartId``; each partition is owned by exactly one
-single-threaded worker (shared-nothing, §IV). A partition stores:
+single-threaded worker (shared-nothing, §IV). Placement itself now lives
+in :mod:`repro.graph.placement` — the hash baseline plus a relocation
+table — and this module keeps the storage side. A partition stores:
 
 * its local vertices with labels and properties,
 * CSR adjacency per (direction, edge label) — *all* edges incident to a
@@ -13,59 +15,36 @@ single-threaded worker (shared-nothing, §IV). A partition stores:
 
 Cut edges appear in the out-CSR of the source's partition and the in-CSR of
 the destination's partition; traversers, not edges, cross partitions.
+:meth:`PartitionedGraph.move_vertices` relocates vertices between stores
+(rows, edge records, rebuilt CSRs) in lockstep with the placement flip —
+the storage half of live migration (docs/PARTITIONING.md).
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.errors import PartitionError, VertexNotFoundError
 from repro.graph.csr import CSRIndex
+from repro.graph.placement import Placement, mix64  # noqa: F401 - re-export
 from repro.graph.property_graph import BOTH, IN, OUT, Edge, PropertyGraph
 
+#: modelled wire cost of shipping one vertex row / one CSR edge entry
+#: during migration (labels + props headers; target gid + edge id)
+VERTEX_SHIP_BYTES = 64
+EDGE_SHIP_BYTES = 24
 
-def mix64(x: int) -> int:
-    """SplitMix64 finalizer — a deterministic 64-bit integer hash.
 
-    Python's builtin ``hash`` of small ints is the identity, which makes
-    partition assignment depend on raw id patterns; mixing decorrelates it.
+class HashPartitioner(Placement):
+    """The paper's partition function ``H: V → {0, ..., n_parts - 1}``.
+
+    A :class:`~repro.graph.placement.Placement` with an (initially) empty
+    relocation table: the static-hash special case every graph is built
+    with. Assignments are memoized: routing consults the placement several
+    times per traverser, and a dict hit is ~5× cheaper than re-mixing.
+    Live migration layers relocations on top through the inherited
+    :meth:`~repro.graph.placement.Placement.relocate` API.
     """
-    x = (x + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
-    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
-    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
-    return x ^ (x >> 31)
-
-
-class HashPartitioner:
-    """The partition function ``H: V → {0, ..., n_parts - 1}``.
-
-    Assignments are memoized: routing consults ``H`` several times per
-    traverser, and a dict hit is ~5× cheaper than re-mixing.
-    """
-
-    def __init__(self, num_partitions: int) -> None:
-        if num_partitions < 1:
-            raise PartitionError(f"need at least 1 partition, got {num_partitions}")
-        self._n = num_partitions
-        self._cache: Dict[int, int] = {}
-
-    @property
-    def num_partitions(self) -> int:
-        return self._n
-
-    def __call__(self, vid: int) -> int:
-        pid = self._cache.get(vid)
-        if pid is None:
-            pid = mix64(vid) % self._n
-            self._cache[vid] = pid
-        return pid
-
-    def key_partition(self, key: Hashable) -> int:
-        """Partition for an arbitrary hashable key (used by partitionable
-        steps whose routing key is not a vertex, e.g. join keys)."""
-        if isinstance(key, int):
-            return mix64(key) % self._n
-        return mix64(hash(key) & 0xFFFFFFFFFFFFFFFF) % self._n
 
 
 class PartitionStore:
@@ -236,6 +215,37 @@ class PartitionStore:
         """True when the (label, key) index was built."""
         return (vertex_label, key) in self._prop_index
 
+    # -- migration ------------------------------------------------------
+
+    def _reshard(
+        self,
+        local_vertices: List[int],
+        csrs: Dict[Tuple[str, str], CSRIndex],
+        edge_records: Dict[int, Edge],
+    ) -> None:
+        """Replace this partition's contents in place (live migration).
+
+        Mutates the existing containers instead of rebinding them:
+        kernels, step contexts, and drains hold references to these dicts
+        across events, and in-place mutation makes the flip visible to
+        all of them at one simulated instant. Built property indexes are
+        rebuilt over the new resident set.
+        """
+        self._local_vertices[:] = local_vertices
+        self._local_index.clear()
+        self._local_index.update(
+            {vid: i for i, vid in enumerate(local_vertices)}
+        )
+        self._csr.clear()
+        self._csr.update(csrs)
+        self._edge_records.clear()
+        self._edge_records.update(edge_records)
+        self._label_index.clear()
+        for vid in local_vertices:
+            self._label_index.setdefault(self._vertex_labels[vid], []).append(vid)
+        for vertex_label, key in list(self._prop_index):
+            self.build_property_index(vertex_label, key)
+
     # -- internal -------------------------------------------------------
 
     def _local_of(self, vid: int) -> int:
@@ -275,13 +285,23 @@ class PartitionedGraph:
         self.edge_count = edge_count
         self.label_counts = label_counts
         self._indexed: List[Tuple[str, str]] = []
+        # Stores share one labels dict; it doubles as the vertex-id domain
+        # for membership checks in partition_of.
+        self._vertex_labels = stores[0]._vertex_labels if stores else {}
 
     @property
     def num_partitions(self) -> int:
         return self.partitioner.num_partitions
 
     def partition_of(self, vid: int) -> int:
-        """The owning partition id of a vertex (``H(v)``)."""
+        """The owning partition id of a vertex (the placement lookup).
+
+        Raises :class:`~repro.errors.VertexNotFoundError` for ids outside
+        the graph — an out-of-range id would otherwise hash to a valid
+        partition and fail much later, deep inside a store lookup.
+        """
+        if vid not in self._vertex_labels:
+            raise VertexNotFoundError(vid)
         return self.partitioner(vid)
 
     def store_of(self, vid: int) -> PartitionStore:
@@ -322,6 +342,120 @@ class PartitionedGraph:
         """Owned-vertex count per partition."""
         return [store.vertex_count for store in self.stores]
 
+    def cut_stats(self) -> Dict[str, Any]:
+        """Edge-cut and balance statistics for the current placement.
+
+        Placement quality, observable without tracing: every out-edge is
+        counted once (from its owner's out-CSR) and is *cut* when source
+        and destination live in different partitions — cut edges are
+        exactly the edges whose traversers cross the network (Fig 11).
+        """
+        placement = self.partitioner
+        cut = 0
+        total = 0
+        for store in self.stores:
+            pid = store.pid
+            for (direction, _label), csr in store._csr.items():
+                if direction != OUT:
+                    continue
+                for local in range(csr.num_sources):
+                    for dst in csr.neighbors(local):
+                        total += 1
+                        if placement(dst) != pid:
+                            cut += 1
+        sizes = self.partition_sizes()
+        mean = sum(sizes) / len(sizes) if sizes else 0.0
+        return {
+            "total_edges": total,
+            "cut_edges": cut,
+            "cut_fraction": cut / total if total else 0.0,
+            "partition_sizes": sizes,
+            "max_load": max(sizes) if sizes else 0,
+            "mean_load": mean,
+            "imbalance": (max(sizes) / mean) if mean else 0.0,
+        }
+
+    # -- live migration (storage half) ----------------------------------
+
+    def move_vertices(
+        self, moves: Mapping[int, int]
+    ) -> Tuple[Dict[int, int], int]:
+        """Relocate vertices: flip the placement AND move the stored rows.
+
+        The storage half of live migration: applies the placement
+        relocation (write-through, so routing flips atomically), then
+        reshards every affected store in place — local vertex lists, CSR
+        adjacency (rebuilt on both sides; cut edges appear in both
+        partitions per the class invariant), edge records, and built
+        indexes. Returns ``(applied_moves, modelled_ship_bytes)``; no-op
+        moves are dropped. Runtime state (memos, queued traversers,
+        checkpoints) is the :class:`~repro.runtime.migrate.Migrator`'s
+        job — callers that only need a static repartition can use this
+        directly.
+        """
+        placement = self.partitioner
+        old_pid: Dict[int, int] = {}
+        for vid in moves:
+            if vid not in self._vertex_labels:
+                raise VertexNotFoundError(vid)
+            old_pid[vid] = placement(vid)
+        applied = placement.relocate(moves)
+        if not applied:
+            return {}, 0
+        ship_bytes = 0
+        for vid in applied:
+            degree = self.stores[old_pid[vid]].degree(vid, BOTH)
+            ship_bytes += VERTEX_SHIP_BYTES + degree * EDGE_SHIP_BYTES
+        affected = {old_pid[v] for v in applied} | set(applied.values())
+        # One global edge map: eids are unique, cut edges appear twice.
+        edges: Dict[int, Edge] = {}
+        for store in self.stores:
+            edges.update(store._edge_records)
+        for pid in sorted(affected):
+            self._rebuild_partition(pid, applied, edges)
+        return applied, ship_bytes
+
+    def _rebuild_partition(
+        self, pid: int, applied: Dict[int, int], edges: Dict[int, Edge]
+    ) -> None:
+        """Reshard one store to match the current placement.
+
+        Keeps the surviving residents' dense order (CSR locality is
+        preserved for untouched vertices) and appends arrivals in vid
+        order; adjacency lists are rebuilt in eid order, which is the
+        original insertion order ``from_graph`` used.
+        """
+        placement = self.partitioner
+        store = self.stores[pid]
+        local = [v for v in store._local_vertices if placement(v) == pid]
+        present = store._local_index
+        local.extend(sorted(
+            v for v, p in applied.items() if p == pid and v not in present
+        ))
+        local_index = {vid: i for i, vid in enumerate(local)}
+        out_adj: Dict[str, Dict[int, List[Tuple[int, int]]]] = {}
+        in_adj: Dict[str, Dict[int, List[Tuple[int, int]]]] = {}
+        records: Dict[int, Edge] = {}
+        for eid in sorted(edges):
+            edge = edges[eid]
+            if placement(edge.src) == pid:
+                out_adj.setdefault(edge.label, {}).setdefault(
+                    local_index[edge.src], []
+                ).append((edge.dst, edge.eid))
+                records[eid] = edge
+            if placement(edge.dst) == pid:
+                in_adj.setdefault(edge.label, {}).setdefault(
+                    local_index[edge.dst], []
+                ).append((edge.src, edge.eid))
+                records[eid] = edge
+        n = len(local)
+        csrs: Dict[Tuple[str, str], CSRIndex] = {}
+        for label, adj in out_adj.items():
+            csrs[(OUT, label)] = CSRIndex.from_adjacency(n, adj)
+        for label, adj in in_adj.items():
+            csrs[(IN, label)] = CSRIndex.from_adjacency(n, adj)
+        store._reshard(local, csrs, records)
+
     @classmethod
     def from_graph(
         cls,
@@ -339,10 +473,15 @@ class PartitionedGraph:
             hp.__call__ = partitioner  # pragma: no cover - escape hatch
         assignment: Dict[int, int] = {}
         local_lists: List[List[int]] = [[] for _ in range(num_partitions)]
+        bound = 0
         for vid in graph.vertices():
             pid = hp(vid)
             assignment[vid] = pid
             local_lists[pid].append(vid)
+            if vid >= bound:
+                bound = vid + 1
+        # Sizes the placement plane's dense bulk-lookup table.
+        hp.vertex_bound = bound
 
         stores: List[PartitionStore] = []
         for pid in range(num_partitions):

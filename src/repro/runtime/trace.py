@@ -79,6 +79,8 @@ CREDIT_ACQUIRE = "credit_acquire"  # inbox credits taken: pid, n
 CREDIT_RELEASE = "credit_release"  # inbox credits returned: pid, n
 CREDIT_STALL = "credit_stall"      # sender parked on a full inbox: pid, n
 WORKER_FAULT = "worker_fault"      # injected worker fault: wid, kind
+MIGRATE = "migrate"                # placement flip: vertices, pairs, bytes,
+#                                    swept (traversers re-routed at the flip)
 
 #: close reasons that certify a ledger actually closed (auditor asserts)
 _CLOSED_REASONS = ("terminated", "cancelled")
@@ -247,6 +249,7 @@ class AuditReport:
     stages_opened: int = 0
     stages_closed: int = 0      # closed with the terminal invariants asserted
     stages_dropped: int = 0     # torn down without a closed ledger (crash paths)
+    migrations: int = 0         # placement flips replayed (ledger re-checked)
 
     @property
     def ok(self) -> bool:
@@ -417,6 +420,15 @@ class WeightLedgerAuditor:
                     # double-book the drop.
                     if st is not None:
                         rep.stages_dropped += 1
+
+            elif kind == MIGRATE:
+                # A placement flip is ledger-neutral: swept traversers are
+                # re-routed (unreported reclaims), never dropped, so every
+                # open ledger must still conserve the root weight across
+                # the flip — re-assert all of them at the migration point.
+                rep.migrations += 1
+                for key, st in stages.items():
+                    check(i, key, st)
 
             elif kind == QUERY_CLOSE:
                 for key in [k for k in stages if k[0] == qid]:

@@ -10,8 +10,10 @@ shapes it can prove bit-for-bit equivalent to the scalar reference:
   ranges are gathered from the zero-copy CSR views
   (:meth:`~repro.graph.csr.CSRIndex.np_arrays`) with ``np.repeat`` +
   ``np.arange`` arithmetic, step costs are priced as one float64 array
-  expression, partition owners are computed by a vectorized SplitMix64,
-  and the run's weight splits are drawn as **one** ``getrandbits(64·m)``
+  expression, partition owners come from the placement plane's bulk
+  lookup (:meth:`~repro.graph.placement.Placement.bulk_lookup` — the
+  vectorized SplitMix64, or a dense table once vertices have been
+  relocated), and the run's weight splits are drawn as **one** ``getrandbits(64·m)``
   call decomposed little-endian — exactly the words the scalar path's
   ``m`` sequential ``getrandbits(64)`` calls would consume — with the
   per-parent remainders recovered from a ``uint64`` cumulative sum
@@ -56,7 +58,7 @@ from typing import TYPE_CHECKING, List, Optional, Set
 from repro.core.fused import FusedChain, FusedMinDistCount
 from repro.core.steps import DedupOp, ExpandOp
 from repro.core.traverser import Traverser
-from repro.graph.partition import HashPartitioner
+from repro.graph.placement import Placement
 from repro.graph.property_graph import BOTH
 from repro.runtime.runs import RunDrain, get_drain
 
@@ -80,21 +82,6 @@ MIN_VECTOR_RUN = 8
 
 if HAVE_NUMPY:
     _U64 = np.uint64
-    _M1 = np.uint64(0x9E3779B97F4A7C15)
-    _M2 = np.uint64(0xBF58476D1CE4E5B9)
-    _M3 = np.uint64(0x94D049BB133111EB)
-    _S30 = np.uint64(30)
-    _S27 = np.uint64(27)
-    _S31 = np.uint64(31)
-
-    def _mix64_np(x):
-        """Vectorized SplitMix64 finalizer, bit-equal to
-        :func:`repro.graph.partition.mix64` (uint64 wraparound matches the
-        scalar path's ``& 0xFFFFFFFFFFFFFFFF`` masking)."""
-        x = x + _M1
-        x = (x ^ (x >> _S30)) * _M2
-        x = (x ^ (x >> _S27)) * _M3
-        return x ^ (x >> _S31)
 
 
 def _expand_run(d: RunDrain, op: ExpandOp, run: List[Traverser]) -> bool:
@@ -122,7 +109,7 @@ def _expand_run(d: RunDrain, op: ExpandOp, run: List[Traverser]) -> bool:
     if c_mode not in ("vertex", "free", "fixed"):
         return False
     partitioner = d.partitioner
-    if c_mode != "fixed" and type(partitioner) is not HashPartitioner:
+    if c_mode != "fixed" and not isinstance(partitioner, Placement):
         return False
 
     n = len(run)
@@ -132,7 +119,6 @@ def _expand_run(d: RunDrain, op: ExpandOp, run: List[Traverser]) -> bool:
     lo = offsets[lis]
     deg = offsets[lis + 1] - lo
     total = int(deg.sum())
-    num_partitions = d.num_partitions
     self_pid = d.self_pid
 
     if total:
@@ -149,8 +135,12 @@ def _expand_run(d: RunDrain, op: ExpandOp, run: List[Traverser]) -> bool:
                 # "free"; CSR targets are real gids, so this never fires
                 # in practice — bail to the reference loop if it does.
                 return False
-            pids = _mix64_np(child_v.astype(np.uint64)) % _U64(num_partitions)
-            pid_l = pids.astype(np.int64).tolist()
+            pids = partitioner.bulk_lookup(child_v)
+            if pids is None:
+                # The placement cannot answer in bulk (relocations with
+                # no dense table): take the exact reference loop.
+                return False
+            pid_l = pids.tolist()
         # Weight splits, scalar-exact: parents with deg >= 2 consume
         # deg - 1 sequential 64-bit draws; the last child takes the
         # remainder in Z_{2^64}. One getrandbits(64*m) consumes exactly

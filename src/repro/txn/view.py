@@ -271,8 +271,14 @@ class SnapshotGraph:
         return self.base.edge_count
 
     def partition_of(self, vid: int) -> int:
-        """The owning partition id of a vertex."""
-        return self.base.partition_of(vid)
+        """The owning partition id of a vertex.
+
+        Goes straight to the placement rather than the base graph's
+        (existence-checked) lookup: a delta-created vertex is absent from
+        the base store but still owns a placement-assigned partition —
+        its delta rows live in that partition's overlay.
+        """
+        return self.base.partitioner(vid)
 
     def store_of(self, vid: int) -> SnapshotStore:
         """The owning snapshot store of a vertex."""

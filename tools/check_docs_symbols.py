@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Stale-symbol gate for README.md and docs/*.md.
+
+Sibling of ``tools/check_docs_links.py``: where that tool resolves file
+references, this one resolves **symbol** references. The docs' prose
+leans on backticked dotted names — ``Placement.relocate``,
+``CheckpointPlane.reshard``, ``AsyncPSTMEngine.submit`` — and a rename
+on the code side silently strands them: the docs keep reading fine while
+describing an API that no longer exists.
+
+Every backticked ``ClassName.member`` reference (a capitalized head, a
+lowercase member — the docs' class-attribute idiom) must resolve against
+the source tree: some ``class ClassName`` must exist under ``src/``, and
+the file defining it must also define ``member`` (as a ``def``, an
+assignment, or an annotated attribute — including inside string literals
+is rejected by requiring a definition-shaped line). Module-qualified
+forms (``repro.runtime.migrate.Migrator``) check only their final
+``Class.member`` pair; fully-lowercase dotted names (``engine.submit``,
+``clock.now`` — instance shorthand whose receiver is prose context) and
+tool invocations (``python -m repro``) are out of scope.
+
+Stdlib only (like ``tools/check_layering.py``). Exit 0 = no stale refs.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+
+#: `Qualified.Name.like.this` — dotted backticked references
+TICKED_DOTTED = re.compile(r"`([A-Za-z_][\w.]*\.[\w]+)(?:\(\))?`")
+
+#: definition-shaped lines for a member inside a class body: a def, an
+#: assignment, or an annotated attribute, at any indentation
+def member_pattern(member: str) -> re.Pattern:
+    return re.compile(
+        rf"^\s+(?:async\s+def\s+{member}\s*\(|def\s+{member}\s*\("
+        rf"|(?:self\.)?{member}\s*[:=])",
+        re.MULTILINE,
+    )
+
+
+def class_files() -> dict:
+    """Map ``ClassName`` -> list of source files defining it."""
+    index: dict = {}
+    for path in sorted(SRC.rglob("*.py")):
+        text = path.read_text()
+        for match in re.finditer(r"^class\s+([A-Za-z_]\w*)", text, re.M):
+            index.setdefault(match.group(1), []).append(path)
+    return index
+
+
+#: file references (`FAULTS.md`, `BENCH_PR9.json`) — the link checker's
+#: territory, not symbols
+FILE_EXT = re.compile(r"\.(?:md|py|yml|yaml|json|jsonl|txt)$")
+
+
+def split_ref(ref: str):
+    """Reduce a dotted reference to its final (Class, member) pair, or
+    None when the reference is not class-attribute shaped."""
+    if FILE_EXT.search(ref):
+        return None
+    parts = ref.split(".")
+    # walk to the last capitalized segment; everything before is a module
+    # path, the segment after it the member
+    for i in range(len(parts) - 2, -1, -1):
+        if parts[i][:1].isupper():
+            if i + 2 == len(parts) and parts[i + 1][:1].islower():
+                return parts[i], parts[i + 1]
+            return None  # Class.CONSTANT / Module.Class — not checked
+    return None  # fully lowercase: instance shorthand, out of scope
+
+
+def main() -> int:
+    files = [ROOT / "README.md"] + sorted((ROOT / "docs").glob("*.md"))
+    index = class_files()
+    errors = []
+    checked = 0
+    for path in files:
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            for match in TICKED_DOTTED.finditer(line):
+                pair = split_ref(match.group(1))
+                if pair is None:
+                    continue
+                cls, member = pair
+                checked += 1
+                homes = index.get(cls)
+                if not homes:
+                    errors.append(
+                        f"{path.relative_to(ROOT)}:{lineno}: stale symbol "
+                        f"`{match.group(1)}` — no `class {cls}` under src/"
+                    )
+                    continue
+                pat = member_pattern(member)
+                if not any(pat.search(h.read_text()) for h in homes):
+                    defined = ", ".join(
+                        str(h.relative_to(ROOT)) for h in homes)
+                    errors.append(
+                        f"{path.relative_to(ROOT)}:{lineno}: stale symbol "
+                        f"`{match.group(1)}` — {cls} ({defined}) defines "
+                        f"no member {member!r}"
+                    )
+    if errors:
+        print("\n".join(errors))
+        print(f"\n{len(errors)} stale symbol reference(s)")
+        return 1
+    print(f"docs symbols OK: {checked} class-member references across "
+          f"{len(files)} files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

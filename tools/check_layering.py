@@ -5,8 +5,8 @@ The runtime is a strict layering (docs/ARCHITECTURE.md); each module may
 import only modules *strictly below* it:
 
     simclock < config < metrics < trace < checkpoint < lifecycle
-             < costmodel < faults < network < overload < preempt < runs
-             < vector < kernels < worker < delivery < engine
+             < costmodel < faults < network < overload < preempt < migrate
+             < runs < vector < kernels < worker < delivery < engine
 
 Everything above ``engine`` (bsp, hybrid, variants, reference, cluster,
 the package __init__) composes freely and is not constrained here.
@@ -26,15 +26,23 @@ Two classes of violation fail the build:
   particular never ``engine`` or ``delivery``. Hooks hand the recorder
   plain values; tracing must never be able to re-enter the machinery it
   observes.
+* a call site outside the placement plane computing a partition from the
+  raw hash: ``repro.graph.placement`` is the single source of truth for
+  vertex ownership (docs/PARTITIONING.md), so ``mix64`` and
+  ``% num_partitions``-style placement arithmetic may appear nowhere else
+  in the package — a module that owned its own copy would silently
+  disagree with the relocation table after a live migration.
 
 Stdlib only (ast); no third-party dependency. Exit 0 = clean.
 """
 
 import ast
+import re
 import sys
 from pathlib import Path
 
-RUNTIME = Path(__file__).resolve().parent.parent / "src" / "repro" / "runtime"
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+RUNTIME = SRC / "runtime"
 
 #: bottom to top; a module may import only strictly earlier entries
 LAYERS = [
@@ -49,6 +57,7 @@ LAYERS = [
     "network",
     "overload",
     "preempt",
+    "migrate",
     "runs",
     "vector",
     "kernels",
@@ -69,6 +78,28 @@ MAX_LINES = {"engine.py": 900, "worker.py": 900, "kernels.py": 400}
 #: ``checkpoint`` is a storage leaf beside ``trace``: it holds snapshots,
 #: never drives the machinery, and may import only the trace constants.
 LEAF_ALLOW = {"trace": {"simclock"}, "checkpoint": {"trace"}}
+
+#: the placement plane: the only modules allowed to spell the raw vertex
+#: hash or ``% num_partitions`` placement arithmetic
+PLACEMENT_PLANE = {"graph/placement.py", "graph/partition.py"}
+#: raw-hash placement logic, forbidden outside the placement plane
+RAW_HASH = re.compile(r"\bmix64\w*\b|%\s*(?:self\.)?(?:num_partitions|_n)\b")
+
+
+def raw_hash_violations(errors) -> None:
+    """Flag raw-hash partition computation outside the placement plane."""
+    for path in sorted(SRC.rglob("*.py")):
+        rel = path.relative_to(SRC).as_posix()
+        if rel in PLACEMENT_PLANE:
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            code = line.split("#", 1)[0]
+            if RAW_HASH.search(code):
+                errors.append(
+                    f"{path}:{lineno}: raw-hash placement logic outside the "
+                    f"placement plane — route partition lookups through "
+                    f"repro.graph.placement.Placement"
+                )
 
 
 def _is_type_checking(test: ast.expr) -> bool:
@@ -147,13 +178,16 @@ def main() -> int:
                 f"the module"
             )
 
+    raw_hash_violations(errors)
+
     if errors:
         print("\n".join(errors))
         print(f"\n{len(errors)} layering violation(s)")
         return 1
     checked = ", ".join(LAYERS)
     print(f"layering OK ({checked}); "
-          + "; ".join(f"{f} under {n} lines" for f, n in MAX_LINES.items()))
+          + "; ".join(f"{f} under {n} lines" for f, n in MAX_LINES.items())
+          + "; no raw-hash placement outside the placement plane")
     return 0
 
 
