@@ -301,6 +301,20 @@ def cmd_migrate(args: argparse.Namespace) -> int:
     return migration.main(forwarded)
 
 
+def cmd_mixed(args: argparse.Namespace) -> int:
+    """Run the mixed bench (IC reads under concurrent SNB updates)."""
+    from repro.bench import mixed
+
+    forwarded: List[str] = []
+    if args.quick:
+        forwarded.append("--quick")
+    if args.check:
+        forwarded.append("--check")
+    if args.out:
+        forwarded.extend(["--out", args.out])
+    return mixed.main(forwarded)
+
+
 def _parse_crash(spec: str):
     """``WID:AT_US[:DOWN_US]`` → a WorkerFault tuple (empty spec → ())."""
     from repro.runtime.faults import WorkerFault
@@ -662,6 +676,21 @@ def build_parser() -> argparse.ArgumentParser:
     migrate.add_argument("--out", default=None,
                          help="write a JSON report here")
     migrate.set_defaults(fn=cmd_migrate)
+    mixed = sub.add_parser(
+        "mixed",
+        help="mixed bench: IC read latency under concurrent LDBC SNB "
+             "update transactions at 0/25/50%% update ratios",
+    )
+    mixed.add_argument("--quick", action="store_true",
+                       help="CI variant: fewer queries per ratio")
+    mixed.add_argument("--check", action="store_true",
+                       help="exit nonzero unless rows are bit-identical "
+                            "across tiers and solo snapshot runs, audits "
+                            "are clean, and crash recovery replays the "
+                            "version log before traversal restore")
+    mixed.add_argument("--out", default=None,
+                       help="write a JSON report here")
+    mixed.set_defaults(fn=cmd_mixed)
     return parser
 
 

@@ -2,10 +2,13 @@
 
 Updates run as MV2PL transactions against the transactional edge-log delta
 store (:mod:`repro.txn`) — the same separation real systems use (immutable
-base + transactional delta). Read queries in this reproduction execute
-against the immutable base snapshot; the updates exercise the write path
-(locking, versioning, LCT advancement) and contribute load to the mixed
-workload (Fig 7).
+base + transactional delta). When the engine arms the transaction plane
+(``EngineConfig(transactions=True)``, docs/TRANSACTIONS.md), read queries
+execute against per-query snapshot views pinned at admission, so these
+updates become visible to readers admitted after their LCT broadcast;
+on an unarmed engine reads see only the immutable base. Either way the
+updates exercise the write path (locking, versioning, LCT advancement)
+and contribute load to the mixed workload (Fig 7).
 
 Each update has an estimated service cost in microseconds used by the
 workload simulator; the values reflect the "transactional queries" row of

@@ -161,7 +161,16 @@ def run_mixed_workload(
     """Replay the workload schedule against an engine."""
     graph = engine.graph
     schedule = build_schedule(dataset, graph, config)
-    txm = txn_manager or TransactionManager(graph.num_partitions)
+    plane = getattr(engine, "txnplane", None)
+    if txn_manager is not None:
+        txm = txn_manager
+    elif plane is not None:
+        # Transaction plane armed: updates commit into the plane's
+        # manager, so concurrently running IC reads (pinned at admission)
+        # actually observe the snapshot-isolation contract.
+        txm = plane.txm
+    else:
+        txm = TransactionManager(graph.num_partitions)
     if isinstance(engine, BSPEngine):
         return _run_bsp(engine, schedule, txm, config)
     return _run_async(engine, schedule, txm, config)
@@ -190,7 +199,15 @@ def _run_async(
             return
         if arrival.plan is None:
             udef = UP_QUERIES[arrival.update_number]
-            udef.apply(txm, arrival.params)
+            plane = getattr(engine, "txnplane", None)
+            if plane is not None:
+                # Through the plane: traces, metrics, abort accounting,
+                # and wedge-deferral behind a torn commit all apply.
+                plane.apply_update(
+                    lambda m: udef.apply(m, arrival.params), label=udef.name
+                )
+            else:
+                udef.apply(txm, arrival.params)
             # Charge the update's service time to the owning worker.
             wid = arrival.update_number % len(engine.workers)
             engine.workers[wid].add_setup_cost(engine.clock.now, udef.service_us)

@@ -125,6 +125,17 @@ class EngineConfig:
     #: (docs/OBSERVABILITY.md). Off by default: the disabled mode allocates
     #: no event objects on the hot path.
     trace: bool = False
+    #: arm the transaction plane (docs/TRANSACTIONS.md): the engine builds
+    #: a TxnPlane sharing the graph's placement, every admitted query is
+    #: pinned to a snapshot timestamp (the tracker node's cached LCT), and
+    #: the kernels read base + TEL-delta snapshot views instead of the raw
+    #: CSR stores. Off by default: the unarmed engine is bit-identical to
+    #: pre-PR10 behaviour.
+    transactions: bool = False
+    #: simulated delay (µs) before a commit's LCT broadcast reaches node
+    #: caches (0 → instantaneous). Staleness is the only permitted error:
+    #: a lagged cache pins *older* snapshots, never uncommitted ones.
+    lct_broadcast_lag_us: float = 0.0
 
     def __post_init__(self) -> None:
         if self.io_mode not in (IO_SYNC, IO_TLC, IO_TLC_NLC):
@@ -190,6 +201,16 @@ class EngineConfig:
                     "checkpoint_interval_us (a paused query IS its forced "
                     "boundary snapshot)"
                 )
+        if self.lct_broadcast_lag_us < 0:
+            raise ConfigurationError(
+                f"lct_broadcast_lag_us must be >= 0, "
+                f"got {self.lct_broadcast_lag_us}"
+            )
+        if self.lct_broadcast_lag_us and not self.transactions:
+            raise ConfigurationError(
+                "lct_broadcast_lag_us requires transactions=True; without "
+                "the transaction plane there is no LCT to broadcast"
+            )
         if self.preemption_min_checkpoints < 0:
             raise ConfigurationError(
                 f"preemption_min_checkpoints must be >= 0, "

@@ -254,8 +254,18 @@ class DeliveryPlane:
                     engine.clock.now,
                     engine.cost.combine_partial_us * len(session.partials),
                 )
+                # Stamp the deferred combine with the attempt id: a crash
+                # restore in the charge window rekeys the *same* session
+                # object (fresh query_id, partials reset), so the
+                # sessions-identity guard inside _complete_stage alone
+                # would let this stale event combine empty partials and
+                # retire the restored attempt.
                 engine.clock.schedule_at(
-                    done_at, lambda s=session, st=stage: engine._complete_stage(s, st)
+                    done_at,
+                    lambda s=session, st=stage, a=query_id: (
+                        engine._complete_stage(s, st)
+                        if s.query_id == a else None
+                    ),
                 )
         else:  # pragma: no cover
             raise ExecutionError(f"unexpected tracker message kind {msg.kind}")

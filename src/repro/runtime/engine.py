@@ -36,10 +36,8 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from repro.core.machine import resolve_partition
 from repro.core.memo import MemoStore
 from repro.core.progress import ProgressMode, ProgressTracker
-from repro.core.steps import FixedVertexSource
 from repro.core.subquery import GatheredPartial
-from repro.core.traverser import Traverser, make_root
-from repro.core.weight import ROOT_WEIGHT, split_weight
+from repro.core.traverser import Traverser
 from repro.errors import (
     AdmissionTimeoutError,
     ConfigurationError,
@@ -71,6 +69,7 @@ from repro.runtime.lifecycle import (
     QuerySession,
     QueryState,
     salvage_partial,
+    stage0_seeds,
 )
 from repro.runtime.metrics import LatencyRecorder, MsgKind, RunMetrics
 from repro.runtime.network import TRACKER_DST, Message, Network
@@ -80,6 +79,7 @@ from repro.runtime.preempt import (cancel_paused, pause_at_boundary,
                                    request_preempt, resume_session, try_resume)
 from repro.runtime.simclock import SimClock
 from repro.runtime.trace import SEED_DISPATCH, STAGE_CLOSE, STAGE_OPEN, TraceRecorder
+from repro.runtime.txnplane import TxnPlane
 from repro.runtime.worker import PartitionRuntime, Worker
 
 __all__ = [
@@ -197,6 +197,11 @@ class AsyncPSTMEngine:
 
         self.tracker_node = 0
         self.tracker = TrackerActor(self)
+        #: transaction plane (docs/TRANSACTIONS.md); None keeps the read
+        #: path bit-identical to the pre-transactional engine
+        self.txnplane: Optional[TxnPlane] = (
+            TxnPlane(self) if config.transactions else None
+        )
         self.progress = ProgressTracker(config.progress_mode, self._stage_terminated)
         self.sessions: Dict[int, QuerySession] = {}
         self.completed: Dict[int, QuerySession] = {}
@@ -568,6 +573,10 @@ class AsyncPSTMEngine:
         session.lifecycle.to(QueryState.RUNNING)
         now = self.clock.now
         session.qmetrics.submitted_at_us = now
+        if self.txnplane is not None and session.snapshot_ts is None:
+            # Pin once: a recovery retry re-enters RUNNING but keeps the
+            # original version cut, so its rows replay bit-identically.
+            self.txnplane.pin(session)
         ready_at = now
         if self.config.per_query_instantiation:
             # Dataflow-style engines (Banyan, GAIA) instantiate every
@@ -598,26 +607,8 @@ class AsyncPSTMEngine:
         self.recovery.arm_watchdog(session)
 
     def _stage0_seeds(self, session: QuerySession) -> List[Traverser]:
-        plan = session.plan
-        specs: List[Traverser] = []
-        for source in plan.source_ops():
-            if source.broadcast:
-                for pid in range(self.num_partitions):
-                    specs.append(
-                        make_root(
-                            session.query_id, -pid - 1, source.idx, plan.payload_width, 0
-                        )
-                    )
-            else:
-                assert isinstance(source, FixedVertexSource)
-                vertex = source.start_vertex(session.params)
-                specs.append(
-                    make_root(
-                        session.query_id, vertex, source.idx, plan.payload_width, 0
-                    )
-                )
-        weights = split_weight(ROOT_WEIGHT, len(specs), session.rng)
-        return [t.evolve(weight=w) for t, w in zip(specs, weights)]
+        # Body lives in lifecycle.stage0_seeds; recovery calls this too.
+        return stage0_seeds(self, session)
 
     def _dispatch_seeds(
         self, session: QuerySession, seeds: List[Traverser], now: float

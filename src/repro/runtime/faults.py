@@ -244,6 +244,14 @@ class RecoveryManager:
             affected = set(runtime.memo_store.invalidate_all())
             affected.update(worker.resident_queries())
             worker.crash()
+            plane = getattr(engine, "txnplane", None)
+            if plane is not None:
+                # Recovery composition (docs/TRANSACTIONS.md): replay the
+                # version log synchronously, *before* the deferred
+                # recover_if_current events below can restore any
+                # traversal — a resumed query must never read a delta the
+                # recovery scan has not certified back to the LCT.
+                plane.replay_after_crash(wf.wid)
             for query_id in affected:
                 session = engine.sessions.get(query_id)
                 if session is not None and session.query_id == query_id:

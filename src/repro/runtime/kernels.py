@@ -154,7 +154,10 @@ class ScalarKernel:
                 # Pure observation: by the machine's weight contract,
                 # w_in == w_out + w_fin exactly (children and finished
                 # weight are mutually exclusive), which the ledger auditor
-                # cross-checks per execution.
+                # cross-checks per execution. Snapshot stores additionally
+                # report the newest version timestamp they have served, so
+                # the auditor can reject a read past the query's pin.
+                vh = getattr(ctx.store, "version_high", 0)
                 trace.emit(
                     EXEC, trav.query_id, pid=runtime.pid, wid=worker.wid,
                     stage=trav.stage, op_idx=op_idx, n=1,
@@ -165,6 +168,7 @@ class ScalarKernel:
                         c.weight for c, _ in result.children
                     ) % GROUP_MODULUS,
                     cpu=cost_us,
+                    **({"version_ts": vh} if vh else {}),
                 )
 
             for child, routed in result.children:

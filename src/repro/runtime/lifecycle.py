@@ -62,8 +62,10 @@ from enum import Enum
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.machine import PSTMMachine
-from repro.core.steps import StepContext
+from repro.core.steps import FixedVertexSource, StepContext
 from repro.core.subquery import GatheredPartial, StageCursor
+from repro.core.traverser import Traverser, make_root
+from repro.core.weight import ROOT_WEIGHT, split_weight
 from repro.errors import ExecutionError, LifecycleError
 from repro.query.plan import PhysicalPlan
 from repro.runtime.metrics import QueryMetrics
@@ -346,6 +348,11 @@ class QuerySession:
         self.op_steps: Dict[int, int] = {}
         #: per-operator spawn counts (op index → children produced)
         self.op_spawned: Dict[int, int] = {}
+        #: snapshot timestamp pinned at admission by the transaction plane
+        #: (docs/TRANSACTIONS.md); None when the plane is disarmed. Set
+        #: once and deliberately never reset by crash recovery or
+        #: checkpoint restore, so every retry replays the same version cut
+        self.snapshot_ts: Optional[int] = None
 
     # -- derived outcome flags (legacy API, now contradiction-free) --------
 
@@ -420,8 +427,14 @@ class QuerySession:
         ctx = self._contexts[pid]
         if ctx is None:
             runtime = self.engine.runtimes[pid]
+            store = runtime.store
+            plane = getattr(self.engine, "txnplane", None)
+            if plane is not None and self.snapshot_ts is not None:
+                # Transaction plane armed: all kernels on every partition
+                # read through the same pinned version cut.
+                store = plane.store_for(pid, self.snapshot_ts)
             ctx = StepContext(
-                runtime.store,
+                store,
                 runtime.memo_store.for_query(self.query_id),
                 self.engine.graph.partitioner,
                 self.params,
@@ -466,3 +479,36 @@ def salvage_partial(engine: "AsyncPSTMEngine", session: QuerySession) -> None:
         session._salvaged = True
         session.qmetrics.completed_at_us = engine.clock.now
         session.qmetrics.result_rows = len(session.cursor.results or [])
+
+
+def stage0_seeds(
+    engine: "AsyncPSTMEngine", session: QuerySession
+) -> List[Traverser]:
+    """Build the root traversers for a query's stage 0.
+
+    Broadcast sources seed one root per partition (encoded as a negative
+    routing vertex); fixed-vertex sources seed the one start vertex. The
+    root weight is split across all seeds so the stage ledger opens at
+    exactly ``ROOT_WEIGHT`` (Theorem 1's invariant).
+    """
+    plan = session.plan
+    specs: List[Traverser] = []
+    for source in plan.source_ops():
+        if source.broadcast:
+            for pid in range(engine.num_partitions):
+                specs.append(
+                    make_root(
+                        session.query_id, -pid - 1, source.idx,
+                        plan.payload_width, 0,
+                    )
+                )
+        else:
+            assert isinstance(source, FixedVertexSource)
+            vertex = source.start_vertex(session.params)
+            specs.append(
+                make_root(
+                    session.query_id, vertex, source.idx, plan.payload_width, 0
+                )
+            )
+    weights = split_weight(ROOT_WEIGHT, len(specs), session.rng)
+    return [t.evolve(weight=w) for t, w in zip(specs, weights)]

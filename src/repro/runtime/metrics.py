@@ -82,6 +82,12 @@ class RunMetrics:
     traversers_reclaimed: int = 0  # queued/buffered/in-flight traversers purged
     weight_reclaim_reports: int = 0  # reclaimed-weight reports to the tracker
     credit_stalls: int = 0  # sends deferred by an exhausted credit gate
+    # Transaction-plane counters (all stay 0 unless EngineConfig.transactions
+    # arms the plane; see docs/TRANSACTIONS.md).
+    txn_commits: int = 0  # update transactions committed (LCT advanced)
+    txn_aborts: int = 0  # aborts: lock conflicts + torn commits
+    txn_replays: int = 0  # version-log recovery scans run after crashes
+    snapshot_pins: int = 0  # queries pinned to a snapshot timestamp
     # Lifecycle audit trail: every validated state-machine edge taken by any
     # query, keyed "src->dst" (e.g. "running->done"). Soak tests assert the
     # key set stays inside the legal-transition table of

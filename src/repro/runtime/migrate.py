@@ -64,6 +64,7 @@ from repro.errors import ExecutionError
 from repro.runtime.metrics import MsgKind
 from repro.runtime.network import Message
 from repro.runtime.trace import MIGRATE
+from repro.runtime.txnplane import VERSION_BYTES
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.traverser import Traverser
@@ -373,6 +374,13 @@ class Migrator:
         ship_bytes += memo_bytes
         if engine.checkpoints is not None:
             ship_bytes += BYTES_PER_RECORD * engine.checkpoints.reshard(applied)
+        plane = getattr(engine, "txnplane", None)
+        if plane is not None:
+            # Delta rows follow their vertex (docs/TRANSACTIONS.md):
+            # committed TEL logs and property chains ship to the new owner
+            # alongside the base CSR rows, or snapshot reads routed there
+            # would silently miss them.
+            ship_bytes += VERSION_BYTES * plane.reshard(applied)
 
         swept = 0
         for pid in sorted({old[vid] for vid in applied}):

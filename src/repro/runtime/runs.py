@@ -693,7 +693,10 @@ class RunDrain:
             # One EXEC event per fused run: per-traverser weights are not
             # materialized here (that is the point of batching), so the
             # event carries run totals; the auditor checks the
-            # active-weight ledger, not per-traverser conservation.
+            # active-weight ledger, not per-traverser conservation. A
+            # snapshot store also reports its served version high-water so
+            # the auditor can reject a read past the query's pin.
+            vh = getattr(self.ctx.store, "version_high", 0)
             trace.emit(
                 EXEC, query_id, pid=self_pid, wid=worker.wid,
                 stage=stage, op_idx=op_idx, n=n_run,
@@ -701,6 +704,7 @@ class RunDrain:
                 w_in=sum(tr.weight for tr in run) % modulus,
                 w_fin=fin_total % modulus,
                 cpu=cpu - run_cpu0,
+                **({"version_ts": vh} if vh else {}),
             )
         self.spawned_total += run_spawned
         if run_spawned:

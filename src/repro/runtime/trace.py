@@ -81,6 +81,14 @@ CREDIT_STALL = "credit_stall"      # sender parked on a full inbox: pid, n
 WORKER_FAULT = "worker_fault"      # injected worker fault: wid, kind
 MIGRATE = "migrate"                # placement flip: vertices, pairs, bytes,
 #                                    swept (traversers re-routed at the flip)
+SNAPSHOT_PIN = "snapshot_pin"      # query pinned to a version cut: ts (the
+#                                    node-cached LCT at admission)
+TXN_BEGIN = "txn_begin"            # write txn began: txn, read_ts
+TXN_COMMIT = "txn_commit"          # write txn committed: txn, commit_ts, ops
+TXN_ABORT = "txn_abort"            # write txn aborted: txn, reason
+#                                    (lock conflict or torn_commit)
+VERSION_REPLAY = "version_replay"  # crash-recovery version scan: lct,
+#                                    partitions, discarded
 
 #: close reasons that certify a ledger actually closed (auditor asserts)
 _CLOSED_REASONS = ("terminated", "cancelled")
@@ -250,6 +258,8 @@ class AuditReport:
     stages_closed: int = 0      # closed with the terminal invariants asserted
     stages_dropped: int = 0     # torn down without a closed ledger (crash paths)
     migrations: int = 0         # placement flips replayed (ledger re-checked)
+    txn_commits: int = 0        # writer commits replayed (ledger re-checked)
+    version_replays: int = 0    # crash-recovery version scans replayed
 
     @property
     def ok(self) -> bool:
@@ -285,7 +295,15 @@ class WeightLedgerAuditor:
     * at ``stage_close(terminated|cancelled)``: no active weight survives
       *and* the tracker independently received exactly the root weight;
     * no exec on a never-opened (or already-closed) stage, no reopen, and
-      no stage left open at end of trace.
+      no stage left open at end of trace;
+    * transaction-plane events are ledger-neutral: every open ledger still
+      conserves the root weight across a writer commit and across a
+      crash-recovery version scan (Theorem 1 is untouched by interleaved
+      writers), and commit timestamps are strictly monotonic;
+    * snapshot isolation: a query pins at most the last committed
+      timestamp (``snapshot_pin.ts`` never exceeds the LCT implied by the
+      ``txn_commit`` prefix), and no exec event cites a served version
+      (``version_ts``) newer than its query's pinned snapshot.
 
     Naive-central traces carry no weight ledger and are rejected.
     """
@@ -297,6 +315,8 @@ class WeightLedgerAuditor:
         """Replay the trace once and return the :class:`AuditReport`."""
         rep = AuditReport()
         stages: Dict[Tuple[int, int], _StageLedger] = {}
+        pins: Dict[int, int] = {}  # query -> pinned snapshot timestamp
+        lct_seen = 0               # LCT implied by the txn_commit prefix
         M = GROUP_MODULUS
 
         def violate(i: int, msg: str) -> None:
@@ -346,6 +366,12 @@ class WeightLedgerAuditor:
                     violate(i, f"stage {key}: split does not conserve "
                                f"weight (w_in={data['w_in'] % M}, "
                                f"w_out={data['w_out'] % M}, w_fin={w_fin})")
+                if "version_ts" in data:
+                    pin = pins.get(qid)
+                    if pin is not None and data["version_ts"] > pin:
+                        violate(i, f"query {qid} exec cites version "
+                                   f"{data['version_ts']} newer than its "
+                                   f"pinned snapshot {pin}")
                 check(i, key, st)
 
             elif kind == ACCUM_RECLAIM:
@@ -427,6 +453,34 @@ class WeightLedgerAuditor:
                 # open ledger must still conserve the root weight across
                 # the flip — re-assert all of them at the migration point.
                 rep.migrations += 1
+                for key, st in stages.items():
+                    check(i, key, st)
+
+            elif kind == SNAPSHOT_PIN:
+                ts = data["ts"]
+                if ts > lct_seen:
+                    violate(i, f"query {qid} pinned snapshot {ts} beyond "
+                               f"the last committed timestamp {lct_seen} "
+                               f"(uncommitted/future version exposed)")
+                pins[qid] = ts
+
+            elif kind == TXN_COMMIT:
+                commit_ts = data["commit_ts"]
+                if commit_ts <= lct_seen:
+                    violate(i, f"txn commit_ts {commit_ts} not strictly "
+                               f"monotonic (LCT already {lct_seen})")
+                lct_seen = commit_ts
+                rep.txn_commits += 1
+                # Writers are ledger-neutral: a commit moves versions, never
+                # traversal weight — re-assert every open ledger at the
+                # commit point (Theorem 1 under writer interleavings).
+                for key, st in stages.items():
+                    check(i, key, st)
+
+            elif kind == VERSION_REPLAY:
+                # Recovery's version scan discards torn (post-LCT) versions;
+                # it must leave every open traversal ledger untouched.
+                rep.version_replays += 1
                 for key, st in stages.items():
                     check(i, key, st)
 

@@ -13,10 +13,11 @@ simply the latest committed timestamp.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import TransactionAborted, TransactionError
 from repro.graph.partition import HashPartitioner
+from repro.graph.placement import Placement
 from repro.txn.mv2pl import LockMode, LockTable
 from repro.txn.transaction import (
     Transaction,
@@ -27,12 +28,31 @@ from repro.txn.transaction import (
 
 
 class TransactionManager:
-    """Centralized timestamp authority + MV2PL coordinator."""
+    """Centralized timestamp authority + MV2PL coordinator.
 
-    def __init__(self, num_partitions: int) -> None:
+    ``partitioner`` routes each write to its owning delta partition. By
+    default the manager builds its own :class:`HashPartitioner`; the
+    runtime's transaction plane instead passes the **graph's** placement so
+    delta rows and base rows always agree on ownership — including after
+    live migration relocates vertices (pair :meth:`reshard` with
+    ``Placement.relocate``).
+    """
+
+    def __init__(
+        self,
+        num_partitions: int,
+        partitioner: Optional[Placement] = None,
+    ) -> None:
         if num_partitions < 1:
             raise TransactionError("need at least one partition")
-        self.partitioner = HashPartitioner(num_partitions)
+        if partitioner is None:
+            partitioner = HashPartitioner(num_partitions)
+        elif partitioner.num_partitions != num_partitions:
+            raise TransactionError(
+                f"partitioner covers {partitioner.num_partitions} "
+                f"partitions, manager asked for {num_partitions}"
+            )
+        self.partitioner = partitioner
         self.partitions = [TxnPartitionState(p) for p in range(num_partitions)]
         self.locks = LockTable()
         self._next_txn_id = 0
@@ -42,6 +62,13 @@ class TransactionManager:
         self._node_lct: Dict[int, int] = {}
         self.commits = 0
         self.aborts = 0
+        self.torn = 0
+        self._wedged = False
+        # Observer hooks: the runtime's transaction plane traces commits
+        # and aborts through these; None keeps the package standalone.
+        self.on_begin: Optional[Callable[[Transaction], None]] = None
+        self.on_commit: Optional[Callable[[Transaction, int], None]] = None
+        self.on_abort: Optional[Callable[[Transaction, str], None]] = None
 
     # -- LCT ------------------------------------------------------------------
 
@@ -50,10 +77,18 @@ class TransactionManager:
         """The authoritative last commit timestamp."""
         return self._lct
 
-    def broadcast_lct(self, nodes: List[int]) -> None:
-        """Push the current LCT to the given nodes' caches."""
+    def broadcast_lct(self, nodes: List[int], lct: Optional[int] = None) -> None:
+        """Push an LCT watermark to the given nodes' caches.
+
+        Defaults to the current LCT; a *delayed* broadcast (the plane's
+        ``lct_broadcast_lag_us``) passes the older watermark it left the
+        manager with. Caches only move forward, and never past the
+        authoritative LCT — staleness is the only permitted error.
+        """
+        value = self._lct if lct is None else min(lct, self._lct)
         for node in nodes:
-            self._node_lct[node] = self._lct
+            if value > self._node_lct.get(node, 0):
+                self._node_lct[node] = value
 
     def cached_lct(self, node: int) -> int:
         """A node's cached LCT (0 before any broadcast reaches it)."""
@@ -65,6 +100,8 @@ class TransactionManager:
         """Begin an update transaction (reads its own snapshot at LCT)."""
         txn = Transaction(self._next_txn_id, self._lct, read_only=False)
         self._next_txn_id += 1
+        if self.on_begin is not None:
+            self.on_begin(txn)
         return txn
 
     def begin_readonly(self, node: int = 0) -> Transaction:
@@ -80,6 +117,8 @@ class TransactionManager:
         if txn.read_only:
             txn.status = TxnStatus.COMMITTED
             return txn.read_ts
+        if self._wedged:
+            return self._tear(txn)
         commit_ts = self._next_commit_ts
         self._next_commit_ts += 1
         for op in txn.writes:
@@ -89,6 +128,8 @@ class TransactionManager:
         self.locks.release_all(txn.txn_id, txn.locks)
         self._lct = max(self._lct, commit_ts)
         self.commits += 1
+        if self.on_commit is not None:
+            self.on_commit(txn, commit_ts)
         return commit_ts
 
     def abort(self, txn: Transaction, reason: str = "user abort") -> None:
@@ -99,6 +140,43 @@ class TransactionManager:
         txn.status = TxnStatus.ABORTED
         self.locks.release_all(txn.txn_id, txn.locks)
         self.aborts += 1
+        if self.on_abort is not None:
+            self.on_abort(txn, reason)
+
+    # -- torn-commit fault model ----------------------------------------------
+
+    @property
+    def wedged(self) -> bool:
+        """True while the manager site is "crashed mid-commit"."""
+        return self._wedged
+
+    def arm_tear(self) -> None:
+        """Arm the torn-commit fault: every subsequent commit applies its
+        versions to the stores but "crashes" before the commit record —
+        the LCT never advances, so the versions are exactly what the
+        recovery scan (:func:`repro.txn.recovery.recover`) must discard.
+        Stays armed until :meth:`heal` (a crashed site cannot commit)."""
+        self._wedged = True
+
+    def heal(self) -> None:
+        """Clear the torn-commit wedge (recovery has replayed the logs)."""
+        self._wedged = False
+
+    def _tear(self, txn: Transaction) -> int:
+        # The timestamp is consumed and the buffered writes reach the
+        # versioned stores, but no commit record exists: the LCT stays
+        # put, the commit counter does not move, and the transaction
+        # reports as aborted to its caller.
+        commit_ts = self._next_commit_ts
+        self._next_commit_ts += 1
+        for op in txn.writes:
+            self._apply(op, commit_ts)
+        txn.status = TxnStatus.ABORTED
+        self.locks.release_all(txn.txn_id, txn.locks)
+        self.torn += 1
+        if self.on_abort is not None:
+            self.on_abort(txn, "torn_commit")
+        return commit_ts
 
     # -- operations -----------------------------------------------------------------------
 
@@ -192,3 +270,32 @@ class TransactionManager:
         txn.require_active()
         pid = self.partitioner(vid)
         return self.partitions[pid].props.read(vid, key, txn.read_ts, default)
+
+    # -- placement relocation -------------------------------------------------
+
+    def reshard(self, moves: Dict[int, int]) -> int:
+        """Relocate delta rows after a placement change.
+
+        When the manager shares the graph's placement, a
+        ``Placement.relocate`` flip makes :attr:`partitioner` route a
+        moved vertex to its new partition — but its committed TEL logs
+        and property chains still sit in the old one, so snapshot reads
+        against the new owner would silently miss them (the dormant-code
+        rot PR10 fixes). Call this with the same ``{vid: dst}`` map the
+        placement flip applied. Returns the version records moved.
+        """
+        moved = 0
+        for vid, dst in moves.items():
+            target = self.partitions[dst]
+            for state in self.partitions:
+                if state.pid == dst:
+                    continue
+                logs = state.tel.extract_vertex(vid)
+                if logs:
+                    moved += sum(len(log) for log in logs.values())
+                    target.tel.install_logs(logs)
+                chains = state.props.extract_vertex(vid)
+                if chains:
+                    moved += sum(len(c) for c in chains.values())
+                    target.props.install_chains(chains)
+        return moved

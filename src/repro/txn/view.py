@@ -25,7 +25,8 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import PartitionError, VertexNotFoundError
-from repro.graph.partition import HashPartitioner, PartitionedGraph, PartitionStore
+from repro.graph.partition import PartitionedGraph, PartitionStore
+from repro.graph.placement import Placement
 from repro.graph.property_graph import BOTH, Edge, IN, OUT
 from repro.txn.manager import TransactionManager
 from repro.txn.transaction import TxnPartitionState
@@ -43,13 +44,17 @@ class SnapshotStore:
         base: PartitionStore,
         delta: TxnPartitionState,
         read_ts: int,
-        partitioner: HashPartitioner,
+        partitioner: Placement,
     ) -> None:
         self.pid = base.pid
         self._base = base
         self._delta = delta
         self._ts = read_ts
         self._partitioner = partitioner
+        #: newest adjacency version timestamp served through this view —
+        #: the kernels cite it on EXEC events so the trace auditor can
+        #: reject a traversal reading past its query's pinned snapshot
+        self.version_high = 0
         # Vertices created through the delta (any property version ≤ ts),
         # owned by this partition.
         self._created: Dict[int, bool] = {}
@@ -61,6 +66,16 @@ class SnapshotStore:
         # Edge records discovered while scanning the delta (edge_record is
         # always called after edges()/neighbors() on the same worker).
         self._delta_edges: Dict[int, Edge] = {}
+        if not delta.tel._logs and not delta.props._versions:  # noqa: SLF001
+            # Pristine delta: nothing has ever committed into this
+            # partition's overlay, so the base CSR *is* the snapshot —
+            # forward the NumPy fast-path surface so the vector kernel
+            # keeps its array programs (the 0%-update curve). Any later
+            # commit lands at a timestamp above this view's read_ts and
+            # would be invisible here anyway, so the forwarding stays
+            # correct for the view's whole lifetime.
+            self.adjacency = base.adjacency
+            self.local_index_map = base.local_index_map
 
     @property
     def read_ts(self) -> int:
@@ -217,11 +232,15 @@ class SnapshotStore:
         tel = self._delta.tel
         if label is not None:
             for version in tel.edges(vid, direction, label, self._ts):
+                if version.create_ts > self.version_high:
+                    self.version_high = version.create_ts
                 yield version, label
             return
         for (v, d, lab), _log in list(tel._logs.items()):  # noqa: SLF001
             if v == vid and d == direction:
                 for version in tel.edges(vid, direction, lab, self._ts):
+                    if version.create_ts > self.version_high:
+                        self.version_high = version.create_ts
                     yield version, lab
 
     def _require_local(self, vid: int) -> None:

@@ -228,6 +228,126 @@ class TestBudgetsAndLimits:
         assert_audit_ok(engine, seed="deadline")
 
 
+class TestTransactionPlaneAudit:
+    """PR10 growth: mixed read/write seeds, and the auditor's snapshot-
+    isolation checks — a traversal citing a version newer than its pin,
+    a pin beyond the committed LCT prefix, and a non-monotonic commit
+    must each be rejected; writers must leave the weight ledger clean."""
+
+    def txn_fuzz_run(self, seed: int, kernel: str, crash: bool = False):
+        """A seeded interleaving of queries, write txns, and cancels on
+        an engine with the transaction plane armed."""
+        rng = random.Random(seed)
+        graph = make_graph(seed)
+        plan = khop3_count(graph)
+        worker_faults = ()
+        if crash:
+            worker_faults = (WorkerFault(
+                wid=rng.randrange(FAULT_NODES * FAULT_WPN),
+                at_us=rng.uniform(60.0, 300.0), kind="crash",
+                down_us=200.0),)
+        config = EngineConfig(
+            trace=True, kernel=kernel, transactions=True,
+            checkpoint_interval_us=0.0,
+            fault_plan=FaultPlan(seed=seed, worker_faults=worker_faults),
+            lct_broadcast_lag_us=rng.choice([0.0, 30.0]))
+        engine = AsyncPSTMEngine(graph, FAULT_NODES, FAULT_WPN, config=config)
+        plane = engine.txnplane
+        sessions = []
+        for _ in range(8):
+            at = rng.uniform(0.0, 400.0)
+            session = engine.submit(plan, {"s": rng.randrange(200)}, at=at)
+            if rng.random() < 0.25:
+                engine.clock.schedule_at(
+                    at + rng.uniform(5.0, 80.0),
+                    lambda s=session: engine.cancel(s))
+            sessions.append(session)
+        for j in range(6):
+            src, dst = rng.randrange(200), rng.randrange(200)
+
+            def write(m, src=src, dst=dst, j=j):
+                txn = m.begin()
+                m.add_edge(txn, src, dst, "e", 7000 + j)
+                m.commit(txn)
+            plane.schedule_update(rng.uniform(20.0, 450.0), write,
+                                  label=f"W{j}", service_us=10.0,
+                                  home_vid=src)
+        engine.clock.run_until_idle()
+        return engine
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @pytest.mark.parametrize("seed", FUZZ_SEEDS[:5])
+    def test_writers_leave_ledger_clean(self, seed, kernel):
+        engine = self.txn_fuzz_run(seed, kernel)
+        report = assert_audit_ok(engine, seed)
+        assert report.txn_commits == engine.metrics.txn_commits > 0
+
+    @pytest.mark.parametrize("seed", FUZZ_SEEDS[:3])
+    def test_crash_replays_version_log_and_stays_clean(self, seed):
+        engine = self.txn_fuzz_run(seed, "batch", crash=True)
+        report = assert_audit_ok(engine, seed)
+        assert report.version_replays == engine.metrics.txn_replays == 1
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @pytest.mark.parametrize("seed", EXTENDED_SEEDS)
+    def test_writers_extended_seeds(self, seed, kernel):
+        engine = self.txn_fuzz_run(seed, kernel)
+        assert_audit_ok(engine, seed)
+
+    # -- doctored traces the auditor must reject --------------------------
+
+    def _traced_txn_run(self):
+        engine = self.txn_fuzz_run(300, "scalar")
+        events = list(engine.trace.events)
+        report = WeightLedgerAuditor(events).audit()
+        assert report.ok
+        return events
+
+    def test_exec_citing_version_past_pin_rejected(self):
+        from repro.runtime.trace import EXEC, SNAPSHOT_PIN, TraceEvent
+
+        events = self._traced_txn_run()
+        pins = {e.query_id: e.data["ts"] for e in events
+                if e.kind == SNAPSHOT_PIN}
+        idx, victim = next(
+            (i, e) for i, e in enumerate(events)
+            if e.kind == EXEC and e.query_id in pins)
+        doctored = dict(victim.data,
+                        version_ts=pins[victim.query_id] + 100)
+        events[idx] = TraceEvent(victim.ts, EXEC, victim.query_id, doctored)
+        report = WeightLedgerAuditor(events).audit()
+        assert not report.ok
+        assert any("newer than its" in v for v in report.violations)
+
+    def test_pin_beyond_committed_prefix_rejected(self):
+        from repro.runtime.trace import SNAPSHOT_PIN, TraceEvent
+
+        events = self._traced_txn_run()
+        idx, victim = next(
+            (i, e) for i, e in enumerate(events)
+            if e.kind == SNAPSHOT_PIN)
+        # The first pin precedes every commit: any positive ts is a cut
+        # the commit prefix cannot justify yet.
+        events[idx] = TraceEvent(victim.ts, SNAPSHOT_PIN, victim.query_id,
+                                 dict(victim.data, ts=victim.data["ts"] + 7))
+        report = WeightLedgerAuditor(events).audit()
+        assert not report.ok
+        assert any("last committed" in v for v in report.violations)
+
+    def test_non_monotonic_commit_rejected(self):
+        from repro.runtime.trace import TXN_COMMIT, TraceEvent
+
+        events = self._traced_txn_run()
+        last = max(i for i, e in enumerate(events) if e.kind == TXN_COMMIT)
+        stale = TraceEvent(events[last].ts + 1.0, TXN_COMMIT, -1,
+                           dict(events[last].data, commit_ts=1))
+        events.insert(last + 1, stale)
+        report = WeightLedgerAuditor(events).audit()
+        assert not report.ok
+        assert any("monotonic" in v for v in report.violations)
+
+
 @pytest.mark.slow
 class TestLDBCTraced:
     """IC9 on the tiny SNB dataset: the ledger discipline must hold on a

@@ -13,7 +13,9 @@ lowercase member — the docs' class-attribute idiom) must resolve against
 the source tree: some ``class ClassName`` must exist under ``src/``, and
 the file defining it must also define ``member`` (as a ``def``, an
 assignment, or an annotated attribute — including inside string literals
-is rejected by requiring a definition-shaped line). Module-qualified
+is rejected by requiring a definition-shaped line). ``Class.CONSTANT``
+references (an all-caps member — class constants and enum values like
+``QueryState.PAUSED``) are held to the same standard. Module-qualified
 forms (``repro.runtime.migrate.Migrator``) check only their final
 ``Class.member`` pair; fully-lowercase dotted names (``engine.submit``,
 ``clock.now`` — instance shorthand whose receiver is prose context) and
@@ -69,7 +71,13 @@ def split_ref(ref: str):
         if parts[i][:1].isupper():
             if i + 2 == len(parts) and parts[i + 1][:1].islower():
                 return parts[i], parts[i + 1]
-            return None  # Class.CONSTANT / Module.Class — not checked
+            if i + 2 == len(parts) and parts[i + 1].isupper():
+                # Class.CONSTANT — class-level constants and enum members
+                # (`QueryState.PAUSED`, `MsgKind.DATA`) rename just as
+                # silently as methods do; the member pattern's assignment
+                # arm covers their definition shape.
+                return parts[i], parts[i + 1]
+            return None  # Module.Class chains — not checked
     return None  # fully lowercase: instance shorthand, out of scope
 
 

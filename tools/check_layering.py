@@ -4,9 +4,10 @@
 The runtime is a strict layering (docs/ARCHITECTURE.md); each module may
 import only modules *strictly below* it:
 
-    simclock < config < metrics < trace < checkpoint < lifecycle
-             < costmodel < faults < network < overload < preempt < migrate
-             < runs < vector < kernels < worker < delivery < engine
+    simclock < config < metrics < trace < checkpoint < txnplane
+             < lifecycle < costmodel < faults < network < overload
+             < preempt < migrate < runs < vector < kernels < worker
+             < delivery < engine
 
 Everything above ``engine`` (bsp, hybrid, variants, reference, cluster,
 the package __init__) composes freely and is not constrained here.
@@ -32,6 +33,12 @@ Two classes of violation fail the build:
   ``% num_partitions``-style placement arithmetic may appear nowhere else
   in the package — a module that owned its own copy would silently
   disagree with the relocation table after a live migration.
+* raw TEL / transaction-store access outside the transaction plane:
+  ``repro.txn`` and ``repro.graph.tel`` may be imported only by the txn
+  package itself, the runtime's ``txnplane`` module, and the LDBC update
+  drivers (docs/TRANSACTIONS.md). Every other layer reads versioned data
+  through the plane's snapshot views — a module holding its own TEL
+  handle could read uncommitted versions past a query's pinned snapshot.
 
 Stdlib only (ast); no third-party dependency. Exit 0 = clean.
 """
@@ -51,6 +58,7 @@ LAYERS = [
     "metrics",
     "trace",
     "checkpoint",
+    "txnplane",
     "lifecycle",
     "costmodel",
     "faults",
@@ -85,6 +93,22 @@ PLACEMENT_PLANE = {"graph/placement.py", "graph/partition.py"}
 #: raw-hash placement logic, forbidden outside the placement plane
 RAW_HASH = re.compile(r"\bmix64\w*\b|%\s*(?:self\.)?(?:num_partitions|_n)\b")
 
+#: the transaction plane: the only modules allowed to import the raw
+#: multi-version stores (``repro.txn`` / ``repro.graph.tel``). ``txn/``
+#: is the package itself; ``graph/__init__.py`` re-exports the TEL types;
+#: the LDBC update drivers build write transactions; everything else goes
+#: through ``runtime/txnplane.py``'s snapshot views.
+TXN_PLANE_PREFIXES = ("txn/",)
+TXN_PLANE_FILES = {
+    "graph/__init__.py",
+    "graph/tel.py",
+    "runtime/txnplane.py",
+    "ldbc/workload.py",
+    "ldbc/queries/updates.py",
+}
+#: raw transaction-store imports, forbidden outside the transaction plane
+RAW_TEL = re.compile(r"^\s*(?:from|import)\s+repro\.(?:txn\b|graph\.tel\b)")
+
 
 def raw_hash_violations(errors) -> None:
     """Flag raw-hash partition computation outside the placement plane."""
@@ -99,6 +123,21 @@ def raw_hash_violations(errors) -> None:
                     f"{path}:{lineno}: raw-hash placement logic outside the "
                     f"placement plane — route partition lookups through "
                     f"repro.graph.placement.Placement"
+                )
+
+
+def raw_tel_violations(errors) -> None:
+    """Flag raw TEL/txn-store imports outside the transaction plane."""
+    for path in sorted(SRC.rglob("*.py")):
+        rel = path.relative_to(SRC).as_posix()
+        if rel in TXN_PLANE_FILES or rel.startswith(TXN_PLANE_PREFIXES):
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            if RAW_TEL.match(line):
+                errors.append(
+                    f"{path}:{lineno}: raw transaction-store import outside "
+                    f"the transaction plane — read versioned data through "
+                    f"repro.runtime.txnplane's snapshot views"
                 )
 
 
@@ -179,6 +218,7 @@ def main() -> int:
             )
 
     raw_hash_violations(errors)
+    raw_tel_violations(errors)
 
     if errors:
         print("\n".join(errors))
@@ -187,7 +227,8 @@ def main() -> int:
     checked = ", ".join(LAYERS)
     print(f"layering OK ({checked}); "
           + "; ".join(f"{f} under {n} lines" for f, n in MAX_LINES.items())
-          + "; no raw-hash placement outside the placement plane")
+          + "; no raw-hash placement outside the placement plane"
+          + "; no raw TEL access outside the transaction plane")
     return 0
 
 
